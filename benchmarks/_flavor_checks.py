@@ -1,0 +1,87 @@
+"""Shared shape assertions for the Figure 5/6/7 benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.harness import FlavorFigureResult
+
+METRICS = ("polymorphic_call_sites", "reachable_methods", "casts_may_fail")
+
+
+def assert_timeout_matrix(
+    result: FlavorFigureResult,
+    expect_full: Set[str],
+    expect_intro_b: Set[str],
+    expect_intro_a: Set[str] = frozenset(),
+) -> None:
+    """Exactly the expected benchmarks time out, per variant."""
+    flavor = result.flavor
+    for bench in result.benchmarks:
+        assert not result.timed_out(bench, "insens"), bench
+    actual_full = {b for b in result.benchmarks if result.timed_out(b, flavor)}
+    actual_a = {
+        b for b in result.benchmarks if result.timed_out(b, f"{flavor}-IntroA")
+    }
+    actual_b = {
+        b for b in result.benchmarks if result.timed_out(b, f"{flavor}-IntroB")
+    }
+    assert actual_full == expect_full, f"{flavor}: {actual_full}"
+    assert actual_a == set(expect_intro_a), f"{flavor}-IntroA: {actual_a}"
+    assert actual_b == set(expect_intro_b), f"{flavor}-IntroB: {actual_b}"
+
+
+def assert_precision_ordering(result: FlavorFigureResult) -> None:
+    """insens >= IntroA >= IntroB >= full on every metric (lower is
+    better), among the terminating variants of each benchmark."""
+    for bench in result.benchmarks:
+        chain = [
+            result.run(bench, v)
+            for v in result.variants
+            if not result.timed_out(bench, v)
+        ]
+        for metric in METRICS:
+            values = [getattr(r.precision, metric) for r in chain]
+            assert values == sorted(values, reverse=True), (
+                bench,
+                metric,
+                values,
+            )
+
+
+def assert_intro_b_keeps_most_precision(
+    result: FlavorFigureResult, fraction: float = 0.66
+) -> None:
+    """Where the full analysis terminates, IntroB retains at least
+    ``fraction`` of its total precision advantage over insens (the paper:
+    "more than two-thirds")."""
+    flavor = result.flavor
+    for bench in result.benchmarks:
+        if result.timed_out(bench, flavor) or result.timed_out(
+            bench, f"{flavor}-IntroB"
+        ):
+            continue
+        insens = result.run(bench, "insens").precision
+        intro_b = result.run(bench, f"{flavor}-IntroB").precision
+        full = result.run(bench, flavor).precision
+        full_gain = sum(
+            getattr(insens, m) - getattr(full, m) for m in METRICS
+        )
+        b_gain = sum(
+            getattr(insens, m) - getattr(intro_b, m) for m in METRICS
+        )
+        if full_gain > 0:
+            assert b_gain >= fraction * full_gain, (bench, b_gain, full_gain)
+
+
+def assert_intro_a_scales_and_gains(result: FlavorFigureResult) -> None:
+    """IntroA terminates everywhere and is strictly more precise than
+    insens on at least one metric per benchmark."""
+    flavor = result.flavor
+    for bench in result.benchmarks:
+        assert not result.timed_out(bench, f"{flavor}-IntroA"), bench
+        insens = result.run(bench, "insens").precision
+        intro_a = result.run(bench, f"{flavor}-IntroA").precision
+        assert any(
+            getattr(intro_a, m) < getattr(insens, m) for m in METRICS
+        ), bench

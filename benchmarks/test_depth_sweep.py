@@ -1,0 +1,70 @@
+"""Context-depth sweep: cost growth and the precision plateau.
+
+The paper's Section 1 cost model: "increasing the context depth [by one]
+will result in c copies of n points-to facts" when the extra context does
+not discriminate.  Sweeping k over the object-sensitive family on one
+scalable benchmark (chart) shows:
+
+* cost grows with k, sharply once depth crosses what the program's
+  structure can use (the hub multiplies contexts at every level);
+* precision plateaus after k=2: the patterns in these programs need one
+  receiver of history, so 3objH2 buys nothing — the "more context does
+  not help" half of the paper's premise, measured.
+"""
+
+import pytest
+
+from repro import BudgetExceeded, analyze
+from repro.clients import measure_precision
+from repro.harness import EXPERIMENT_BUDGET
+
+DEPTHS = ("1obj", "1objH", "2objH", "3objH2")
+
+
+def run_sweep(cache):
+    program, facts = cache.program("chart")
+    rows = {}
+    for name in DEPTHS:
+        try:
+            result = analyze(
+                program, name, facts=facts, max_tuples=4 * EXPERIMENT_BUDGET
+            )
+            rows[name] = (
+                result.stats().tuple_count,
+                measure_precision(result, facts),
+            )
+        except BudgetExceeded:
+            rows[name] = (None, None)
+    return facts, rows
+
+
+def test_depth_sweep(benchmark, cache):
+    facts, rows = benchmark.pedantic(run_sweep, args=(cache,), rounds=1, iterations=1)
+
+    print()
+    for name in DEPTHS:
+        tuples, precision = rows[name]
+        cell = "TIMEOUT" if tuples is None else f"{tuples} tuples"
+        print(f"{name:8s} {cell:>16s}  {precision.row() if precision else ''}")
+
+    # Cost is monotone in depth among terminating runs (with slack: deeper
+    # contexts can also shrink sets, but the hub dominates here).
+    costs = [rows[name][0] for name in ("1objH", "2objH", "3objH2")]
+    assert all(c is not None for c in costs[:2])
+    if costs[2] is not None:
+        assert costs[2] >= costs[1] >= costs[0] * 0.9
+
+    # Precision plateau: k=2 equals k=3 on every metric (when the latter
+    # terminates), and strictly beats k=1 with no heap context.
+    p1, p2 = rows["1objH"][1], rows["2objH"][1]
+    assert p2.dominates(p1)
+    p3 = rows["3objH2"][1]
+    if p3 is not None:
+        assert p3.polymorphic_call_sites == p2.polymorphic_call_sites
+        assert p3.reachable_methods == p2.reachable_methods
+        assert p3.casts_may_fail == p2.casts_may_fail
+
+    # The heap context matters: 1obj (no heap context) is strictly less
+    # precise than 1objH on casts.
+    p1_nh = rows["1obj"][1]
+    assert p1_nh.casts_may_fail >= p1.casts_may_fail

@@ -1,0 +1,39 @@
+"""Figure 4: how much of the program each heuristic chooses *not* to refine.
+
+Regenerates the paper's table (% of call sites / objects excluded, per
+benchmark, for Heuristics A and B) and asserts its shape:
+
+* Heuristic A is much more aggressive than B on call sites, on every
+  benchmark and on average (paper: 21.8% vs 1.2% average);
+* object exclusions are small for both (paper: 14.4% vs 9.0%);
+* both leave the overwhelming majority of program elements refined on the
+  object side, and A's exclusions always contain strictly more elements.
+
+Absolute percentages run higher than the paper's because the synthetic
+analogs are pathology-dense by construction (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.benchgen import FIGURE4_BENCHMARKS
+from repro.harness import figure4
+
+
+def test_fig4_experiment(benchmark):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+
+    for bench in FIGURE4_BENCHMARKS:
+        a_sites, a_objs = result.percentages[bench]["A"]
+        b_sites, b_objs = result.percentages[bench]["B"]
+        # A is uniformly more aggressive on call sites.
+        assert a_sites > b_sites, bench
+        assert a_objs >= b_objs, bench
+        # Objects to exclude are a small minority for both heuristics.
+        assert a_objs < 50 and b_objs < 10, bench
+
+    averages = result.averages()
+    assert averages["A"][0] > 2 * averages["B"][0]  # sites: A >> B
+    assert averages["A"][1] > averages["B"][1]  # objects: A > B
+
+    print()
+    print(result.render())

@@ -1,0 +1,35 @@
+"""Figure 5: introspective variants of 2-object-sensitivity.
+
+Paper shape being reproduced:
+
+* full 2objH times out on hsqldb and jython;
+* 2objH-IntroA scales to every benchmark with real precision gains;
+* 2objH-IntroB times out only on jython (the paper's one IntroB failure)
+  and keeps more than two-thirds of 2objH's precision advantage wherever
+  2objH itself terminates;
+* precision ordering insens >= IntroA >= IntroB >= 2objH on all three
+  metrics.
+"""
+
+from _flavor_checks import (
+    assert_intro_a_scales_and_gains,
+    assert_intro_b_keeps_most_precision,
+    assert_precision_ordering,
+    assert_timeout_matrix,
+)
+
+from repro.harness import figure5
+
+
+def test_fig5_experiment(benchmark):
+    result = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    assert_timeout_matrix(
+        result,
+        expect_full={"hsqldb", "jython"},
+        expect_intro_b={"jython"},
+    )
+    assert_precision_ordering(result)
+    assert_intro_a_scales_and_gains(result)
+    assert_intro_b_keeps_most_precision(result)
+    print()
+    print(result.render())

@@ -1,0 +1,35 @@
+"""Figure 6: introspective variants of 2-type-sensitivity.
+
+Paper shape being reproduced:
+
+* type-sensitivity's coarser contexts already survive hsqldb (whose hub
+  readers share one allocating class) but still explode on jython (reader
+  allocations spread over distinct classes);
+* 2typeH-IntroB scales to *all* benchmarks (including jython — its
+  mini-hubs are single-class and thus type-insensitive by construction)
+  while keeping near-full precision;
+* 2typeH-IntroA has "near-perfect scalability" with smaller gains.
+"""
+
+from _flavor_checks import (
+    assert_intro_a_scales_and_gains,
+    assert_intro_b_keeps_most_precision,
+    assert_precision_ordering,
+    assert_timeout_matrix,
+)
+
+from repro.harness import figure6
+
+
+def test_fig6_experiment(benchmark):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    assert_timeout_matrix(
+        result,
+        expect_full={"jython"},
+        expect_intro_b=set(),
+    )
+    assert_precision_ordering(result)
+    assert_intro_a_scales_and_gains(result)
+    assert_intro_b_keeps_most_precision(result)
+    print()
+    print(result.render())

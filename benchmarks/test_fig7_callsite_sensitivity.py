@@ -1,0 +1,45 @@
+"""Figure 7: introspective variants of 2-call-site-sensitivity.
+
+Paper shape being reproduced:
+
+* call-site-sensitivity is the worst-scaling flavor: the base 2callH does
+  not terminate for 4 of the 6 benchmarks (here: bloat and xalan fall to
+  the deep static call chains, hsqldb and jython to their hubs);
+* 2callH-IntroA scales everywhere; 2callH-IntroB everywhere but jython
+  (5-out-of-6, as in the paper);
+* where the full 2callH terminates (chart, eclipse), IntroB achieves its
+  *full* precision on every metric — the paper's strongest precision
+  result.
+"""
+
+from _flavor_checks import (
+    METRICS,
+    assert_intro_a_scales_and_gains,
+    assert_precision_ordering,
+    assert_timeout_matrix,
+)
+
+from repro.harness import figure7
+
+
+def test_fig7_experiment(benchmark):
+    result = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    assert_timeout_matrix(
+        result,
+        expect_full={"bloat", "hsqldb", "jython", "xalan"},
+        expect_intro_b={"jython"},
+    )
+    assert_precision_ordering(result)
+    assert_intro_a_scales_and_gains(result)
+
+    # IntroB == full precision where the full analysis terminates.
+    for bench in ("chart", "eclipse"):
+        full = result.run(bench, "2callH").precision
+        intro_b = result.run(bench, "2callH-IntroB").precision
+        for metric in METRICS:
+            assert getattr(intro_b, metric) == getattr(full, metric), (
+                bench,
+                metric,
+            )
+    print()
+    print(result.render())

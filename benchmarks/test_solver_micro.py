@@ -1,0 +1,73 @@
+"""Microbenchmarks of the engines themselves (not figure reproductions).
+
+These are conventional multi-round pytest-benchmark measurements of the
+building blocks: fact encoding, the worklist solver per flavor, the Datalog
+engine's semi-naive fixpoint, and the Figure 3 model — useful for tracking
+performance regressions in the substrate.
+"""
+
+import pytest
+
+from repro import analyze, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.datalog import Engine, parse_program
+
+
+@pytest.fixture(scope="module")
+def pmd(cache):
+    return cache.program("pmd")
+
+
+def test_encode_program(benchmark, pmd):
+    program, _ = pmd
+    facts = benchmark(encode_program, program)
+    assert facts.count_tuples() > 1000
+
+
+@pytest.mark.parametrize("flavor", ["insens", "2objH", "2typeH", "2callH"])
+def test_solver_flavor(benchmark, pmd, flavor):
+    program, facts = pmd
+    result = benchmark(analyze, program, flavor, facts)
+    assert result.stats().tuple_count > 1000
+
+
+def test_solver_tuple_throughput(benchmark, cache):
+    """Throughput on the heaviest terminating configuration (bloat/2objH)."""
+    program, facts = cache.program("bloat")
+    result = benchmark(analyze, program, "2objH", facts)
+    stats = result.stats()
+    throughput = stats.tuple_count / max(stats.seconds, 1e-9)
+    print(f"\n{stats.tuple_count} tuples at {throughput:,.0f} tuples/s")
+
+
+def test_datalog_transitive_closure(benchmark):
+    program = parse_program(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+        """
+    )
+    edges = [(i, (i + 1) % 120) for i in range(120)]
+    edges += [(i, (i + 7) % 120) for i in range(0, 120, 3)]
+
+    def run():
+        engine = Engine(program)
+        engine.load({"edge": edges})
+        engine.run()
+        return engine
+
+    engine = benchmark(run)
+    assert len(engine.query("path")) == 120 * 120
+
+
+def test_datalog_model_vs_solver(benchmark, cache):
+    """The Figure 3 model on the Datalog engine (fidelity path) on a small
+    program — orders of magnitude slower than the solver, by design."""
+    program, facts = cache.program("antlr")
+
+    def run():
+        policy = policy_by_name("insens")
+        return DatalogPointsToAnalysis(program, policy, facts=facts).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.reachable_methods) > 100

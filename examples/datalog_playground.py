@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The Datalog substrate, standalone — and the paper's model run directly.
+
+Part 1 uses the generic engine on a toy reachability program (text rule
+syntax, stratified negation, count aggregation).
+
+Part 2 runs the paper's actual Figure 3 rules (the declarative model of the
+points-to analysis) over a small program, showing the literal VARPOINTSTO /
+CALLGRAPH relations with their context columns, and demonstrates that the
+introspective second pass — same rules, populated refine relations —
+changes the derived contexts.
+
+Run:  python examples/datalog_playground.py
+"""
+
+from repro import ProgramBuilder, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.contexts import InsensitivePolicy
+from repro.datalog import Engine, parse_program
+
+
+def part1_generic_engine() -> None:
+    print("== Part 1: the generic Datalog engine ==")
+    rules = parse_program(
+        """
+        reach(X)  :- root(X).
+        reach(Y)  :- reach(X), edge(X, Y).
+        dead(X)   :- node(X), !reach(X).
+        outdeg(X, N) :- agg<N = count()>(edge(X, Y)).
+        """
+    )
+    engine = Engine(rules)
+    engine.load(
+        {
+            "root": [("main",)],
+            "edge": [("main", "lib"), ("lib", "util"), ("orphan", "util")],
+            "node": [("main",), ("lib",), ("util",), ("orphan",)],
+        }
+    )
+    engine.run()
+    print(f"  reach  = {sorted(engine.query('reach'))}")
+    print(f"  dead   = {sorted(engine.query('dead'))}")
+    print(f"  outdeg = {sorted(engine.query('outdeg'))}\n")
+
+
+def build_small_program():
+    b = ProgramBuilder()
+    b.klass("Cell", fields=["v"])
+    with b.method("Cell", "set", ["x"]) as m:
+        m.store("this", "v", "x")
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("c1", "Cell")
+        m.alloc("c2", "Cell")
+        m.alloc("o", "java.lang.Object")
+        m.vcall("c1", "set", ["o"])
+        m.vcall("c2", "set", ["o"])
+    return b.build(entry="Main.main/0")
+
+
+def part2_paper_model() -> None:
+    print("== Part 2: the paper's Figure 3 model ==")
+    program = build_small_program()
+    facts = encode_program(program)
+
+    for label, kwargs in (
+        # Figure 3 gating, literally: SITETOREFINE/OBJECTTOREFINE empty, so
+        # only the default (insensitive) constructors ever fire.
+        ("first pass (refine relations empty -> insensitive)",
+         {"polarity": "positive"}),
+        # Complement form (footnote 4): everything refined except the
+        # call site of c1.set — the merge at that site keeps the cheap
+        # constructor while c2.set gets a refined object context.
+        ("second pass (one excluded call site -> dual contexts)",
+         {"polarity": "complement",
+          "excluded_sites": {("Main.main/0/invo/0", "Cell.set/1")}}),
+    ):
+        analysis = DatalogPointsToAnalysis(
+            program,
+            InsensitivePolicy(),
+            refined_policy=policy_by_name("2objH"),
+            facts=facts,
+            **kwargs,
+        )
+        result = analysis.run()
+        print(f"  {label}:")
+        set_rows = sorted(
+            (meth, ctx) for meth, ctx in result.reachable if meth == "Cell.set/1"
+        )
+        for meth, ctx in set_rows:
+            print(f"    REACHABLE({meth}, ctx={ctx})")
+    print(
+        "\n  With c1's call site excluded, only c2's set() gets a refined\n"
+        "  object context; c1's runs at the * context — the paper's\n"
+        "  per-element dual-constructor machinery, executed literally."
+    )
+
+
+if __name__ == "__main__":
+    part1_generic_engine()
+    part2_paper_model()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Devirtualization client: how much context-sensitivity buys a compiler.
+
+Scenario: a rendering pipeline where each `Canvas` is configured with one
+concrete `Brush` through the shared `setBrush` method (the paper's
+motivating pattern — Section 1's "merging the behavior of different dynamic
+program paths").  A context-insensitive analysis merges every canvas, so
+every `brush.paint()` dispatch looks megamorphic; object-sensitivity proves
+each canvas uses exactly one brush, and — where the dispatch is fed through
+a producer-only store — turns spuriously polymorphic sites monomorphic so
+the compiler can inline them.
+
+Run:  python examples/devirtualization.py
+"""
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.clients import devirtualize
+
+N_CANVASES = 6
+
+
+def build_pipeline():
+    b = ProgramBuilder()
+    b.klass("Brush", abstract=True)
+    b.klass("Canvas", fields=["brush"])
+    with b.method("Canvas", "setBrush", ["br"]) as m:
+        m.store("this", "brush", "br")
+    with b.method("Canvas", "render", []) as m:
+        m.load("br", "this", "brush")
+        m.vcall("br", "paint", [], target="pixels")
+        m.ret("pixels")
+    for i in range(N_CANVASES):
+        b.klass(f"Brush{i}", super_name="Brush")
+        b.klass(f"Pixels{i}")
+        with b.method(f"Brush{i}", "paint", []) as m:
+            m.alloc("px", f"Pixels{i}")
+            m.ret("px")
+        # each canvas comes from its own factory (lets type-sensitivity
+        # distinguish them as well)
+        with b.method(f"CanvasFactory{i}", "make", [], static=True) as m:
+            m.alloc("c", "Canvas")
+            m.ret("c")
+    with b.method("Main", "main", [], static=True) as m:
+        for i in range(N_CANVASES):
+            m.scall(f"CanvasFactory{i}", "make", [], target=f"c{i}")
+            m.alloc(f"b{i}", f"Brush{i}")
+            m.vcall(f"c{i}", "setBrush", [f"b{i}"])
+            m.vcall(f"c{i}", "render", [], target=f"px{i}")
+    return b.build(entry="Main.main/0")
+
+
+def main() -> None:
+    program = build_pipeline()
+    facts = encode_program(program)
+    print(f"pipeline: {program.summary()}\n")
+    render_site = "Canvas.render/0/invo/0"
+    for analysis in ("insens", "2objH", "2typeH", "2callH"):
+        result = analyze(program, analysis, facts=facts)
+        report = devirtualize(result, facts)
+        # Site-level target count (what a context-insensitive inliner sees)
+        # vs per-context target count (what a specializing compiler sees).
+        site_targets = len(result.call_graph.get(render_site, set()))
+        per_ctx = {}
+        for invo, caller_ctx, meth, _callee_ctx in result.iter_call_graph():
+            if invo == render_site:
+                per_ctx.setdefault(caller_ctx, set()).add(meth)
+        worst_ctx = max((len(ts) for ts in per_ctx.values()), default=0)
+        print(f"== {analysis}: {report.summary()}")
+        print(
+            f"   brush.paint() targets: {site_targets} site-wide, "
+            f"at most {worst_ctx} per render() context "
+            f"({len(per_ctx)} contexts)"
+        )
+    print(
+        "\nThe paint() dispatch is genuinely polymorphic at the site level\n"
+        "(one shared render() serves every canvas), so its site-wide target\n"
+        "set cannot shrink — but every context-sensitive flavor proves a\n"
+        "single target *per render() context*: exactly the information a\n"
+        "specializing/inlining compiler needs, and the precision the\n"
+        "insensitive analysis fundamentally cannot express (1 context, 6\n"
+        "targets)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Exception-flow analysis: proving a program cannot crash.
+
+Two task sites each run their own task and catch exactly the exception
+type their task can throw.  The program can never crash — but a
+context-insensitive analysis merges the two tasks inside the shared
+``Task.run`` method, concludes either exception can emerge at either site,
+and reports both escaping to ``main`` (a false "may crash").
+Object-sensitivity separates the tasks per receiver and proves every
+exception handled.
+
+This uses the exception-flow extension (``throw``/``catch`` instructions,
+the THROWPOINTSTO relation) layered on the paper's model; exception flow
+is context-sensitive for free, because exceptions propagate through the
+same context-qualified call-graph edges as ordinary values.
+
+Run:  python examples/exception_analysis.py
+"""
+
+from repro import analyze, encode_program
+from repro.clients import analyze_exceptions
+from repro.frontend import parse_source
+
+SOURCE = """
+class Exc { }
+class IOExc extends Exc { }
+class ParseExc extends Exc { }
+
+class Task {
+    field err;
+    method plant(e) { this.err = e; }
+    method run()    { e = this.err; throw e; }
+}
+
+class IOSite {
+    static method exec(t) {
+        t.run();
+        catch (IOExc) handled;
+    }
+}
+class ParseSite {
+    static method exec(t) {
+        t.run();
+        catch (ParseExc) handled;
+    }
+}
+
+class Main {
+    static method main() {
+        ioTask = new Task();
+        ioErr = new IOExc();
+        ioTask.plant(ioErr);
+        IOSite::exec(ioTask);
+
+        parseTask = new Task();
+        parseErr = new ParseExc();
+        parseTask.plant(parseErr);
+        ParseSite::exec(parseTask);
+    }
+}
+"""
+
+
+def main() -> None:
+    program = parse_source(SOURCE)
+    facts = encode_program(program)
+    for analysis in ("insens", "2objH"):
+        result = analyze(program, analysis, facts=facts)
+        report = analyze_exceptions(result, facts)
+        print(f"== {analysis} ==")
+        print(f"  {report.summary()}")
+        escaping = sorted(report.escaping["Main.main/0"])
+        verdict = "MAY CRASH" if report.may_crash else "cannot crash"
+        print(f"  escaping from main: {escaping if escaping else 'none'}")
+        print(f"  verdict: {verdict}")
+        io_handler = sorted(result.points_to("IOSite.exec/1/handled"))
+        print(f"  IOSite handler binds: {io_handler}\n")
+    print(
+        "The insensitive analysis cannot tell the two tasks apart inside\n"
+        "Task.run, so each site appears to receive both exception types and\n"
+        "the unmatched one escapes.  2objH analyzes run() once per task\n"
+        "object and proves every exception caught."
+    )
+
+
+if __name__ == "__main__":
+    main()

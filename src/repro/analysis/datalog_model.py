@@ -1,0 +1,443 @@
+"""The paper's Figures 2–3, transcribed rule-for-rule onto our Datalog engine.
+
+This module is the *fidelity* engine: it executes the exact declarative
+model of Section 2 — the ten core rules, with every context-constructing
+rule duplicated into a default and a refined version gated on the
+SITETOREFINE / OBJECTTOREFINE input relations — plus the same small set of
+language extensions the worklist solver supports (static/special calls,
+casts, static fields).  The worklist solver is the performance engine; the
+test suite cross-validates the two on every kind of program.
+
+Context constructors are LogicBlox-style function atoms
+(:class:`~repro.datalog.terms.FunAtom`) wrapping a
+:class:`~repro.contexts.policies.ContextPolicy`:
+
+* RECORD / MERGE / MERGESTATIC          — the *default* (cheap) policy,
+* RECORDREFINED / MERGEREFINED / MERGESTATICREFINED — the *refined* policy.
+
+In the first introspective pass the refine relations are empty and only the
+default constructors fire; in the second pass the relations select who gets
+the refined constructors — "the two runs of the analysis use identical
+code" (Section 3).
+
+Refinement-set polarity (paper footnote 4): since the sites/objects *not*
+to refine are the small sets, the implementation-faithful mode is
+``polarity="complement"`` with relations SITENOTTOREFINE/OBJECTNOTTOREFINE
+(refined rule gated on the *negation*).  ``polarity="positive"`` gives the
+literal Figure 3 gating for fidelity tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..contexts.policies import ContextPolicy, InsensitivePolicy
+from ..datalog.database import Database
+from ..datalog.engine import Engine
+from ..datalog.rules import Rule, RuleProgram
+from ..datalog.terms import Atom, FunAtom, NegAtom, V
+from ..facts.encoder import FactBase, encode_program
+from ..facts.schema import INPUT_RELATIONS
+from ..ir.program import Program
+
+__all__ = ["DatalogModelResult", "DatalogPointsToAnalysis", "build_rules"]
+
+
+def build_rules(
+    default_policy: ContextPolicy,
+    refined_policy: ContextPolicy,
+    polarity: str = "complement",
+) -> RuleProgram:
+    """Construct the rule program of Figure 3 (plus extensions).
+
+    ``default_policy`` provides RECORD/MERGE/MERGESTATIC and
+    ``refined_policy`` the REFINED counterparts.
+    """
+    if polarity not in ("complement", "positive"):
+        raise ValueError(f"bad polarity {polarity!r}")
+
+    def record_fun(policy: ContextPolicy, name: str) -> FunAtom:
+        return FunAtom(
+            lambda heap, ctx: policy.record(heap, ctx),
+            ins=(V.heap, V.ctx),
+            out=V.hctx,
+            name=name,
+        )
+
+    def merge_fun(policy: ContextPolicy, name: str) -> FunAtom:
+        return FunAtom(
+            lambda heap, hctx, invo, meth, ctx: policy.merge(
+                heap, hctx, invo, meth, ctx
+            ),
+            ins=(V.heap, V.hctx, V.invo, V.toMeth, V.callerCtx),
+            out=V.calleeCtx,
+            name=name,
+        )
+
+    def merge_static_fun(policy: ContextPolicy, name: str) -> FunAtom:
+        return FunAtom(
+            lambda invo, meth, ctx: policy.merge_static(invo, meth, ctx),
+            ins=(V.invo, V.toMeth, V.callerCtx),
+            out=V.calleeCtx,
+            name=name,
+        )
+
+    if polarity == "positive":
+        object_default_gate = NegAtom(Atom("OBJECTTOREFINE", V.heap))
+        object_refined_gate = Atom("OBJECTTOREFINE", V.heap)
+        site_default_gate = NegAtom(Atom("SITETOREFINE", V.invo, V.toMeth))
+        site_refined_gate = Atom("SITETOREFINE", V.invo, V.toMeth)
+    else:
+        object_default_gate = Atom("OBJECTNOTTOREFINE", V.heap)
+        object_refined_gate = NegAtom(Atom("OBJECTNOTTOREFINE", V.heap))
+        site_default_gate = Atom("SITENOTTOREFINE", V.invo, V.toMeth)
+        site_refined_gate = NegAtom(Atom("SITENOTTOREFINE", V.invo, V.toMeth))
+
+    rules = []
+
+    # -- REACHABLE seeding (footnote 3: main method etc. are roots) -------
+    rules.append(
+        Rule(
+            [Atom("REACHABLE", V.meth, ())],
+            [Atom("REACHABLEROOT", V.meth)],
+        )
+    )
+
+    # -- INTERPROCASSIGN (paper Figure 3, rules 1-2) -----------------------
+    rules.append(
+        Rule(
+            [Atom("INTERPROCASSIGN", V.to, V.calleeCtx, V("from"), V.callerCtx)],
+            [
+                Atom("CALLGRAPH", V.invo, V.callerCtx, V.meth, V.calleeCtx),
+                Atom("FORMALARG", V.meth, V.i, V.to),
+                Atom("ACTUALARG", V.invo, V.i, V("from")),
+            ],
+        )
+    )
+    rules.append(
+        Rule(
+            [Atom("INTERPROCASSIGN", V.to, V.callerCtx, V("from"), V.calleeCtx)],
+            [
+                Atom("CALLGRAPH", V.invo, V.callerCtx, V.meth, V.calleeCtx),
+                Atom("FORMALRETURN", V.meth, V("from")),
+                Atom("ACTUALRETURN", V.invo, V.to),
+            ],
+        )
+    )
+
+    # -- ALLOC, duplicated for introspective context-sensitivity ----------
+    for gate, fun_name, policy in (
+        (object_default_gate, "RECORD", default_policy),
+        (object_refined_gate, "RECORDREFINED", refined_policy),
+    ):
+        rules.append(
+            Rule(
+                [Atom("VARPOINTSTO", V.var, V.ctx, V.heap, V.hctx)],
+                [
+                    Atom("REACHABLE", V.meth, V.ctx),
+                    Atom("ALLOC", V.var, V.heap, V.meth),
+                    gate,
+                    record_fun(policy, fun_name),
+                ],
+            )
+        )
+
+    # -- MOVE ---------------------------------------------------------
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.to, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("MOVE", V.to, V("from")),
+                Atom("VARPOINTSTO", V("from"), V.ctx, V.heap, V.hctx),
+            ],
+        )
+    )
+
+    # -- INTERPROCASSIGN flow -------------------------------------------
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.to, V.toCtx, V.heap, V.hctx)],
+            [
+                Atom("INTERPROCASSIGN", V.to, V.toCtx, V("from"), V.fromCtx),
+                Atom("VARPOINTSTO", V("from"), V.fromCtx, V.heap, V.hctx),
+            ],
+        )
+    )
+
+    # -- LOAD / STORE ----------------------------------------------------
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.to, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("LOAD", V.to, V.base, V.fld),
+                Atom("VARPOINTSTO", V.base, V.ctx, V.baseH, V.baseHCtx),
+                Atom("FLDPOINTSTO", V.baseH, V.baseHCtx, V.fld, V.heap, V.hctx),
+            ],
+        )
+    )
+    rules.append(
+        Rule(
+            [Atom("FLDPOINTSTO", V.baseH, V.baseHCtx, V.fld, V.heap, V.hctx)],
+            [
+                Atom("STORE", V.base, V.fld, V("from")),
+                Atom("VARPOINTSTO", V("from"), V.ctx, V.heap, V.hctx),
+                Atom("VARPOINTSTO", V.base, V.ctx, V.baseH, V.baseHCtx),
+            ],
+        )
+    )
+
+    # -- VCALL, duplicated (the paper's most involved rule) ----------------
+    for gate, fun_name, policy in (
+        (site_default_gate, "MERGE", default_policy),
+        (site_refined_gate, "MERGEREFINED", refined_policy),
+    ):
+        rules.append(
+            Rule(
+                [
+                    Atom("REACHABLE", V.toMeth, V.calleeCtx),
+                    Atom("VARPOINTSTO", V.this, V.calleeCtx, V.heap, V.hctx),
+                    Atom("CALLGRAPH", V.invo, V.callerCtx, V.toMeth, V.calleeCtx),
+                ],
+                [
+                    Atom("VCALL", V.base, V.sig, V.invo, V.inMeth),
+                    Atom("REACHABLE", V.inMeth, V.callerCtx),
+                    Atom("VARPOINTSTO", V.base, V.callerCtx, V.heap, V.hctx),
+                    Atom("HEAPTYPE", V.heap, V.heapT),
+                    Atom("LOOKUP", V.heapT, V.sig, V.toMeth),
+                    Atom("THISVAR", V.toMeth, V.this),
+                    gate,
+                    merge_fun(policy, fun_name),
+                ],
+            )
+        )
+
+    # -- SPECIALCALL (extension): statically bound, receiver-bound this ---
+    for gate, fun_name, policy in (
+        (site_default_gate, "MERGE", default_policy),
+        (site_refined_gate, "MERGEREFINED", refined_policy),
+    ):
+        rules.append(
+            Rule(
+                [
+                    Atom("REACHABLE", V.toMeth, V.calleeCtx),
+                    Atom("VARPOINTSTO", V.this, V.calleeCtx, V.heap, V.hctx),
+                    Atom("CALLGRAPH", V.invo, V.callerCtx, V.toMeth, V.calleeCtx),
+                ],
+                [
+                    Atom("SPECIALCALL", V.base, V.toMeth, V.invo, V.inMeth),
+                    Atom("REACHABLE", V.inMeth, V.callerCtx),
+                    Atom("VARPOINTSTO", V.base, V.callerCtx, V.heap, V.hctx),
+                    Atom("THISVAR", V.toMeth, V.this),
+                    gate,
+                    merge_fun(policy, fun_name),
+                ],
+            )
+        )
+
+    # -- SCALL (extension): statically bound, no receiver ------------------
+    for gate, fun_name, policy in (
+        (site_default_gate, "MERGESTATIC", default_policy),
+        (site_refined_gate, "MERGESTATICREFINED", refined_policy),
+    ):
+        rules.append(
+            Rule(
+                [
+                    Atom("REACHABLE", V.toMeth, V.calleeCtx),
+                    Atom("CALLGRAPH", V.invo, V.callerCtx, V.toMeth, V.calleeCtx),
+                ],
+                [
+                    Atom("SCALL", V.toMeth, V.invo, V.inMeth),
+                    Atom("REACHABLE", V.inMeth, V.callerCtx),
+                    gate,
+                    merge_static_fun(policy, fun_name),
+                ],
+            )
+        )
+
+    # -- CAST (extension): subtype-filtered assignment ---------------------
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.to, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("CAST", V.to, V.type, V("from"), V.inMeth),
+                Atom("VARPOINTSTO", V("from"), V.ctx, V.heap, V.hctx),
+                Atom("HEAPTYPE", V.heap, V.heapT),
+                Atom("SUBTYPE", V.heapT, V.type),
+            ],
+        )
+    )
+
+    # -- Exceptions (extension; flow-insensitive, method-scoped) -----------
+    # RAISED(meth, ctx, heap, hctx): an exception object is raised inside
+    # (meth, ctx) — by one of its own throw instructions, or propagated
+    # from a callee it invokes.
+    rules.append(
+        Rule(
+            [Atom("RAISED", V.meth, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("THROWINSTR", V.var, V.meth),
+                Atom("VARPOINTSTO", V.var, V.ctx, V.heap, V.hctx),
+            ],
+        )
+    )
+    rules.append(
+        Rule(
+            [Atom("RAISED", V.inMeth, V.callerCtx, V.heap, V.hctx)],
+            [
+                Atom("CALLGRAPH", V.invo, V.callerCtx, V.toMeth, V.calleeCtx),
+                Atom("INVOINMETH", V.invo, V.inMeth),
+                Atom("THROWPOINTSTO", V.toMeth, V.calleeCtx, V.heap, V.hctx),
+            ],
+        )
+    )
+    # Every type-matching clause of the method binds the exception ...
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.cv, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("RAISED", V.meth, V.ctx, V.heap, V.hctx),
+                Atom("CATCHCLAUSE", V.meth, V.t, V.cv),
+                Atom("HEAPTYPE", V.heap, V.heapT),
+                Atom("SUBTYPE", V.heapT, V.t),
+            ],
+        )
+    )
+    # ... and exceptions no clause can catch escape the method.
+    # CAUGHTTYPE is EDB-derived, so the negation is stratified.
+    rules.append(
+        Rule(
+            [Atom("CAUGHTTYPE", V.meth, V.heapT)],
+            [
+                Atom("CATCHCLAUSE", V.meth, V.t, V.cv),
+                Atom("SUBTYPE", V.heapT, V.t),
+            ],
+        )
+    )
+    rules.append(
+        Rule(
+            [Atom("THROWPOINTSTO", V.meth, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("RAISED", V.meth, V.ctx, V.heap, V.hctx),
+                Atom("HEAPTYPE", V.heap, V.heapT),
+                NegAtom(Atom("CAUGHTTYPE", V.meth, V.heapT)),
+            ],
+        )
+    )
+
+    # -- Static fields (extension) ----------------------------------------
+    rules.append(
+        Rule(
+            [Atom("STATICFLDPOINTSTO", V.cls, V.fld, V.heap, V.hctx)],
+            [
+                Atom("STATICSTORE", V.cls, V.fld, V("from")),
+                Atom("VARPOINTSTO", V("from"), V.ctx, V.heap, V.hctx),
+            ],
+        )
+    )
+    rules.append(
+        Rule(
+            [Atom("VARPOINTSTO", V.to, V.ctx, V.heap, V.hctx)],
+            [
+                Atom("STATICLOAD", V.to, V.cls, V.fld),
+                Atom("STATICFLDPOINTSTO", V.cls, V.fld, V.heap, V.hctx),
+                Atom("VARINMETH", V.to, V.meth),
+                Atom("REACHABLE", V.meth, V.ctx),
+            ],
+        )
+    )
+
+    edb = set(INPUT_RELATIONS)
+    edb.discard("SITETOREFINE" if polarity == "complement" else "SITENOTTOREFINE")
+    edb.discard(
+        "OBJECTTOREFINE" if polarity == "complement" else "OBJECTNOTTOREFINE"
+    )
+    if polarity == "complement":
+        edb.update(("SITENOTTOREFINE", "OBJECTNOTTOREFINE"))
+    return RuleProgram(rules, edb=sorted(edb))
+
+
+@dataclass
+class DatalogModelResult:
+    """Computed relations of one Datalog-model run."""
+
+    var_points_to: FrozenSet[Tuple[str, tuple, str, tuple]]
+    fld_points_to: FrozenSet[Tuple[str, tuple, str, str, tuple]]
+    call_graph: FrozenSet[Tuple[str, tuple, str, tuple]]
+    reachable: FrozenSet[Tuple[str, tuple]]
+    throw_points_to: FrozenSet[Tuple[str, tuple, str, tuple]]
+    database: Database
+
+    @property
+    def reachable_methods(self) -> FrozenSet[str]:
+        return frozenset(m for m, _ in self.reachable)
+
+    def var_proj(self) -> Dict[str, Set[str]]:
+        proj: Dict[str, Set[str]] = {}
+        for var, _ctx, heap, _hctx in self.var_points_to:
+            proj.setdefault(var, set()).add(heap)
+        return proj
+
+    def call_graph_proj(self) -> Dict[str, Set[str]]:
+        proj: Dict[str, Set[str]] = {}
+        for invo, _cc, meth, _ec in self.call_graph:
+            proj.setdefault(invo, set()).add(meth)
+        return proj
+
+
+class DatalogPointsToAnalysis:
+    """Run the Figure 3 model over a program.
+
+    For a plain (non-introspective) analysis pass the desired policy as
+    ``default_policy`` and leave the refinement inputs empty.  For an
+    introspective second pass, ``default_policy`` is the cheap analysis,
+    ``refined_policy`` the expensive one, and the exclusion sets say who
+    stays cheap (complement polarity), or the refinement sets say who gets
+    refined (positive polarity).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        default_policy: ContextPolicy,
+        refined_policy: Optional[ContextPolicy] = None,
+        facts: Optional[FactBase] = None,
+        polarity: str = "complement",
+        excluded_objects: AbstractSet[str] = frozenset(),
+        excluded_sites: AbstractSet[Tuple[str, str]] = frozenset(),
+        objects_to_refine: AbstractSet[str] = frozenset(),
+        sites_to_refine: AbstractSet[Tuple[str, str]] = frozenset(),
+        max_rows: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.facts = facts if facts is not None else encode_program(program)
+        refined = refined_policy if refined_policy is not None else default_policy
+        self.rule_program = build_rules(default_policy, refined, polarity)
+        self.engine = Engine(self.rule_program, max_rows=max_rows)
+        self.engine.load(self.facts.as_relation_dict())
+        if polarity == "complement":
+            self.engine.load(
+                {
+                    "OBJECTNOTTOREFINE": [(h,) for h in excluded_objects],
+                    "SITENOTTOREFINE": list(excluded_sites),
+                }
+            )
+        else:
+            self.engine.load(
+                {
+                    "OBJECTTOREFINE": [(h,) for h in objects_to_refine],
+                    "SITETOREFINE": list(sites_to_refine),
+                }
+            )
+
+    def run(self) -> DatalogModelResult:
+        self.engine.run()
+        q = self.engine.query
+        return DatalogModelResult(
+            var_points_to=frozenset(q("VARPOINTSTO")),
+            fld_points_to=frozenset(q("FLDPOINTSTO")),
+            call_graph=frozenset(q("CALLGRAPH")),
+            reachable=frozenset(q("REACHABLE")),
+            throw_points_to=frozenset(q("THROWPOINTSTO")),
+            database=self.engine.db,
+        )

@@ -1,0 +1,213 @@
+"""User-facing analysis results.
+
+:class:`AnalysisResult` wraps the solver's interned :class:`RawSolution`
+behind string-keyed query methods, computing the *context-insensitive
+projections* lazily.  Those projections are what the paper's introspection
+metrics and precision clients consume: e.g. ``VarPointsTo(var, heap)``
+ignoring contexts, ``CallGraph(invo, meth)`` ignoring contexts.
+
+:class:`AnalysisStats` carries the size/timing numbers that the harness
+reports (and that Figure 1's bimodality argument is about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from .solver import RawSolution
+
+__all__ = ["AnalysisResult", "AnalysisStats"]
+
+
+@dataclass(frozen=True)
+class AnalysisStats:
+    """Sizes and timing of one analysis run."""
+
+    analysis: str
+    seconds: float
+    tuple_count: int
+    var_pts_tuples: int
+    fld_pts_tuples: int
+    call_graph_edges: int
+    reachable_method_contexts: int
+    reachable_methods: int
+    contexts: int
+    heap_contexts: int
+    timed_out: bool = False
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "analysis": self.analysis,
+            "seconds": round(self.seconds, 3),
+            "tuples": self.tuple_count,
+            "var-pts": self.var_pts_tuples,
+            "fld-pts": self.fld_pts_tuples,
+            "cg-edges": self.call_graph_edges,
+            "reach-methods": self.reachable_methods,
+            "contexts": self.contexts,
+            "timeout": self.timed_out,
+        }
+
+
+class AnalysisResult:
+    """Queryable, string-keyed view over a solved analysis."""
+
+    def __init__(self, raw: RawSolution, analysis_name: str) -> None:
+        self.raw = raw
+        self.analysis_name = analysis_name
+        self._var_proj: Optional[Dict[str, Set[str]]] = None
+        self._fld_proj: Optional[Dict[Tuple[str, str], Set[str]]] = None
+        self._cg_proj: Optional[Dict[str, Set[str]]] = None
+        self._reachable_methods: Optional[FrozenSet[str]] = None
+
+    # ------------------------------------------------------------------
+    # Insensitive projections
+    # ------------------------------------------------------------------
+    @property
+    def var_points_to(self) -> Dict[str, Set[str]]:
+        """Projection: variable -> set of heap allocation sites."""
+        if self._var_proj is None:
+            raw = self.raw
+            proj: Dict[str, Set[str]] = {}
+            for (var_i, _ctx), node in raw.var_nodes.items():
+                pts = raw.pts[node]
+                if not pts:
+                    continue
+                var = raw.vars.value(var_i)
+                bucket = proj.setdefault(var, set())
+                for heap_i, _hctx in pts:
+                    bucket.add(raw.heaps.value(heap_i))
+            self._var_proj = proj
+        return self._var_proj
+
+    @property
+    def fld_points_to(self) -> Dict[Tuple[str, str], Set[str]]:
+        """Projection: (base heap, field) -> set of heap allocation sites."""
+        if self._fld_proj is None:
+            raw = self.raw
+            proj: Dict[Tuple[str, str], Set[str]] = {}
+            for (base_i, _hctx, fld_i), node in raw.fld_nodes.items():
+                pts = raw.pts[node]
+                if not pts:
+                    continue
+                key = (raw.heaps.value(base_i), raw.flds.value(fld_i))
+                bucket = proj.setdefault(key, set())
+                for heap_i, _h in pts:
+                    bucket.add(raw.heaps.value(heap_i))
+            self._fld_proj = proj
+        return self._fld_proj
+
+    @property
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """Projection: invocation site -> set of target method ids."""
+        if self._cg_proj is None:
+            raw = self.raw
+            proj: Dict[str, Set[str]] = {}
+            for invo_i, _cc, meth_i, _ec in raw.call_graph:
+                proj.setdefault(raw.invos.value(invo_i), set()).add(
+                    raw.meths.value(meth_i)
+                )
+            self._cg_proj = proj
+        return self._cg_proj
+
+    @property
+    def reachable_methods(self) -> FrozenSet[str]:
+        """Projection: all method ids reachable under some context."""
+        if self._reachable_methods is None:
+            raw = self.raw
+            self._reachable_methods = frozenset(
+                raw.meths.value(m) for m, _c in raw.reachable
+            )
+        return self._reachable_methods
+
+    def points_to(self, var: str) -> FrozenSet[str]:
+        """Heap sites ``var`` may point to (insensitive projection)."""
+        return frozenset(self.var_points_to.get(var, frozenset()))
+
+    def vcall_resolved_targets(self, invo: str) -> FrozenSet[str]:
+        """Methods a virtual call site may dispatch to."""
+        raw = self.raw
+        if invo not in raw.invos:
+            return frozenset()
+        targets = raw.vcall_dispatches.get(raw.invos.get(invo), set())
+        return frozenset(raw.meths.value(m) for m in targets)
+
+    # ------------------------------------------------------------------
+    # Context-sensitive iteration (tests, Datalog cross-validation)
+    # ------------------------------------------------------------------
+    def iter_var_points_to(self) -> Iterator[Tuple[str, tuple, str, tuple]]:
+        """(var, ctx, heap, hctx) tuples — the full VARPOINTSTO relation."""
+        raw = self.raw
+        for (var_i, ctx), node in raw.var_nodes.items():
+            var = raw.vars.value(var_i)
+            ctx_v = raw.ctxs.value(ctx)
+            for heap_i, hctx in raw.pts[node]:
+                yield var, ctx_v, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
+
+    def iter_fld_points_to(self) -> Iterator[Tuple[str, tuple, str, str, tuple]]:
+        """(baseH, baseHCtx, fld, heap, hctx) — the full FLDPOINTSTO relation."""
+        raw = self.raw
+        for (base_i, bhctx, fld_i), node in raw.fld_nodes.items():
+            base = raw.heaps.value(base_i)
+            bh_v = raw.hctxs.value(bhctx)
+            fld = raw.flds.value(fld_i)
+            for heap_i, hctx in raw.pts[node]:
+                yield base, bh_v, fld, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
+
+    def iter_call_graph(self) -> Iterator[Tuple[str, tuple, str, tuple]]:
+        """(invo, callerCtx, meth, calleeCtx) — the full CALLGRAPH relation."""
+        raw = self.raw
+        for invo_i, cc, meth_i, ec in raw.call_graph:
+            yield (
+                raw.invos.value(invo_i),
+                raw.ctxs.value(cc),
+                raw.meths.value(meth_i),
+                raw.ctxs.value(ec),
+            )
+
+    def iter_reachable(self) -> Iterator[Tuple[str, tuple]]:
+        """(meth, ctx) — the full REACHABLE relation."""
+        raw = self.raw
+        for meth_i, ctx in raw.reachable:
+            yield raw.meths.value(meth_i), raw.ctxs.value(ctx)
+
+    def iter_throw_points_to(self) -> Iterator[Tuple[str, tuple, str, tuple]]:
+        """(meth, ctx, heap, hctx) — the THROWPOINTSTO relation: exception
+        objects escaping each method context uncaught."""
+        raw = self.raw
+        for (meth_i, ctx), node in raw.throw_nodes.items():
+            meth = raw.meths.value(meth_i)
+            ctx_v = raw.ctxs.value(ctx)
+            for heap_i, hctx in raw.pts[node]:
+                yield meth, ctx_v, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
+
+    @property
+    def throw_points_to(self) -> Dict[str, Set[str]]:
+        """Projection: method -> exception heap sites escaping it uncaught."""
+        proj: Dict[str, Set[str]] = {}
+        for meth, _ctx, heap, _hctx in self.iter_throw_points_to():
+            proj.setdefault(meth, set()).add(heap)
+        return proj
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self, timed_out: bool = False) -> AnalysisStats:
+        raw = self.raw
+        var_tuples = sum(len(raw.pts[n]) for n in raw.var_nodes.values())
+        fld_tuples = sum(len(raw.pts[n]) for n in raw.fld_nodes.values())
+        return AnalysisStats(
+            analysis=self.analysis_name,
+            seconds=raw.seconds,
+            tuple_count=raw.tuple_count,
+            var_pts_tuples=var_tuples,
+            fld_pts_tuples=fld_tuples,
+            call_graph_edges=len(raw.call_graph),
+            reachable_method_contexts=len(raw.reachable),
+            reachable_methods=len(self.reachable_methods),
+            contexts=len(raw.ctxs),
+            heap_contexts=len(raw.hctxs),
+            timed_out=timed_out,
+        )

@@ -1,0 +1,105 @@
+"""Cost explanation: where an analysis spends its tuples.
+
+The introspection metrics (Section 3) predict cost *before* a precise
+analysis runs; this module measures it *after* — per-method context
+counts, per-method context-sensitive tuple counts, per-object heap-context
+fan-out — so a user can see exactly which program elements a blown-up (or
+budget-trimmed) run spent its work on, and check that they are the ones
+the heuristics would exclude.  Exposed on the CLI as ``--explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..facts.encoder import FactBase
+from .results import AnalysisResult
+
+__all__ = ["CostReport", "explain_costs"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Hotspot breakdown of one analysis run."""
+
+    analysis: str
+    #: (method, number of contexts it was analyzed under), descending.
+    method_contexts: Tuple[Tuple[str, int], ...]
+    #: (method, context-sensitive var-points-to tuples in it), descending.
+    method_tuples: Tuple[Tuple[str, int], ...]
+    #: (heap, number of heap contexts it was recorded under), descending.
+    object_heap_contexts: Tuple[Tuple[str, int], ...]
+    #: context-count histogram: #contexts -> #methods with that many.
+    context_histogram: Dict[int, int]
+
+    def render(self, top: int = 10) -> str:
+        lines = [f"cost breakdown ({self.analysis}):"]
+        lines.append("  hottest methods by contexts:")
+        for meth, n in self.method_contexts[:top]:
+            lines.append(f"    {n:>6d}  {meth}")
+        lines.append("  hottest methods by var-points-to tuples:")
+        for meth, n in self.method_tuples[:top]:
+            lines.append(f"    {n:>6d}  {meth}")
+        lines.append("  hottest objects by heap contexts:")
+        for heap, n in self.object_heap_contexts[:top]:
+            lines.append(f"    {n:>6d}  {heap}")
+        spread = sorted(self.context_histogram.items())
+        lines.append(
+            "  context histogram (contexts -> methods): "
+            + ", ".join(f"{k}:{v}" for k, v in spread[:12])
+        )
+        return "\n".join(lines)
+
+    def concentration(self, top: int = 10) -> float:
+        """Fraction of all var-points-to tuples inside the top-N methods —
+        close to 1.0 for pathological runs (the paper's premise: a few
+        elements carry disproportionate cost)."""
+        total = sum(n for _m, n in self.method_tuples)
+        if total == 0:
+            return 0.0
+        return sum(n for _m, n in self.method_tuples[:top]) / total
+
+
+def explain_costs(result: AnalysisResult, facts: FactBase) -> CostReport:
+    """Measure per-element costs of a (possibly budget-trimmed) run."""
+    raw = result.raw
+
+    ctx_counts: Dict[str, int] = {}
+    for meth_i, _ctx in raw.reachable:
+        meth = raw.meths.value(meth_i)
+        ctx_counts[meth] = ctx_counts.get(meth, 0) + 1
+
+    meth_of_var = {v: m for v, m in facts.varinmeth}
+    tuple_counts: Dict[str, int] = {}
+    for (var_i, _ctx), node in raw.var_nodes.items():
+        size = len(raw.pts[node])
+        if not size:
+            continue
+        meth = meth_of_var.get(raw.vars.value(var_i))
+        if meth is not None:
+            tuple_counts[meth] = tuple_counts.get(meth, 0) + size
+
+    heap_ctx_counts: Dict[str, int] = {}
+    seen_pairs = set()
+    for pts in raw.pts:
+        for heap_i, hctx in pts:
+            if (heap_i, hctx) not in seen_pairs:
+                seen_pairs.add((heap_i, hctx))
+                heap = raw.heaps.value(heap_i)
+                heap_ctx_counts[heap] = heap_ctx_counts.get(heap, 0) + 1
+
+    histogram: Dict[int, int] = {}
+    for n in ctx_counts.values():
+        histogram[n] = histogram.get(n, 0) + 1
+
+    by_count = lambda item: (-item[1], item[0])  # noqa: E731
+    return CostReport(
+        analysis=result.analysis_name,
+        method_contexts=tuple(sorted(ctx_counts.items(), key=by_count)),
+        method_tuples=tuple(sorted(tuple_counts.items(), key=by_count)),
+        object_heap_contexts=tuple(
+            sorted(heap_ctx_counts.items(), key=by_count)
+        ),
+        context_histogram=histogram,
+    )

@@ -1,0 +1,20 @@
+"""Baseline techniques the paper compares against (Section 5)."""
+
+from .demand import DemandAnswer, DemandPointsTo
+from .pruning import (
+    PruningOutcome,
+    build_pruned_program,
+    keep_set,
+    prune_and_analyze,
+    relevant_variables,
+)
+
+__all__ = [
+    "DemandAnswer",
+    "DemandPointsTo",
+    "PruningOutcome",
+    "build_pruned_program",
+    "keep_set",
+    "prune_and_analyze",
+    "relevant_variables",
+]

@@ -1,0 +1,24 @@
+"""Synthetic benchmark generation (the DaCapo-analog substrate)."""
+
+from .dacapo import (
+    DACAPO_SPECS,
+    FIGURE1_BENCHMARKS,
+    FIGURE4_BENCHMARKS,
+    HARD_BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+)
+from .generator import generate
+from .spec import BenchmarkSpec, HubSpec
+
+__all__ = [
+    "BenchmarkSpec",
+    "DACAPO_SPECS",
+    "FIGURE1_BENCHMARKS",
+    "FIGURE4_BENCHMARKS",
+    "HARD_BENCHMARKS",
+    "HubSpec",
+    "benchmark_names",
+    "build_benchmark",
+    "generate",
+]

@@ -1,0 +1,227 @@
+"""Synthetic analogs of the paper's DaCapo benchmark set.
+
+The paper evaluates on the hard half of DaCapo (Figure 4 lists seven
+benchmarks: bloat, chart, eclipse, hsqldb, jython, pmd, xalan; the
+performance figures 5-7 use the six hardest) plus antlr and lusearch in
+the Figure 1 bimodality overview.  We cannot run JVM bytecode, so each
+benchmark becomes a :class:`~repro.benchgen.spec.BenchmarkSpec` whose
+pattern mix reproduces the paper's *relative* behavior:
+
+* ``antlr``, ``lusearch`` — easy: bulk + precision patterns, no serious
+  hubs.  Scale under every analysis (Figure 1's well-behaved cases).
+* ``bloat``, ``xalan`` — moderate hubs plus deep static call chains:
+  2objH/2typeH terminate, 2callH explodes on the chains (Figure 7's
+  non-terminating cases).
+* ``chart``, ``eclipse``, ``pmd`` — moderate hubs, no chains: every base
+  analysis terminates; introspection just speeds things up.
+* ``hsqldb`` — a large payload-squared hub whose readers are all allocated
+  in one class: 2objH and 2callH explode, 2typeH (contexts coarsened to
+  the allocating class) survives — matching the paper, where hsqldb times
+  out under 2objH but is analyzable with type-sensitivity.
+* ``jython`` — the worst case: a large hub with reader allocations spread
+  across distinct classes (defeating type-sensitivity too), a swarm of
+  mini-hubs that slip under Heuristic B's thresholds (so even
+  2objH-IntroB / 2callH-IntroB explode, as in the paper), and deep static
+  chains.  Heuristic A's lower thresholds catch everything: IntroA scales.
+
+The absolute sizes are laptop-scale — the tuple budget stands in for the
+paper's 90-minute timeout (see ``repro.harness``).  The *ordering* and the
+bimodal gap are the reproduction targets, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.program import Program
+from .generator import generate
+from .spec import BenchmarkSpec, HubSpec
+
+
+def _mini_hub_swarm(count: int, sites: int = 1) -> Tuple[HubSpec, ...]:
+    """Mini-hubs: individually below Heuristic B's volume threshold,
+    collectively explosive.  Readers are allocated in the hub's own driver
+    (a single class), so type-sensitivity stays immune — which is exactly
+    the paper's matrix: jython's IntroB timeout happens for 2objH and
+    2callH but not 2typeH."""
+    return tuple(
+        HubSpec(
+            readers=40,
+            elements=12,
+            chain=4,
+            reader_call_sites=sites,
+            wrapper_depth=1,
+        )
+        for _ in range(count)
+    )
+
+
+__all__ = [
+    "DACAPO_SPECS",
+    "FIGURE1_BENCHMARKS",
+    "FIGURE4_BENCHMARKS",
+    "HARD_BENCHMARKS",
+    "benchmark_names",
+    "build_benchmark",
+]
+
+DACAPO_SPECS: Dict[str, BenchmarkSpec] = {
+    "antlr": BenchmarkSpec(
+        name="antlr",
+        util_classes=32,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16),
+        box_groups=(6, 16),
+        sink_groups=(4, 12),
+        hubs=(),
+    ),
+    "lusearch": BenchmarkSpec(
+        name="lusearch",
+        util_classes=30,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 16),
+        box_groups=(6, 16),
+        sink_groups=(4, 12),
+        hubs=(HubSpec(readers=4, elements=10, chain=3),),
+    ),
+    "bloat": BenchmarkSpec(
+        name="bloat",
+        util_classes=26,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(HubSpec(readers=24, elements=40, chain=6, reader_call_sites=2),),
+        static_chain_depth=5,
+        static_chain_fanout=8,
+        static_chain_payloads=120,
+    ),
+    "chart": BenchmarkSpec(
+        name="chart",
+        util_classes=30,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(HubSpec(readers=16, elements=36, chain=5, reader_call_sites=2),),
+    ),
+    "eclipse": BenchmarkSpec(
+        name="eclipse",
+        util_classes=30,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(HubSpec(readers=20, elements=32, chain=5, reader_call_sites=3),),
+    ),
+    "pmd": BenchmarkSpec(
+        name="pmd",
+        util_classes=28,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 16),
+        sink_groups=(4, 12),
+        hubs=(HubSpec(readers=18, elements=30, chain=5, reader_call_sites=2),),
+    ),
+    "xalan": BenchmarkSpec(
+        name="xalan",
+        util_classes=26,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(HubSpec(readers=22, elements=36, chain=6, reader_call_sites=3),),
+        static_chain_depth=5,
+        static_chain_fanout=9,
+        static_chain_payloads=120,
+    ),
+    "hsqldb": BenchmarkSpec(
+        name="hsqldb",
+        util_classes=26,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(
+            HubSpec(
+                readers=120,
+                elements=70,
+                payloads_per_element=4,
+                chain=10,
+                reader_call_sites=2,
+            ),
+            HubSpec(readers=30, elements=40, chain=6, reader_call_sites=2),
+        ),
+    ),
+    "jython": BenchmarkSpec(
+        name="jython",
+        util_classes=20,
+        util_methods_per_class=8,
+        strategy_clusters=(4, 4, 16, 16),
+        box_groups=(6, 6, 16, 16),
+        sink_groups=(4, 4, 12, 12),
+        hubs=(
+            HubSpec(
+                readers=110,
+                elements=80,
+                payloads_per_element=4,
+                chain=10,
+                distinct_reader_classes=True,
+                reader_call_sites=3,
+                wrapper_depth=2,
+            ),
+        )
+        + _mini_hub_swarm(50, sites=2),
+        static_chain_depth=5,
+        static_chain_fanout=8,
+        static_chain_payloads=120,
+    ),
+}
+
+#: Benchmarks of Figure 1 (the bimodality overview).
+FIGURE1_BENCHMARKS: Tuple[str, ...] = (
+    "antlr",
+    "bloat",
+    "chart",
+    "eclipse",
+    "hsqldb",
+    "jython",
+    "lusearch",
+    "pmd",
+    "xalan",
+)
+
+#: The 7 benchmarks of Figure 4 (refinement statistics).
+FIGURE4_BENCHMARKS: Tuple[str, ...] = (
+    "bloat",
+    "chart",
+    "eclipse",
+    "hsqldb",
+    "jython",
+    "pmd",
+    "xalan",
+)
+
+#: The 6 hard experimental subjects of Figures 5-7.
+HARD_BENCHMARKS: Tuple[str, ...] = (
+    "bloat",
+    "chart",
+    "eclipse",
+    "hsqldb",
+    "jython",
+    "xalan",
+)
+
+
+def benchmark_names() -> List[str]:
+    return sorted(DACAPO_SPECS)
+
+
+def build_benchmark(name: str) -> Program:
+    """Generate the named DaCapo-analog program."""
+    spec = DACAPO_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        )
+    return generate(spec)

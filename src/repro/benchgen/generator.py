@@ -1,0 +1,38 @@
+"""Benchmark program assembly.
+
+``generate(spec)`` composes the pattern families selected by a
+:class:`~repro.benchgen.spec.BenchmarkSpec` into one frozen IR program with
+a single static entry point ``Main.main`` that invokes every pattern's
+driver.  Generation is fully deterministic — the spec (including its seed,
+reserved for future randomized variants) is the only input.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.builder import ProgramBuilder
+from ..ir.program import Program
+from . import patterns
+from .spec import BenchmarkSpec
+
+__all__ = ["generate"]
+
+
+def generate(spec: BenchmarkSpec) -> Program:
+    """Build the synthetic benchmark program described by ``spec``."""
+    b = ProgramBuilder()
+    drivers: List[str] = []
+    drivers += patterns.emit_bulk(b, spec)
+    drivers += patterns.emit_strategy_clusters(b, spec)
+    drivers += patterns.emit_box_groups(b, spec)
+    drivers += patterns.emit_sink_stores(b, spec)
+    for idx, hub in enumerate(spec.hubs):
+        drivers += patterns.emit_hub(b, spec, hub, idx)
+    drivers += patterns.emit_exception_mesh(b, spec)
+    drivers += patterns.emit_static_chains(b, spec)
+
+    with b.method("Main", "main", [], static=True) as m:
+        for driver in drivers:
+            m.scall(driver, "drive", [])
+    return b.build(entry="Main.main/0")

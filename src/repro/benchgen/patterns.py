@@ -1,0 +1,422 @@
+"""Code patterns composed into synthetic benchmarks.
+
+Each ``emit_*`` function writes one pattern family into a
+:class:`~repro.ir.builder.ProgramBuilder` and returns the names of driver
+classes whose static ``drive()`` methods the generated ``main`` must call.
+
+Pattern catalogue (see :mod:`repro.benchgen.spec` for the knobs):
+
+``emit_bulk``
+    Layered call trees of small static utility methods with allocation and
+    field traffic.  Well-behaved under every analysis; provides volume.
+
+``emit_strategy_clusters``
+    Per-owner strategy dispatch.  A context-insensitive analysis conflates
+    every owner of a cluster (the shared ``setStrategy`` merges all the
+    cluster's strategies into all its owners), making the ``run()`` site
+    polymorphic and the result downcast unsafe; object-sensitivity keeps
+    owners apart.  Drives the *polymorphic call sites* and *casts*
+    precision gaps.  Cluster size = the ``Owner``'s field points-to size
+    under the insensitive pass, i.e. exactly what Heuristic A's
+    max-var-field threshold sees.
+
+``emit_box_groups``
+    Boxes holding exactly one item subtype each, set/read through the
+    group's shared ``Box`` class, then downcast.  The classic
+    context-sensitivity win; drives the *casts* gap.  Group size controls
+    the insensitive conflation (the Box field's points-to size).
+
+``emit_sink_stores``
+    Per group, two stores share ``put``/``take`` code, but only store A has
+    a reader that invokes ``op()`` on what it reads.  Insensitively, store
+    B's elements leak into store A's reader and their ``op()``/``helper()``
+    methods become spuriously reachable.  Drives the *reachable methods*
+    gap.
+
+``emit_hub``
+    The paper's pathology: a shared container holding ``elements``
+    allocation sites (each optionally fanning out to private payloads),
+    consumed by ``readers`` reader objects through context-sensitively
+    heap-allocated wrappers and a chain of locals.  Context multiplies the
+    (already imprecise) element/payload sets per reader object
+    (object-sensitivity), per reader call site (call-site-sensitivity),
+    and — when reader allocations are spread across distinct classes —
+    per allocating class (type-sensitivity), with zero precision gain:
+    "the extra context depth will not have yielded more precision, but
+    will have multiplied the space and time costs" (Section 1).
+
+``emit_exception_mesh``
+    Per-task exceptions thrown through a shared ``run`` method, each site
+    catching exactly its task's type.  Context-sensitivity proves every
+    exception handled; the insensitive analysis reports spurious escapes
+    into the driver's catch-all (an exception-flow precision gap).
+
+``emit_static_chains``
+    Deep trees of static calls passing a large payload set.  Call-site
+    contexts multiply combinatorially; object/type-sensitivity are immune
+    (static calls inherit the caller context).  Makes 2callH the
+    worst-scaling flavor, as in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.builder import ProgramBuilder
+from .spec import BenchmarkSpec, HubSpec
+
+__all__ = [
+    "emit_bulk",
+    "emit_strategy_clusters",
+    "emit_box_groups",
+    "emit_sink_stores",
+    "emit_hub",
+    "emit_exception_mesh",
+    "emit_static_chains",
+]
+
+
+def emit_bulk(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Layered utility call trees (well-behaved volume)."""
+    n = spec.util_classes
+    per = spec.util_methods_per_class
+    depth = max(1, spec.util_call_depth)
+    fanout = max(1, spec.util_fanout)
+    if n == 0 or per == 0:
+        return []
+
+    for i in range(n):
+        b.klass(f"UData{i}", fields=["payload"])
+        b.klass(f"U{i}")
+    # A registry static field holding one object per utility class; every
+    # utility method reads it.  This gives the insensitive baseline real,
+    # uniform work (the paper's flat `insens` bars) without creating any
+    # context-multiplied structure: the registry contents are the same
+    # under every context.
+    b.klass("BulkRegistry", static_fields=["pool"])
+
+    for i in range(n):
+        for j in range(per):
+            layer = j % depth
+            with b.method(f"U{i}", f"m{j}", ["p"], static=True) as m:
+                m.alloc("o", f"UData{i}")
+                m.store("o", "payload", "p")
+                m.load("t", "o", "payload")
+                m.static_load("g", "BulkRegistry", "pool")
+                if layer + 1 < depth:
+                    for k in range(fanout):
+                        tgt_class = (i + k + 1) % n
+                        tgt_method = (j - (j % depth)) + layer + 1
+                        if tgt_method < per:
+                            m.scall(
+                                f"U{tgt_class}",
+                                f"m{tgt_method}",
+                                ["t"],
+                                target=f"r{k}",
+                            )
+                m.ret("o")
+
+    with b.method("BulkDriver", "drive", [], static=True) as m:
+        m.alloc("seed", "UData0")
+        for i in range(n):
+            m.alloc(f"d{i}", f"UData{i}")
+            m.static_store("BulkRegistry", "pool", f"d{i}")
+        for i in range(n):
+            for j in range(per):
+                if j % depth == 0:
+                    m.scall(f"U{i}", f"m{j}", ["seed"], target=f"x{i}_{j}")
+    return ["BulkDriver"]
+
+
+def emit_strategy_clusters(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Per-owner strategy dispatch (devirtualization + cast gaps)."""
+    drivers: List[str] = []
+    for c, size in enumerate(spec.strategy_clusters):
+        owner = f"Owner{c}"
+        base = f"Strategy{c}"
+        b.klass(base, abstract=True)
+        b.klass(owner, fields=["strat"])
+        with b.method(owner, "setStrategy", ["s"]) as m:
+            m.store("this", "strat", "s")
+        with b.method(owner, "exec", []) as m:
+            m.load("t", "this", "strat")
+            m.vcall("t", "run", [], target="r")
+            m.ret("r")
+        for j in range(size):
+            strat = f"Strategy{c}_{j}"
+            result = f"Result{c}_{j}"
+            b.klass(result)
+            b.klass(strat, super_name=base)
+            with b.method(strat, "run", []) as m:
+                m.alloc("out", result)
+                m.ret("out")
+        # Each owner is allocated in its own factory class so that
+        # type-sensitivity (whose context element is the *allocating
+        # class*) can distinguish owners just like object-sensitivity
+        # distinguishes their allocation sites.
+        for j in range(size):
+            with b.method(f"OwnerFactory{c}_{j}", "make", [], static=True) as m:
+                m.alloc("o", owner)
+                m.ret("o")
+        driver = f"StrategyDriver{c}"
+        with b.method(driver, "drive", [], static=True) as m:
+            for j in range(size):
+                m.scall(f"OwnerFactory{c}_{j}", "make", [], target=f"o{j}")
+                m.alloc(f"s{j}", f"Strategy{c}_{j}")
+                m.vcall(f"o{j}", "setStrategy", [f"s{j}"])
+                m.vcall(f"o{j}", "exec", [], target=f"r{j}")
+                m.cast(f"c{j}", f"r{j}", f"Result{c}_{j}")
+        drivers.append(driver)
+    return drivers
+
+
+def emit_box_groups(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Per-use-site boxes with downcasts (cast gap), in size groups."""
+    drivers: List[str] = []
+    for g, size in enumerate(spec.box_groups):
+        box_cls = f"Box{g}"
+        item_base = f"Item{g}"
+        b.klass(item_base, abstract=True)
+        b.klass(box_cls, fields=["v"])
+        with b.method(box_cls, "set", ["x"]) as m:
+            m.store("this", "v", "x")
+        with b.method(box_cls, "get", []) as m:
+            m.load("r", "this", "v")
+            m.ret("r")
+        for k in range(size):
+            b.klass(f"Item{g}_{k}", super_name=item_base)
+            # Per-box factory class: lets type-sensitivity separate the
+            # boxes by allocating class (see emit_strategy_clusters).
+            with b.method(f"BoxFactory{g}_{k}", "make", [], static=True) as m:
+                m.alloc("bx", box_cls)
+                m.ret("bx")
+        driver = f"BoxDriver{g}"
+        with b.method(driver, "drive", [], static=True) as m:
+            for k in range(size):
+                m.scall(f"BoxFactory{g}_{k}", "make", [], target=f"box{k}")
+                m.alloc(f"item{k}", f"Item{g}_{k}")
+                m.vcall(f"box{k}", "set", [f"item{k}"])
+                m.vcall(f"box{k}", "get", [], target=f"g{k}")
+                m.cast(f"c{k}", f"g{k}", f"Item{g}_{k}")
+        drivers.append(driver)
+    return drivers
+
+
+def emit_sink_stores(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Producer-only sink stores (reachable-methods + devirtualization gaps).
+
+    Per group: store A holds objects of a *single* class and has a reader
+    that dispatches ``op()`` on what it takes; store B holds ``elements``
+    further classes and is write-only.  Both stores share the group's
+    ``put``/``take`` code, so an insensitive analysis merges their contents:
+    the reader's ``op()`` site spuriously dispatches to every B class
+    (a devirtualization loss) and every B ``op``/``helper`` becomes
+    spuriously reachable (a reachability loss).  Context-sensitivity keeps
+    the stores apart, making the site monomorphic.
+    """
+    drivers: List[str] = []
+    for s, elements in enumerate(spec.sink_groups):
+        store_cls = f"SinkStore{s}"
+        base = f"SinkElem{s}"
+        b.klass(store_cls, fields=["data"])
+        with b.method(store_cls, "put", ["x"]) as m:
+            m.store("this", "data", "x")
+        with b.method(store_cls, "take", []) as m:
+            m.load("r", "this", "data")
+            m.ret("r")
+        b.klass(base, abstract=True)
+
+        def emit_elem(cls: str) -> None:
+            b.klass(cls, super_name=base)
+            with b.method(cls, "op", []) as m:
+                m.alloc("w", "java.lang.Object")
+                m.vcall("this", "helper", [], target="h")
+                m.ret("w")
+            with b.method(cls, "helper", []) as m:
+                m.alloc("hh", "java.lang.Object")
+                m.ret("hh")
+
+        emit_elem(f"SinkA{s}")
+        for e in range(elements):
+            emit_elem(f"SinkB{s}_{e}")
+        # Per-store factory classes: type-sensitivity separates the two
+        # stores by allocating class (see emit_strategy_clusters).
+        for which in "AB":
+            with b.method(f"SinkFactory{which}{s}", "make", [], static=True) as m:
+                m.alloc("st", store_cls)
+                m.ret("st")
+        driver = f"SinkDriver{s}"
+        with b.method(driver, "drive", [], static=True) as m:
+            m.scall(f"SinkFactoryA{s}", "make", [], target="storeA")
+            m.scall(f"SinkFactoryB{s}", "make", [], target="storeB")
+            m.alloc("ea", f"SinkA{s}")
+            m.vcall("storeA", "put", ["ea"])
+            for e in range(elements):
+                m.alloc(f"eb{e}", f"SinkB{s}_{e}")
+                m.vcall("storeB", "put", [f"eb{e}"])
+            m.vcall("storeA", "take", [], target="x")
+            m.vcall("x", "op", [], target="y")
+        drivers.append(driver)
+    return drivers
+
+
+def emit_hub(b: ProgramBuilder, spec: BenchmarkSpec, h: HubSpec, idx: int) -> List[str]:
+    """The pathological shared hub (the paper's explosion structure)."""
+    elem_base = f"HElem{idx}"
+    payload_base = f"HPayload{idx}"
+    hub_cls = f"Hub{idx}"
+    wrap_cls = f"HWrap{idx}"
+    reader_cls = f"HReader{idx}"
+    squared = h.payloads_per_element > 0
+
+    b.klass(payload_base)
+    b.klass(elem_base, abstract=True, fields=["sub"] if squared else [])
+    for e in range(h.elements):
+        cls = f"HElem{idx}_{e}"
+        b.klass(cls, super_name=elem_base)
+        with b.method(cls, "tag", []) as m:
+            m.ret("this")
+
+    b.klass(hub_cls, fields=["slot"])
+    with b.method(hub_cls, "add", ["x"]) as m:
+        m.store("this", "slot", "x")
+    with b.method(hub_cls, "fetch", []) as m:
+        m.load("r", "this", "slot")
+        m.ret("r")
+
+    b.klass(wrap_cls, fields=["inner"])
+
+    # The single reader-entry method, shared by all reader objects: wrapper
+    # allocations (heap-context multiplier), a local chain over the element
+    # set and (when squared) the payload set (var-context multipliers), and
+    # a megamorphic dispatch.  The trailing cast is a "rider": it may fail
+    # under *every* analysis (the hub really is shared), so it keeps the
+    # cast metric honest without creating a precision gap.
+    b.klass(reader_cls)
+    with b.method(reader_cls, "consume", ["hub"]) as m:
+        m.vcall("hub", "fetch", [], target="e0")
+        for d in range(h.wrapper_depth):
+            m.alloc(f"w{d}", wrap_cls)
+            m.store(f"w{d}", "inner", "e0")
+            m.load(f"e{d}x", f"w{d}", "inner")
+        last = f"e{h.wrapper_depth - 1}x" if h.wrapper_depth else "e0"
+        prev = last
+        for c in range(h.chain):
+            m.move(f"c{c}", prev)
+            prev = f"c{c}"
+        if squared:
+            m.load("s0", prev, "sub")
+            sprev = "s0"
+            for c in range(h.chain):
+                m.move(f"s{c + 1}", sprev)
+                sprev = f"s{c + 1}"
+        m.vcall(prev, "tag", [], target="t")
+        m.cast("chk", "t", f"HElem{idx}_0")
+        m.ret("t")
+
+    # Producers: one element (plus its private payloads) per loop step.
+    with b.method(f"HProducer{idx}", "fill", ["hub"], static=True) as m:
+        for e in range(h.elements):
+            m.alloc(f"e{e}", f"HElem{idx}_{e}")
+            if squared:
+                for j in range(h.payloads_per_element):
+                    m.alloc(f"p{e}_{j}", payload_base)
+                    m.store(f"e{e}", "sub", f"p{e}_{j}")
+            m.vcall("hub", "add", [f"e{e}"])
+
+    # Reader allocation: either all in the hub driver (one allocating
+    # class: type-sensitivity collapses the readers) or spread across
+    # distinct factory classes (type-sensitivity pays like
+    # object-sensitivity).
+    if h.distinct_reader_classes:
+        for r in range(h.readers):
+            fc = f"HFactory{idx}_{r}"
+            with b.method(fc, "make", [], static=True) as m:
+                m.alloc("rd", reader_cls)
+                m.ret("rd")
+
+    driver = f"HubDriver{idx}"
+    with b.method(driver, "drive", [], static=True) as m:
+        m.alloc("hub", hub_cls)
+        m.scall(f"HProducer{idx}", "fill", ["hub"])
+        for r in range(h.readers):
+            if h.distinct_reader_classes:
+                m.scall(f"HFactory{idx}_{r}", "make", [], target=f"rd{r}")
+            else:
+                m.alloc(f"rd{r}", reader_cls)
+            for s in range(h.reader_call_sites):
+                # Deliberately no result capture: the driver must stay
+                # cheap under the insensitive analysis (the explosion
+                # belongs to consume's contexts, not to main).
+                m.vcall(f"rd{r}", "consume", ["hub"])
+    return [driver]
+
+
+def emit_exception_mesh(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Per-task exceptions through a shared thrower (exception precision).
+
+    Each of ``exception_sites`` tasks carries its own exception type and is
+    executed by a site whose handler catches exactly that type.  The
+    program never crashes; a context-insensitive analysis merges the tasks
+    inside ``ETask.run`` and reports every other type escaping every site.
+    """
+    n = spec.exception_sites
+    if n == 0:
+        return []
+    b.klass("EBase", abstract=True)
+    b.klass("ETask", fields=["err"])
+    with b.method("ETask", "plant", ["e"]) as m:
+        m.store("this", "err", "e")
+    with b.method("ETask", "run", []) as m:
+        m.load("e", "this", "err")
+        m.throw("e")
+    for i in range(n):
+        b.klass(f"EExc{i}", super_name="EBase")
+        with b.method(f"ESite{i}", "exec", ["t"], static=True) as m:
+            m.vcall("t", "run", [])
+            m.catch("handled", f"EExc{i}")
+    with b.method("ExcDriver", "drive", [], static=True) as m:
+        for i in range(n):
+            m.alloc(f"t{i}", "ETask")
+            m.alloc(f"e{i}", f"EExc{i}")
+            m.vcall(f"t{i}", "plant", [f"e{i}"])
+            m.scall(f"ESite{i}", "exec", [f"t{i}"])
+        m.catch("leftover", "EBase")
+    return ["ExcDriver"]
+
+
+def emit_static_chains(b: ProgramBuilder, spec: BenchmarkSpec) -> List[str]:
+    """Deep static call trees (call-site-sensitivity stressor)."""
+    depth = spec.static_chain_depth
+    fanout = spec.static_chain_fanout
+    payloads = spec.static_chain_payloads
+    if depth == 0 or fanout == 0:
+        return []
+
+    b.klass("ChainPayload", fields=["link"])
+    for level in range(depth):
+        for i in range(fanout):
+            with b.method(f"Chain{level}", f"f{i}", ["p"], static=True) as m:
+                m.move("q", "p")
+                if level + 1 < depth:
+                    # Call *every* next-level method: each chain method has
+                    # `fanout` incoming call sites, so 2-call-site contexts
+                    # multiply as fanout^2 per method while object/type
+                    # sensitivity (static calls inherit the caller context)
+                    # see a single context.
+                    for k in range(fanout):
+                        # No result capture: the payload locals (q per
+                        # context) are the cost; captured returns would
+                        # bloat the insensitive baseline too.
+                        m.scall(f"Chain{level + 1}", f"f{k}", ["q"])
+                m.ret("q")
+
+    with b.method("ChainDriver", "drive", [], static=True) as m:
+        # A payload set of `payloads` allocation sites, merged into one
+        # variable, pushed through every top-level chain entry.
+        for k in range(payloads):
+            m.alloc(f"p{k}", "ChainPayload")
+            m.move("p", f"p{k}")
+        for i in range(fanout):
+            m.scall("Chain0", f"f{i}", ["p"], target=f"out{i}")
+    return ["ChainDriver"]

@@ -1,0 +1,114 @@
+"""Benchmark specifications: the knobs of the synthetic program generator.
+
+A :class:`BenchmarkSpec` describes one synthetic "DaCapo analog".  The
+generator (:mod:`repro.benchgen.generator`) turns a spec into an IR program
+composed from the patterns in :mod:`repro.benchgen.patterns`.  Three knob
+groups matter:
+
+* **bulk** — well-behaved code volume (call trees of small methods with
+  moderate allocation).  Drives the context-insensitive baseline and gives
+  every analysis real work, without any pathology.
+* **precision patterns** — structures where context-sensitivity genuinely
+  pays, each in *small* and *large* tiers.  The tier sizes are what let the
+  two paper heuristics separate: Heuristic A's thresholds trip on the large
+  tiers (sacrificing their precision for scalability) while Heuristic B's
+  much higher thresholds spare them — reproducing the paper's consistent
+  "A scales harder, B keeps more precision" trade-off.
+* **pathology hubs** — the paper's explosion structure: shared containers
+  whose (already imprecise) contents get multiplied per context for no
+  precision gain ("c copies of n points-to facts each", Section 1).  Hub
+  knobs select which flavor suffers: many reader *allocation sites* hurt
+  object-sensitivity, reader allocations spread over distinct *classes*
+  additionally hurt type-sensitivity, reader *call-site fan-out* and deep
+  static utility chains hurt call-site-sensitivity.  Swarms of small
+  "mini-hubs" (each individually below Heuristic B's thresholds but
+  caught by Heuristic A's) reproduce the paper's one IntroB timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["HubSpec", "BenchmarkSpec"]
+
+
+@dataclass(frozen=True)
+class HubSpec:
+    """One pathology hub (shared megamorphic container).
+
+    ``readers`` — number of reader objects (distinct allocation sites);
+    ``elements`` — number of element classes/allocation sites stored in the
+    hub; ``payloads_per_element`` — private payload allocation sites per
+    element, loaded in the reader chain (squares the set sizes flowing
+    through the chain while keeping the insensitive baseline small);
+    ``chain`` — length of the local-variable processing chain in each
+    reader (multiplies tuples per context); ``distinct_reader_classes`` —
+    allocate each reader in its own factory class, so type-sensitivity's
+    per-allocating-class contexts multiply like object-sensitivity's
+    per-allocation-site ones; ``reader_call_sites`` — distinct call sites
+    invoking each reader (multiplies call-site-sensitive contexts);
+    ``wrapper_depth`` — nesting of context-sensitively heap-allocated
+    wrappers (multiplies heap contexts).
+    """
+
+    readers: int = 20
+    elements: int = 20
+    payloads_per_element: int = 0
+    chain: int = 6
+    distinct_reader_classes: bool = False
+    reader_call_sites: int = 2
+    wrapper_depth: int = 1
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Full description of one synthetic benchmark program."""
+
+    name: str
+    seed: int = 0
+
+    # Bulk code volume.
+    util_classes: int = 12
+    util_methods_per_class: int = 6
+    util_call_depth: int = 3
+    util_fanout: int = 2
+
+    # Precision-bearing patterns, tiered.  Each entry is one instance's
+    # size: a strategy cluster's strategy count, a box group's box count,
+    # a sink-store group's element count.  Small sizes stay below Heuristic
+    # A's thresholds (precision kept by both heuristics); large sizes trip
+    # them (precision kept only by Heuristic B).
+    strategy_clusters: Tuple[int, ...] = (4, 4, 16, 16)
+    box_groups: Tuple[int, ...] = (6, 16)
+    sink_groups: Tuple[int, ...] = (4, 12)
+
+    # Pathology hubs (including mini-hub swarms).
+    hubs: Tuple[HubSpec, ...] = ()
+
+    # Deep static utility chains (call-site-sensitivity stressor).
+    static_chain_depth: int = 0
+    static_chain_fanout: int = 0
+    static_chain_payloads: int = 0
+
+    # Exception mesh: per-task exceptions through a shared `run` method,
+    # each site catching exactly its task's type.  Precise analyses prove
+    # every exception caught; the insensitive analysis reports spurious
+    # escapes (an exception-flow precision gap).
+    exception_sites: int = 0
+
+    def describe(self) -> str:
+        hub_desc = ", ".join(
+            f"hub(r={h.readers},e={h.elements},k={h.payloads_per_element},"
+            f"chain={h.chain}{',classes' if h.distinct_reader_classes else ''}"
+            f",sites={h.reader_call_sites})"
+            for h in self.hubs
+        )
+        return (
+            f"{self.name}: bulk={self.util_classes}x{self.util_methods_per_class}"
+            f" strategies={self.strategy_clusters} boxes={self.box_groups}"
+            f" sinks={self.sink_groups}"
+            f" chains(d={self.static_chain_depth},f={self.static_chain_fanout},"
+            f"p={self.static_chain_payloads}) exc={self.exception_sites}"
+            f" [{hub_desc or 'no hubs'}]"
+        )

@@ -1,0 +1,238 @@
+"""Command-line interface: ``repro``.
+
+Subcommands:
+
+* ``repro analyze FILE`` — parse a surface-language source file and run an
+  analysis (optionally introspective), printing stats, precision, and
+  requested points-to sets;
+* ``repro bench NAME`` — run an analysis on a built-in DaCapo-analog
+  benchmark;
+* ``repro benchmarks`` — list the built-in benchmarks;
+* ``repro experiments ...`` — the figure reproductions (also available as
+  ``repro-experiments``).
+
+Examples::
+
+    repro analyze app.mj --analysis 2objH --show Main.main/0/result
+    repro analyze app.mj --analysis 2objH --introspective B --budget 100000
+    repro bench hsqldb --analysis 2objH --introspective A
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import AnalysisResult, BudgetExceeded, analyze
+from .benchgen.dacapo import DACAPO_SPECS, benchmark_names, build_benchmark
+from .clients import analyze_exceptions, check_casts, devirtualize, measure_precision
+from .contexts.policies import ANALYSIS_NAMES
+from .facts.encoder import FactBase, encode_program
+from .frontend import parse_source
+from .harness.experiments import main as experiments_main
+from .introspection import HeuristicA, HeuristicB, run_introspective
+from .ir.printer import dump_program
+from .ir.program import Program
+
+__all__ = ["main"]
+
+
+def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analysis",
+        default="2objH",
+        help=f"analysis name (one of {', '.join(ANALYSIS_NAMES)}); default 2objH",
+    )
+    parser.add_argument(
+        "--introspective",
+        choices=["A", "B"],
+        default=None,
+        help="run the two-pass introspective variant with Heuristic A or B",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="TUPLES",
+        help="tuple budget (the timeout analog); unlimited by default",
+    )
+    parser.add_argument(
+        "--heuristic-constants",
+        default=None,
+        metavar="K,L,M|P,Q",
+        help="override heuristic constants (comma-separated)",
+    )
+    parser.add_argument(
+        "--show",
+        action="append",
+        default=[],
+        metavar="VAR",
+        help="print the points-to set of a qualified variable (repeatable)",
+    )
+    parser.add_argument(
+        "--precision", action="store_true", help="print the three precision metrics"
+    )
+    parser.add_argument(
+        "--devirt", action="store_true", help="print the devirtualization report"
+    )
+    parser.add_argument(
+        "--exceptions", action="store_true", help="print the exception-flow report"
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost breakdown (hottest methods/objects)",
+    )
+    parser.add_argument(
+        "--save-facts",
+        metavar="DIR",
+        default=None,
+        help="write the input relations as Doop-style .facts files",
+    )
+    parser.add_argument(
+        "--save-solution",
+        metavar="DIR",
+        default=None,
+        help="write the computed relations as delimited text",
+    )
+
+
+def _make_heuristic(label: str, constants: Optional[str]):
+    if label == "A":
+        if constants:
+            k, l, m = (int(x) for x in constants.split(","))
+            return HeuristicA(K=k, L=l, M=m)
+        return HeuristicA()
+    if constants:
+        p, q = (int(x) for x in constants.split(","))
+        return HeuristicB(P=p, Q=q)
+    return HeuristicB()
+
+
+def _run_and_report(program: Program, args: argparse.Namespace) -> int:
+    facts = encode_program(program)
+    if args.save_facts:
+        from .facts.io import save_facts
+
+        written = save_facts(facts, args.save_facts)
+        print(f"wrote {len(written)} .facts files to {args.save_facts}")
+    try:
+        if args.introspective:
+            heuristic = _make_heuristic(
+                args.introspective, args.heuristic_constants
+            )
+            outcome = run_introspective(
+                program,
+                args.analysis,
+                heuristic,
+                facts=facts,
+                max_tuples=args.budget,
+            )
+            stats = outcome.refinement_stats
+            print(
+                f"{outcome.name}: {heuristic.describe()}; not refined: "
+                f"{stats.excluded_call_sites}/{stats.total_call_sites} call "
+                f"sites, {stats.excluded_objects}/{stats.total_objects} objects"
+            )
+            if outcome.timed_out:
+                print("second pass: TIMEOUT (tuple budget exceeded)")
+                return 3
+            result = outcome.result
+            assert result is not None
+        else:
+            result = analyze(
+                program, args.analysis, facts=facts, max_tuples=args.budget
+            )
+    except BudgetExceeded as exc:
+        print(f"TIMEOUT: {exc}")
+        return 3
+
+    print(f"stats: {result.stats().row()}")
+    if args.precision:
+        print(f"precision: {measure_precision(result, facts).row()}")
+    if args.devirt:
+        print(f"devirtualization: {devirtualize(result, facts).summary()}")
+    if args.exceptions:
+        print(f"exceptions: {analyze_exceptions(result, facts).summary()}")
+    if args.explain:
+        from .analysis.stats import explain_costs
+
+        print(explain_costs(result, facts).render())
+    if args.save_solution:
+        from .facts.io import save_solution
+
+        written = save_solution(result, args.save_solution)
+        print(f"wrote {len(written)} relation files to {args.save_solution}")
+    for var in args.show:
+        heaps = sorted(result.points_to(var))
+        print(f"pts({var}) = {heaps if heaps else '{}'}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    program = parse_source(source)
+    if args.dump:
+        print(dump_program(program))
+    print(f"program: {program.summary()}")
+    return _run_and_report(program, args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name not in DACAPO_SPECS:
+        print(f"unknown benchmark {args.name!r}; try: {', '.join(benchmark_names())}")
+        return 2
+    print(f"spec: {DACAPO_SPECS[args.name].describe()}")
+    program = build_benchmark(args.name)
+    print(f"program: {program.summary()}")
+    return _run_and_report(program, args)
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        print(f"{name:10s} {DACAPO_SPECS[name].describe()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Introspective context-sensitive points-to analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a source file")
+    p_analyze.add_argument("file", help="surface-language source file")
+    p_analyze.add_argument(
+        "--dump", action="store_true", help="print the lowered IR first"
+    )
+    _add_analysis_options(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_bench = sub.add_parser("bench", help="analyze a built-in benchmark")
+    p_bench.add_argument("name", help="benchmark name (see `repro benchmarks`)")
+    _add_analysis_options(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_list = sub.add_parser("benchmarks", help="list built-in benchmarks")
+    p_list.set_defaults(func=_cmd_benchmarks)
+
+    p_exp = sub.add_parser(
+        "experiments", help="reproduce the paper's figures (repro-experiments)"
+    )
+    p_exp.add_argument("rest", nargs="*", default=["all"])
+    p_exp.add_argument("--markdown", action="store_true")
+    p_exp.set_defaults(
+        func=lambda a: experiments_main(
+            a.rest + (["--markdown"] if a.markdown else [])
+        )
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

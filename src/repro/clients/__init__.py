@@ -1,0 +1,40 @@
+"""Client analyses over points-to results: precision metrics and consumers."""
+
+from .callgraph_export import CallGraphExport, export_call_graph
+from .cast_check import CastCheckReport, CastVerdict, check_casts
+from .devirtualization import DevirtualizationReport, devirtualize
+from .exceptions import ExceptionReport, analyze_exceptions
+from .taint import (
+    TaintLeak,
+    TaintReport,
+    analyze_taint,
+    sinks_of_method,
+    sources_in_method,
+)
+from .precision import (
+    PrecisionReport,
+    casts_that_may_fail,
+    measure_precision,
+    polymorphic_vcall_sites,
+)
+
+__all__ = [
+    "CallGraphExport",
+    "export_call_graph",
+    "CastCheckReport",
+    "CastVerdict",
+    "DevirtualizationReport",
+    "ExceptionReport",
+    "analyze_exceptions",
+    "PrecisionReport",
+    "casts_that_may_fail",
+    "check_casts",
+    "devirtualize",
+    "measure_precision",
+    "polymorphic_vcall_sites",
+    "TaintLeak",
+    "TaintReport",
+    "analyze_taint",
+    "sinks_of_method",
+    "sources_in_method",
+]

@@ -1,0 +1,102 @@
+"""Call-graph export: method-level adjacency, DOT rendering, and stats.
+
+A consumer-facing view of the CALLGRAPH relation: the method-level call
+graph (context-insensitive projection), exportable as Graphviz DOT for
+visualization or as an adjacency mapping for downstream tooling, plus the
+usual structural statistics (node/edge counts, leaves, roots, maximum
+out-degree).  Uses ``networkx`` only in :func:`to_networkx` (optional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..facts.encoder import FactBase
+
+__all__ = ["CallGraphExport", "export_call_graph"]
+
+
+@dataclass(frozen=True)
+class CallGraphExport:
+    """Method-level call graph of one analysis result."""
+
+    analysis: str
+    edges: FrozenSet[Tuple[str, str]]  # (caller method, callee method)
+    entry_points: Tuple[str, ...]
+
+    @property
+    def nodes(self) -> FrozenSet[str]:
+        out: Set[str] = set(self.entry_points)
+        for caller, callee in self.edges:
+            out.add(caller)
+            out.add(callee)
+        return frozenset(out)
+
+    def successors(self, method: str) -> FrozenSet[str]:
+        return frozenset(c for m, c in self.edges if m == method)
+
+    @property
+    def leaves(self) -> FrozenSet[str]:
+        callers = {m for m, _c in self.edges}
+        return frozenset(self.nodes - callers)
+
+    @property
+    def max_out_degree(self) -> int:
+        degree: Dict[str, int] = {}
+        for caller, _callee in self.edges:
+            degree[caller] = degree.get(caller, 0) + 1
+        return max(degree.values(), default=0)
+
+    def adjacency(self) -> Dict[str, List[str]]:
+        """Sorted adjacency mapping (deterministic, JSON-friendly)."""
+        adj: Dict[str, List[str]] = {node: [] for node in sorted(self.nodes)}
+        for caller, callee in sorted(self.edges):
+            adj[caller].append(callee)
+        return adj
+
+    def to_dot(self, max_label: int = 60) -> str:
+        """Graphviz DOT rendering; entry points are doubly circled."""
+        def esc(name: str) -> str:
+            label = name if len(name) <= max_label else name[: max_label - 1] + "…"
+            return label.replace('"', '\\"')
+
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+        for entry in self.entry_points:
+            lines.append(f'  "{esc(entry)}" [peripheries=2];')
+        for caller, callee in sorted(self.edges):
+            lines.append(f'  "{esc(caller)}" -> "{esc(callee)}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_networkx(self):
+        """The graph as a ``networkx.DiGraph`` (imported lazily)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.nodes)} methods, {len(self.edges)} edges, "
+            f"{len(self.leaves)} leaves, max out-degree {self.max_out_degree}"
+        )
+
+
+def export_call_graph(result: AnalysisResult, facts: FactBase) -> CallGraphExport:
+    """Project the CALLGRAPH relation to the method level."""
+    edges: Set[Tuple[str, str]] = set()
+    for invo, targets in result.call_graph.items():
+        caller = facts.method_of_invo.get(invo)
+        if caller is None:
+            continue
+        for callee in targets:
+            edges.add((caller, callee))
+    return CallGraphExport(
+        analysis=result.analysis_name,
+        edges=frozenset(edges),
+        entry_points=tuple(facts.program.entry_points),
+    )

@@ -1,0 +1,81 @@
+"""Cast-safety client: which downcasts are provably safe.
+
+The dual of the paper's "casts that may fail" metric: a cast ``(T) v`` in
+reachable code is *provably safe* when every object ``v`` may point to has a
+type that is a subtype of ``T`` — the runtime check (and its possible
+ClassCastException path) can be eliminated.  Casts in unreachable code are
+reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..facts.encoder import FactBase
+
+__all__ = ["CastCheckReport", "CastVerdict", "check_casts"]
+
+
+@dataclass(frozen=True)
+class CastVerdict:
+    """One cast instruction's verdict."""
+
+    target_var: str  # unique per cast instruction
+    cast_type: str
+    method: str
+    safe: bool
+    witness: str = ""  # a heap site violating the cast, when unsafe
+
+
+@dataclass(frozen=True)
+class CastCheckReport:
+    """Verdicts for every cast in the program."""
+
+    verdicts: Tuple[CastVerdict, ...]
+    unreachable: FrozenSet[str]
+
+    @property
+    def safe(self) -> FrozenSet[str]:
+        return frozenset(v.target_var for v in self.verdicts if v.safe)
+
+    @property
+    def may_fail(self) -> FrozenSet[str]:
+        return frozenset(v.target_var for v in self.verdicts if not v.safe)
+
+    def summary(self) -> str:
+        return (
+            f"safe {len(self.safe)}, may-fail {len(self.may_fail)}, "
+            f"unreachable {len(self.unreachable)}"
+        )
+
+
+def check_casts(result: AnalysisResult, facts: FactBase) -> CastCheckReport:
+    """Check every cast instruction against the points-to solution."""
+    hierarchy = facts.program.hierarchy
+    reachable = result.reachable_methods
+    var_pts = result.var_points_to
+    verdicts: List[CastVerdict] = []
+    unreachable: List[str] = []
+    for to, type_name, frm, meth in facts.cast:
+        if meth not in reachable:
+            unreachable.append(to)
+            continue
+        witness = ""
+        for heap in var_pts.get(frm, ()):
+            if not hierarchy.is_subtype(facts.heap_type[heap], type_name):
+                witness = heap
+                break
+        verdicts.append(
+            CastVerdict(
+                target_var=to,
+                cast_type=type_name,
+                method=meth,
+                safe=not witness,
+                witness=witness,
+            )
+        )
+    return CastCheckReport(
+        verdicts=tuple(verdicts), unreachable=frozenset(unreachable)
+    )

@@ -1,0 +1,65 @@
+"""Devirtualization client: which virtual calls can become direct calls.
+
+A compiler client of points-to analysis (the paper's first precision
+metric, inverted): a virtual call site with exactly one resolved target can
+be devirtualized (and inlined).  This module reports the devirtualizable
+sites and a per-call-site breakdown, useful both as an example client and
+for inspecting where context-sensitivity buys precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..facts.encoder import FactBase
+
+__all__ = ["DevirtualizationReport", "devirtualize"]
+
+
+@dataclass(frozen=True)
+class DevirtualizationReport:
+    """Classification of every reachable virtual call site."""
+
+    monomorphic: FrozenSet[str]  # exactly one target: devirtualizable
+    polymorphic: FrozenSet[str]  # two or more targets
+    unresolved: FrozenSet[str]  # in the program but never reached
+
+    @property
+    def total_reachable(self) -> int:
+        return len(self.monomorphic) + len(self.polymorphic)
+
+    @property
+    def devirtualization_ratio(self) -> float:
+        """Fraction of reachable virtual call sites that can be rewritten."""
+        total = self.total_reachable
+        return len(self.monomorphic) / total if total else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"devirtualizable {len(self.monomorphic)}/{self.total_reachable} "
+            f"({100 * self.devirtualization_ratio:.1f}%), "
+            f"unreached {len(self.unresolved)}"
+        )
+
+
+def devirtualize(result: AnalysisResult, facts: FactBase) -> DevirtualizationReport:
+    """Classify every virtual call site of the program."""
+    call_graph = result.call_graph
+    mono: List[str] = []
+    poly: List[str] = []
+    unresolved: List[str] = []
+    for invo in facts.vcall_invos:
+        targets = call_graph.get(invo, ())
+        if len(targets) == 1:
+            mono.append(invo)
+        elif len(targets) >= 2:
+            poly.append(invo)
+        else:
+            unresolved.append(invo)
+    return DevirtualizationReport(
+        monomorphic=frozenset(mono),
+        polymorphic=frozenset(poly),
+        unresolved=frozenset(unresolved),
+    )

@@ -1,0 +1,74 @@
+"""Exception-flow client: uncaught exceptions and handler coverage.
+
+Consumes the THROWPOINTSTO relation computed by the exception-flow
+extension (see :class:`repro.ir.instructions.Throw`): which abstract
+exception objects escape which methods uncaught.  The headline query is
+*escaping exceptions*: exception objects that propagate out of an entry
+point — a program crash, in Java terms — plus per-method escape counts
+useful as an additional precision metric (imprecise analyses route more
+exception objects into more handlers and entry points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..facts.encoder import FactBase
+
+__all__ = ["ExceptionReport", "analyze_exceptions"]
+
+
+@dataclass(frozen=True)
+class ExceptionReport:
+    """Exception-flow facts for one analysis run."""
+
+    analysis: str
+    #: exception heap sites escaping each entry point.
+    escaping: Dict[str, FrozenSet[str]]
+    #: method -> exception heap sites escaping it uncaught.
+    per_method: Dict[str, FrozenSet[str]]
+    #: handler variables that never bind any exception (dead handlers).
+    dead_handlers: FrozenSet[str]
+
+    @property
+    def escaping_count(self) -> int:
+        """Total (entry point, exception site) escape pairs."""
+        return sum(len(heaps) for heaps in self.escaping.values())
+
+    @property
+    def may_crash(self) -> bool:
+        return any(self.escaping.values())
+
+    def summary(self) -> str:
+        return (
+            f"escaping {self.escaping_count} "
+            f"(from {sum(1 for h in self.escaping.values() if h)} entry points), "
+            f"throwing methods {sum(1 for h in self.per_method.values() if h)}, "
+            f"dead handlers {len(self.dead_handlers)}"
+        )
+
+
+def analyze_exceptions(result: AnalysisResult, facts: FactBase) -> ExceptionReport:
+    """Compute the exception-flow report from an analysis result."""
+    per_method = {
+        meth: frozenset(heaps)
+        for meth, heaps in result.throw_points_to.items()
+    }
+    escaping = {
+        entry: per_method.get(entry, frozenset())
+        for entry in facts.program.entry_points
+    }
+    var_pts = result.var_points_to
+    reachable = result.reachable_methods
+    dead: Set[str] = set()
+    for meth, _type_name, var in facts.catchclause:
+        if meth in reachable and not var_pts.get(var):
+            dead.add(var)
+    return ExceptionReport(
+        analysis=result.analysis_name,
+        escaping=escaping,
+        per_method=per_method,
+        dead_handlers=frozenset(dead),
+    )

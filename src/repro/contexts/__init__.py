@@ -1,0 +1,30 @@
+"""Context abstractions and the RECORD/MERGE constructor policies."""
+
+from .abstractions import EMPTY, ContextTable, ContextValue
+from .introspective import IntrospectivePolicy, RefinementDecision
+from .policies import (
+    ANALYSIS_NAMES,
+    CallSiteSensitivePolicy,
+    ContextPolicy,
+    HybridObjectPolicy,
+    InsensitivePolicy,
+    ObjectSensitivePolicy,
+    TypeSensitivePolicy,
+    policy_by_name,
+)
+
+__all__ = [
+    "ANALYSIS_NAMES",
+    "EMPTY",
+    "CallSiteSensitivePolicy",
+    "ContextPolicy",
+    "ContextTable",
+    "ContextValue",
+    "HybridObjectPolicy",
+    "InsensitivePolicy",
+    "IntrospectivePolicy",
+    "ObjectSensitivePolicy",
+    "RefinementDecision",
+    "TypeSensitivePolicy",
+    "policy_by_name",
+]

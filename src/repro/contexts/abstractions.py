@@ -1,0 +1,69 @@
+"""Context values and interning.
+
+Contexts (``C``) and heap contexts (``HC``) in the paper are opaque values
+produced by the RECORD/MERGE constructor functions.  We represent every
+context uniformly as a *tuple of context elements* — allocation-site ids for
+object-sensitivity, invocation-site ids for call-site-sensitivity, class
+names for type-sensitivity — and the context-insensitive context is the empty
+tuple (the paper's ``★`` constant).
+
+The uniform representation is what makes *introspective* analysis work: the
+refined and unrefined constructors freely exchange contexts (an object
+allocated under the insensitive context flows into a refined merge and vice
+versa), and tuple truncation composes gracefully across kinds.
+
+For speed, the solver never touches tuples directly: a :class:`ContextTable`
+interns each distinct tuple to a small integer, and all solver state is keyed
+on those integers.  Id 0 is always the empty (insensitive) context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["ContextTable", "EMPTY", "ContextValue"]
+
+#: A context value: a tuple of hashable context elements.
+ContextValue = Tuple[Hashable, ...]
+
+#: The context-insensitive context (the paper's single constant ``★``).
+EMPTY: ContextValue = ()
+
+
+class ContextTable:
+    """Bidirectional interning of context tuples to dense integer ids.
+
+    Two independent tables are used per analysis: one for calling contexts
+    (``C``) and one for heap contexts (``HC``).  Id 0 is reserved for the
+    empty context so that a fresh table can be used without any setup.
+    """
+
+    __slots__ = ("_by_value", "_by_id")
+
+    def __init__(self) -> None:
+        self._by_value: Dict[ContextValue, int] = {EMPTY: 0}
+        self._by_id: List[ContextValue] = [EMPTY]
+
+    def intern(self, value: ContextValue) -> int:
+        """Return the id for ``value``, allocating one if new."""
+        ctx_id = self._by_value.get(value)
+        if ctx_id is None:
+            ctx_id = len(self._by_id)
+            self._by_value[value] = ctx_id
+            self._by_id.append(value)
+        return ctx_id
+
+    def value(self, ctx_id: int) -> ContextValue:
+        """The tuple interned under ``ctx_id``."""
+        return self._by_id[ctx_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, value: ContextValue) -> bool:
+        return value in self._by_value
+
+    @property
+    def empty_id(self) -> int:
+        """The id of the empty (insensitive) context — always 0."""
+        return 0

@@ -1,0 +1,160 @@
+"""The dual-constructor policy of introspective context-sensitivity.
+
+Section 2 of the paper duplicates every context-constructing rule: one copy
+uses RECORD/MERGE, gated on ``!ObjectToRefine(heap)`` / ``!SiteToRefine(invo,
+meth)``; the duplicate uses RECORDREFINED/MERGEREFINED, gated on the positive
+literals.  :class:`IntrospectivePolicy` packages exactly that dispatch behind
+the ordinary :class:`~repro.contexts.policies.ContextPolicy` interface, so the
+solver's rules stay literally identical between plain and introspective runs
+— mirroring the paper's "the two runs of the analysis use identical code".
+
+Polarity (footnote 4 of the paper): the refine sets are the overwhelming
+majority of program elements, so heuristics compute their *complements* (the
+elements to analyze cheaply).  :meth:`IntrospectivePolicy.from_exclusions`
+accepts those complements directly; :meth:`from_refinements` accepts the
+positive sets for tests and for fidelity with the model.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Optional, Set, Tuple
+
+from .abstractions import ContextValue
+from .policies import ContextPolicy, InsensitivePolicy
+
+__all__ = ["IntrospectivePolicy", "RefinementDecision"]
+
+
+class RefinementDecision:
+    """Which program elements get the refined (expensive) context.
+
+    Stores the *exclusion* sets — elements to analyze with the cheap
+    context — since those are the small ones (paper footnote 4).
+
+    ``excluded_sites`` holds ``(invo, meth)`` pairs, matching the paper's
+    SITETOREFINE schema: the same invocation site may be refined for one
+    callee and not another.
+    """
+
+    __slots__ = ("excluded_objects", "excluded_sites")
+
+    def __init__(
+        self,
+        excluded_objects: AbstractSet[str] = frozenset(),
+        excluded_sites: AbstractSet[Tuple[str, str]] = frozenset(),
+    ) -> None:
+        self.excluded_objects: FrozenSet[str] = frozenset(excluded_objects)
+        self.excluded_sites: FrozenSet[Tuple[str, str]] = frozenset(excluded_sites)
+
+    def refine_object(self, heap: str) -> bool:
+        """ObjectToRefine(heap) — True unless the object is excluded."""
+        return heap not in self.excluded_objects
+
+    def refine_site(self, invo: str, meth: str) -> bool:
+        """SiteToRefine(invo, meth) — True unless the pair is excluded."""
+        return (invo, meth) not in self.excluded_sites
+
+    @classmethod
+    def refine_everything(cls) -> "RefinementDecision":
+        """No exclusions: degenerates to the plain refined analysis."""
+        return cls()
+
+    @classmethod
+    def refine_nothing_but(
+        cls,
+        all_objects: AbstractSet[str],
+        all_sites: AbstractSet[Tuple[str, str]],
+        objects_to_refine: AbstractSet[str],
+        sites_to_refine: AbstractSet[Tuple[str, str]],
+    ) -> "RefinementDecision":
+        """Positive-polarity constructor: refine exactly the given sets."""
+        return cls(
+            excluded_objects=set(all_objects) - set(objects_to_refine),
+            excluded_sites=set(all_sites) - set(sites_to_refine),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RefinementDecision excl_objects={len(self.excluded_objects)} "
+            f"excl_sites={len(self.excluded_sites)}>"
+        )
+
+
+class IntrospectivePolicy(ContextPolicy):
+    """Dispatches between a cheap and a refined policy per program element.
+
+    * allocation sites: ``record`` → refined constructor iff
+      ``decision.refine_object(heap)``;
+    * virtual call sites: ``merge`` → refined constructor iff
+      ``decision.refine_site(invo, meth)``;
+    * static call sites: likewise, via ``merge_static``.
+    """
+
+    def __init__(
+        self,
+        refined: ContextPolicy,
+        decision: RefinementDecision,
+        cheap: Optional[ContextPolicy] = None,
+    ) -> None:
+        self.refined = refined
+        self.cheap = cheap if cheap is not None else InsensitivePolicy()
+        self.decision = decision
+        self.name = f"{refined.name}-intro"
+
+    # -- constructor dispatch -------------------------------------------
+    def record(self, heap: str, ctx: ContextValue) -> ContextValue:
+        if self.decision.refine_object(heap):
+            return self.refined.record(heap, ctx)
+        return self.cheap.record(heap, ctx)
+
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        if self.decision.refine_site(invo, meth):
+            return self.refined.merge(heap, hctx, invo, meth, caller_ctx)
+        return self.cheap.merge(heap, hctx, invo, meth, caller_ctx)
+
+    def merge_static(
+        self, invo: str, meth: str, caller_ctx: ContextValue
+    ) -> ContextValue:
+        if self.decision.refine_site(invo, meth):
+            return self.refined.merge_static(invo, meth, caller_ctx)
+        return self.cheap.merge_static(invo, meth, caller_ctx)
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def from_exclusions(
+        cls,
+        refined: ContextPolicy,
+        excluded_objects: AbstractSet[str],
+        excluded_sites: AbstractSet[Tuple[str, str]],
+        cheap: Optional[ContextPolicy] = None,
+    ) -> "IntrospectivePolicy":
+        return cls(
+            refined,
+            RefinementDecision(excluded_objects, excluded_sites),
+            cheap=cheap,
+        )
+
+    @classmethod
+    def from_refinements(
+        cls,
+        refined: ContextPolicy,
+        all_objects: AbstractSet[str],
+        all_sites: AbstractSet[Tuple[str, str]],
+        objects_to_refine: AbstractSet[str],
+        sites_to_refine: AbstractSet[Tuple[str, str]],
+        cheap: Optional[ContextPolicy] = None,
+    ) -> "IntrospectivePolicy":
+        return cls(
+            refined,
+            RefinementDecision.refine_nothing_but(
+                all_objects, all_sites, objects_to_refine, sites_to_refine
+            ),
+            cheap=cheap,
+        )

@@ -1,0 +1,283 @@
+"""Context-sensitivity policies: the RECORD / MERGE constructor functions.
+
+A :class:`ContextPolicy` bundles the two constructor functions of the paper's
+model (Figure 2):
+
+* ``RECORD(heap, ctx) = hctx`` — invoked at allocation sites, combines the
+  allocating method's context into a heap context (:meth:`ContextPolicy.record`);
+* ``MERGE(heap, hctx, invo, ctx) = calleeCtx`` — invoked at virtual call
+  sites, combines receiver-object and caller information into the callee's
+  calling context (:meth:`ContextPolicy.merge`).
+
+We add ``merge_static`` for statically dispatched calls (no receiver), which
+the model elides but the full Doop implementation needs; each flavor treats
+it in its conventional way (call-site-sensitivity pushes the call site,
+object/type-sensitivity inherit the caller's context, hybrid pushes the call
+site onto the caller's context — see [Kastrinis & Smaragdakis, PLDI 2013]).
+
+Contexts are plain element tuples (:mod:`repro.contexts.abstractions`);
+policies are pure functions of their arguments, which lets the solver
+memoize them aggressively.
+
+The concrete policies reproduce the standard definitions of
+[Smaragdakis, Bravenboer & Lhoták, POPL 2011] ("Pick your contexts well"):
+
+============  =============================================  ==================
+policy        MERGE(heap, hctx, invo, ctx)                   RECORD(heap, ctx)
+============  =============================================  ==================
+insensitive   ★                                              ★
+k-call-site   (invo : ctx) truncated to k                    ctx truncated to hk
+k-object      (heap : hctx) truncated to k                   ctx truncated to hk
+k-type        (C(heap) : hctx) truncated to k                ctx truncated to hk
+============  =============================================  ==================
+
+where ``C(heap)`` is the class declaring the method that contains the
+allocation site of ``heap`` — the type-sensitivity context element of the
+POPL 2011 paper — and ``hk`` is the heap-context depth (1 for the paper's
+2objH/2typeH/2callH analyses).
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from .abstractions import EMPTY, ContextValue
+
+__all__ = [
+    "heap_suffix",
+    "ContextPolicy",
+    "InsensitivePolicy",
+    "CallSiteSensitivePolicy",
+    "ObjectSensitivePolicy",
+    "TypeSensitivePolicy",
+    "HybridObjectPolicy",
+    "policy_by_name",
+    "ANALYSIS_NAMES",
+]
+
+
+def heap_suffix(heap_k: int) -> str:
+    """Conventional name suffix for the heap-context depth."""
+    if heap_k == 0:
+        return ""
+    return "H" if heap_k == 1 else f"H{heap_k}"
+
+
+class ContextPolicy(ABC):
+    """The constructor-function bundle parameterizing an analysis."""
+
+    #: Human-readable analysis name, e.g. ``"2objH"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def record(self, heap: str, ctx: ContextValue) -> ContextValue:
+        """RECORD: heap context for an object allocated under ``ctx``."""
+
+    @abstractmethod
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        """MERGE: callee context for a virtual call on receiver ``heap``."""
+
+    def merge_static(
+        self, invo: str, meth: str, caller_ctx: ContextValue
+    ) -> ContextValue:
+        """Callee context for a statically dispatched call.
+
+        Default: inherit the caller's context (the object/type-sensitive
+        convention; call-site-sensitivity overrides this).
+        """
+        return caller_ctx
+
+    def initial_context(self) -> ContextValue:
+        """Context under which entry-point methods are analyzed."""
+        return EMPTY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class InsensitivePolicy(ContextPolicy):
+    """Context-insensitive analysis: every constructor returns ``★``."""
+
+    name = "insens"
+
+    def record(self, heap: str, ctx: ContextValue) -> ContextValue:
+        return EMPTY
+
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        return EMPTY
+
+    def merge_static(
+        self, invo: str, meth: str, caller_ctx: ContextValue
+    ) -> ContextValue:
+        return EMPTY
+
+
+class CallSiteSensitivePolicy(ContextPolicy):
+    """k-call-site-sensitivity (kCFA) with an hk-deep context-sensitive heap."""
+
+    def __init__(self, k: int = 2, heap_k: int = 1) -> None:
+        if k < 1 or heap_k < 0:
+            raise ValueError("need k >= 1 and heap_k >= 0")
+        self.k = k
+        self.heap_k = heap_k
+        self.name = f"{k}call{heap_suffix(heap_k)}"
+
+    def record(self, heap: str, ctx: ContextValue) -> ContextValue:
+        return ctx[: self.heap_k]
+
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        return ((invo,) + caller_ctx)[: self.k]
+
+    def merge_static(
+        self, invo: str, meth: str, caller_ctx: ContextValue
+    ) -> ContextValue:
+        # Call-site-sensitivity treats static calls exactly like virtual ones.
+        return ((invo,) + caller_ctx)[: self.k]
+
+
+class ObjectSensitivePolicy(ContextPolicy):
+    """k-(full-)object-sensitivity with an hk-deep context-sensitive heap."""
+
+    def __init__(self, k: int = 2, heap_k: int = 1) -> None:
+        if k < 1 or heap_k < 0:
+            raise ValueError("need k >= 1 and heap_k >= 0")
+        self.k = k
+        self.heap_k = heap_k
+        self.name = f"{k}obj{heap_suffix(heap_k)}"
+
+    def record(self, heap: str, ctx: ContextValue) -> ContextValue:
+        return ctx[: self.heap_k]
+
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        return ((heap,) + hctx)[: self.k]
+
+
+class TypeSensitivePolicy(ObjectSensitivePolicy):
+    """k-type-sensitivity: object-sensitivity with each allocation-site
+    context element coarsened to the class containing it (POPL 2011).
+
+    ``alloc_class_of`` maps a heap (allocation-site id) to the name of the
+    class declaring the method that contains the allocation.
+    """
+
+    def __init__(
+        self,
+        alloc_class_of: Callable[[str], str],
+        k: int = 2,
+        heap_k: int = 1,
+    ) -> None:
+        super().__init__(k=k, heap_k=heap_k)
+        self.alloc_class_of = alloc_class_of
+        self.name = f"{k}type{heap_suffix(heap_k)}"
+
+    def merge(
+        self,
+        heap: str,
+        hctx: ContextValue,
+        invo: str,
+        meth: str,
+        caller_ctx: ContextValue,
+    ) -> ContextValue:
+        return ((self.alloc_class_of(heap),) + hctx)[: self.k]
+
+
+class HybridObjectPolicy(ObjectSensitivePolicy):
+    """Hybrid object-sensitivity [Kastrinis & Smaragdakis, PLDI 2013]:
+    object context at virtual calls, call-site elements pushed at static
+    calls.  Included because the paper's related-work section singles it out;
+    its scalability profile matches plain object-sensitivity."""
+
+    def __init__(self, k: int = 2, heap_k: int = 1) -> None:
+        super().__init__(k=k, heap_k=heap_k)
+        self.name = f"{k}obj{heap_suffix(heap_k)}+hybrid"
+
+    def merge_static(
+        self, invo: str, meth: str, caller_ctx: ContextValue
+    ) -> ContextValue:
+        return ((invo,) + caller_ctx)[: self.k]
+
+
+#: Common names accepted by :func:`policy_by_name` (any ``<k><flavor>[H[n]]``
+#: combination parses; these are the ones the paper evaluates).
+ANALYSIS_NAMES = (
+    "insens",
+    "2objH",
+    "2typeH",
+    "2callH",
+    "1objH",
+    "1callH",
+    "1typeH",
+    "2objH+hybrid",
+)
+
+_NAME_RE = re.compile(r"^(\d+)(obj|call|type)(?:H(\d+)?)?(\+hybrid)?$")
+
+
+def policy_by_name(
+    name: str, alloc_class_of: Optional[Callable[[str], str]] = None
+) -> ContextPolicy:
+    """Construct an analysis by its conventional name.
+
+    The grammar is ``<k><flavor>[H[<heap_k>]][+hybrid]`` — e.g. ``2objH``
+    (2-object-sensitive, 1-deep heap context), ``3objH2`` (3-deep with a
+    2-deep heap), ``1call`` (context-insensitive heap), ``2typeH`` — plus
+    the special name ``insens``.  ``+hybrid`` selects the hybrid
+    object-sensitive treatment of static calls (object flavor only).
+
+    ``alloc_class_of`` is required for the type-sensitive analyses; the
+    harness supplies it from the program's fact encoding.
+    """
+    if name == "insens":
+        return InsensitivePolicy()
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(
+            f"unknown analysis name: {name!r} "
+            f"(grammar: <k><obj|call|type>[H[<heap_k>]][+hybrid], or one of "
+            f"{ANALYSIS_NAMES})"
+        )
+    k = int(match.group(1))
+    flavor = match.group(2)
+    has_heap = match.group(0).find("H") != -1
+    heap_k = int(match.group(3)) if match.group(3) else (1 if has_heap else 0)
+    hybrid = match.group(4) is not None
+    if hybrid and flavor != "obj":
+        raise ValueError("+hybrid applies to object-sensitivity only")
+    if flavor == "obj":
+        cls = HybridObjectPolicy if hybrid else ObjectSensitivePolicy
+        return cls(k=k, heap_k=heap_k)
+    if flavor == "call":
+        return CallSiteSensitivePolicy(k=k, heap_k=heap_k)
+    if alloc_class_of is None:
+        raise ValueError(f"{name} requires alloc_class_of")
+    return TypeSensitivePolicy(alloc_class_of, k=k, heap_k=heap_k)

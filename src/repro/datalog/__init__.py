@@ -1,0 +1,51 @@
+"""A from-scratch semi-naive, stratified Datalog engine.
+
+This is the reproduction's stand-in for the LogicBlox engine the paper ran
+on: monotonic rules, stratified negation, count aggregation, and
+LogicBlox-style constructor-function atoms (used for RECORD/MERGE).
+
+Quick example::
+
+    from repro.datalog import Engine, parse_program
+
+    program = parse_program('''
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+    ''')
+    engine = Engine(program)
+    engine.load({"edge": [("a", "b"), ("b", "c")]})
+    engine.run()
+    engine.query("path")   # {('a','b'), ('b','c'), ('a','c')}
+"""
+
+from .aggregates import count, max_, min_, sum_
+from .database import Database, Relation
+from .engine import Engine, EvaluationBudgetExceeded, stratify
+from .parser import ParseError, parse_program, parse_rule
+from .rules import AggregateRule, Rule, RuleError, RuleProgram
+from .terms import Atom, FilterAtom, FunAtom, NegAtom, V, Var
+
+__all__ = [
+    "AggregateRule",
+    "Atom",
+    "Database",
+    "Engine",
+    "EvaluationBudgetExceeded",
+    "FilterAtom",
+    "FunAtom",
+    "NegAtom",
+    "ParseError",
+    "Relation",
+    "Rule",
+    "RuleError",
+    "RuleProgram",
+    "V",
+    "Var",
+    "count",
+    "max_",
+    "min_",
+    "sum_",
+    "parse_program",
+    "parse_rule",
+    "stratify",
+]

@@ -1,0 +1,71 @@
+"""Helpers for building aggregate rules.
+
+The paper's metric queries (Section 3) all have the shape::
+
+    METRIC (key, result) <-
+        agg<result = count()> (INTERMEDIATE (key, x, y)).
+
+:func:`count` builds that :class:`~repro.datalog.rules.AggregateRule` with
+less ceremony.  The count is over *distinct bindings of the named variables*
+in the body — name every position (no wildcards), exactly as our engine
+requires.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .rules import AggregateRule
+from .terms import Literal, Var
+
+__all__ = ["count", "sum_", "min_", "max_"]
+
+
+def count(
+    head_pred: str,
+    group_vars: Sequence[Var],
+    result_var: Var,
+    body: Sequence[Literal],
+) -> AggregateRule:
+    """``head_pred(group_vars..., result_var) <- agg<result = count()>(body)``."""
+    return AggregateRule(
+        head_pred=head_pred,
+        group_vars=tuple(group_vars),
+        agg_var=result_var,
+        body=tuple(body),
+        kind="count",
+    )
+
+
+def _value_aggregate(
+    kind: str,
+    head_pred: str,
+    group_vars: Sequence[Var],
+    result_var: Var,
+    value_var: Var,
+    body: Sequence[Literal],
+) -> AggregateRule:
+    return AggregateRule(
+        head_pred=head_pred,
+        group_vars=tuple(group_vars),
+        agg_var=result_var,
+        body=tuple(body),
+        kind=kind,
+        value_var=value_var,
+    )
+
+
+def sum_(head_pred, group_vars, result_var, value_var, body) -> AggregateRule:
+    """``head(groups..., r) <- agg<r = sum(value)>(body)`` over distinct
+    witness bindings."""
+    return _value_aggregate("sum", head_pred, group_vars, result_var, value_var, body)
+
+
+def min_(head_pred, group_vars, result_var, value_var, body) -> AggregateRule:
+    """``head(groups..., r) <- agg<r = min(value)>(body)``."""
+    return _value_aggregate("min", head_pred, group_vars, result_var, value_var, body)
+
+
+def max_(head_pred, group_vars, result_var, value_var, body) -> AggregateRule:
+    """``head(groups..., r) <- agg<r = max(value)>(body)``."""
+    return _value_aggregate("max", head_pred, group_vars, result_var, value_var, body)

@@ -1,0 +1,123 @@
+"""Relations and the fact database.
+
+A :class:`Relation` is a set of constant tuples with lazily built hash
+indexes on argument-position subsets; the engine requests the index matching
+whichever positions a join has bound.  A :class:`Database` maps predicate
+names to relations and tracks per-relation *deltas* for semi-naive
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Relation", "Database"]
+
+Row = Tuple
+
+
+class Relation:
+    """A set of rows plus positional hash indexes."""
+
+    __slots__ = ("name", "rows", "_indexes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: Set[Row] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Row]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def add(self, row: Row) -> bool:
+        """Insert a row; returns True if it was new.  Maintains indexes."""
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_many(self, rows: Iterable[Row]) -> int:
+        return sum(1 for row in rows if self.add(row))
+
+    def index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[Row]]:
+        """The (built-on-first-use) index keyed on the given positions."""
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[positions] = index
+        return index
+
+    def match(self, positions: Tuple[int, ...], key: Tuple) -> List[Row]:
+        """Rows whose projection on ``positions`` equals ``key``."""
+        if not positions:
+            return list(self.rows)
+        return self.index_for(positions).get(key, [])
+
+
+class Database:
+    """Predicate name -> relation, with semi-naive delta bookkeeping."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._deltas: Dict[str, Set[Row]] = {}
+
+    def relation(self, name: str) -> Relation:
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name)
+            self._relations[name] = rel
+        return rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> Iterable[str]:
+        return self._relations.keys()
+
+    def add_fact(self, name: str, row: Row) -> bool:
+        added = self.relation(name).add(row)
+        if added:
+            self._deltas.setdefault(name, set()).add(row)
+        return added
+
+    def add_facts(self, name: str, rows: Iterable[Row]) -> int:
+        return sum(1 for row in rows if self.add_fact(name, row))
+
+    def load(self, relations: Dict[str, Iterable[Row]]) -> None:
+        for name, rows in relations.items():
+            self.add_facts(name, map(tuple, rows))
+
+    # -- semi-naive support ------------------------------------------------
+    def take_delta(self, name: str) -> Set[Row]:
+        """Rows added since the last ``take_delta`` for ``name``."""
+        return self._deltas.pop(name, set())
+
+    def peek_delta(self, name: str) -> Set[Row]:
+        return self._deltas.get(name, set())
+
+    def has_delta(self, names: Iterable[str]) -> bool:
+        return any(self._deltas.get(n) for n in names)
+
+    # -- convenience ---------------------------------------------------
+    def rows(self, name: str) -> Set[Row]:
+        rel = self._relations.get(name)
+        return set(rel.rows) if rel is not None else set()
+
+    def count(self, name: str) -> int:
+        rel = self._relations.get(name)
+        return len(rel) if rel is not None else 0
+
+    def total_rows(self) -> int:
+        return sum(len(r) for r in self._relations.values())

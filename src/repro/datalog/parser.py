@@ -1,0 +1,233 @@
+"""Textual rule syntax for the Datalog engine.
+
+A convenience front-end used by tests, examples, and anyone wanting to play
+with the engine directly.  The analysis model itself is built with the
+Python DSL (it needs constructor-function atoms, which have no text form).
+
+Syntax (Prolog-flavoured)::
+
+    % comment, to end of line
+    path(X, Y)   :- edge(X, Y).
+    path(X, Z)   :- edge(X, Y), path(Y, Z).
+    lonely(X)    :- node(X), !path(root, X).
+    degree(X, N) :- agg<N = count()>(edge(X, Y)).
+
+Conventions:
+
+* identifiers starting with an uppercase letter or ``_`` are variables
+  (a bare ``_`` is the anonymous variable);
+* lowercase identifiers, ``'quoted'`` / ``"quoted"`` strings, and integers
+  are constants;
+* predicates never appearing in a head are EDB.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from .rules import AggregateRule, Rule, RuleError, RuleProgram
+from .terms import Atom, NegAtom, Term, V, Var
+
+__all__ = ["parse_program", "parse_rule", "ParseError"]
+
+
+class ParseError(Exception):
+    """Syntax error, with 1-based line information where available."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<implies>:-)
+  | (?P<lagg>agg<)
+  | (?P<punct>[(),.!=<>])
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$/]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"line {line}: unexpected character {text[pos]!r}")
+        kind = m.lastgroup or ""
+        value = m.group()
+        line += value.count("\n")
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            continue
+        yield _Token(kind, value, line)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def _expect(self, text: str) -> _Token:
+        tok = self._next()
+        if tok.text != text:
+            raise ParseError(
+                f"line {tok.line}: expected {text!r}, found {tok.text!r}"
+            )
+        return tok
+
+    # ------------------------------------------------------------------
+    def program(self) -> Tuple[List[Rule], List[AggregateRule]]:
+        rules: List[Rule] = []
+        aggregates: List[AggregateRule] = []
+        while self._peek() is not None:
+            parsed = self.rule()
+            if isinstance(parsed, AggregateRule):
+                aggregates.append(parsed)
+            else:
+                rules.append(parsed)
+        return rules, aggregates
+
+    def rule(self) -> Union[Rule, AggregateRule]:
+        head = self.atom()
+        self._expect(":-")
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "lagg":
+            return self._aggregate_rule(head)
+        body = self._literals()
+        self._expect(".")
+        return Rule([head], body)
+
+    def _aggregate_rule(self, head: Atom) -> AggregateRule:
+        self._next()  # agg<
+        result = self.term()
+        if not isinstance(result, Var):
+            raise ParseError("aggregate result must be a variable")
+        self._expect("=")
+        kind_tok = self._next()
+        if kind_tok.text not in ("count", "sum", "min", "max"):
+            raise ParseError(
+                f"line {kind_tok.line}: unsupported aggregate {kind_tok.text!r}"
+            )
+        self._expect("(")
+        value_var = None
+        if kind_tok.text != "count":
+            value_term = self.term()
+            if not isinstance(value_term, Var):
+                raise ParseError(
+                    f"line {kind_tok.line}: aggregate value must be a variable"
+                )
+            value_var = value_term
+        self._expect(")")
+        self._expect(">")
+        self._expect("(")
+        body = self._literals()
+        self._expect(")")
+        self._expect(".")
+        if not head.args or head.args[-1] != result:
+            raise ParseError(
+                "aggregate head's last argument must be the result variable"
+            )
+        groups = []
+        for arg in head.args[:-1]:
+            if not isinstance(arg, Var):
+                raise ParseError("aggregate group terms must be variables")
+            groups.append(arg)
+        return AggregateRule(
+            head_pred=head.pred,
+            group_vars=tuple(groups),
+            agg_var=result,
+            body=tuple(body),
+            kind=kind_tok.text,
+            value_var=value_var,
+        )
+
+    def _literals(self) -> List[Union[Atom, NegAtom]]:
+        literals: List[Union[Atom, NegAtom]] = [self.literal()]
+        while self._peek() is not None and self._peek().text == ",":  # type: ignore[union-attr]
+            self._next()
+            literals.append(self.literal())
+        return literals
+
+    def literal(self) -> Union[Atom, NegAtom]:
+        tok = self._peek()
+        if tok is not None and tok.text == "!":
+            self._next()
+            return NegAtom(self.atom())
+        return self.atom()
+
+    def atom(self) -> Atom:
+        name_tok = self._next()
+        if name_tok.kind != "ident":
+            raise ParseError(
+                f"line {name_tok.line}: expected predicate name, "
+                f"found {name_tok.text!r}"
+            )
+        self._expect("(")
+        args: List[Term] = []
+        if self._peek() is not None and self._peek().text != ")":  # type: ignore[union-attr]
+            args.append(self.term())
+            while self._peek() is not None and self._peek().text == ",":  # type: ignore[union-attr]
+                self._next()
+                args.append(self.term())
+        self._expect(")")
+        return Atom(name_tok.text, *args)
+
+    def term(self) -> Term:
+        tok = self._next()
+        if tok.kind == "number":
+            return int(tok.text)
+        if tok.kind == "string":
+            return tok.text[1:-1]
+        if tok.kind == "ident":
+            first = tok.text[0]
+            if first == "_" or first.isupper():
+                return V(tok.text) if tok.text != "_" else V("_")
+            return tok.text
+        raise ParseError(f"line {tok.line}: expected a term, found {tok.text!r}")
+
+
+def parse_rule(text: str) -> Union[Rule, AggregateRule]:
+    """Parse a single rule (must include the trailing period)."""
+    parser = _Parser(text)
+    rule = parser.rule()
+    if parser._peek() is not None:
+        raise ParseError("trailing input after rule")
+    return rule
+
+
+def parse_program(text: str, edb: Sequence[str] = ()) -> RuleProgram:
+    """Parse a full rule program.
+
+    If ``edb`` is not given, predicates that never occur in a head are
+    declared as EDB automatically.
+    """
+    rules, aggregates = _Parser(text).program()
+    if not edb:
+        heads = {p for r in rules for p in r.head_preds()}
+        heads.update(a.head_pred for a in aggregates)
+        bodies = {p for r in rules for p in r.body_preds()}
+        for agg in aggregates:
+            bodies.update(agg.body_preds())
+        edb = sorted(bodies - heads)
+    return RuleProgram(rules, aggregates=aggregates, edb=edb)

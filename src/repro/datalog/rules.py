@@ -1,0 +1,204 @@
+"""Rules and rule programs.
+
+A :class:`Rule` may have *several* head atoms — the paper's Figure 3 writes
+its VCALL rule with four heads (MERGE, REACHABLE, VARPOINTSTO, CALLGRAPH
+derived together), and supporting that directly keeps our transcription
+line-for-line faithful.
+
+An :class:`AggregateRule` computes ``head(group..., n)`` where ``n`` is an
+aggregate (currently ``count``) over the bodies matching each group — the
+form of the paper's Section 3 metric queries (e.g. INFLOW).
+
+Safety checks (every head/negation/function variable bound by positive body
+atoms, evaluated left-to-right with automatic reordering) happen at
+:class:`RuleProgram` construction so engine failures are early and readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .terms import Atom, FilterAtom, FunAtom, Literal, NegAtom, Var
+
+__all__ = ["Rule", "AggregateRule", "RuleProgram", "RuleError"]
+
+
+class RuleError(Exception):
+    """Malformed rule (unsafe variable, unknown predicate, bad strata)."""
+
+
+@dataclass
+class Rule:
+    """``heads <- body``.  All heads share the body's variable bindings."""
+
+    heads: Tuple[Atom, ...]
+    body: Tuple[Literal, ...]
+
+    def __init__(self, heads: Sequence[Atom], body: Sequence[Literal]) -> None:
+        if isinstance(heads, Atom):
+            heads = (heads,)
+        self.heads = tuple(heads)
+        self.body = tuple(body)
+        if not self.heads:
+            raise RuleError("rule needs at least one head")
+        if not self.body:
+            raise RuleError("rule needs a non-empty body (no facts via rules)")
+
+    def positive_atoms(self) -> List[Atom]:
+        return [l for l in self.body if isinstance(l, Atom)]
+
+    def head_preds(self) -> Set[str]:
+        return {h.pred for h in self.heads}
+
+    def body_preds(self) -> Set[str]:
+        return {l.pred for l in self.body if isinstance(l, (Atom, NegAtom))}
+
+    def negated_preds(self) -> Set[str]:
+        return {l.pred for l in self.body if isinstance(l, NegAtom)}
+
+    def validate(self) -> None:
+        bound: Set[str] = set()
+        for atom in self.positive_atoms():
+            bound.update(v.name for v in atom.variables())
+        for lit in self.body:
+            if isinstance(lit, FunAtom):
+                bound.add(lit.out.name)
+        for lit in self.body:
+            if isinstance(lit, NegAtom):
+                free = {v.name for v in lit.atom.variables()} - bound
+                if free:
+                    raise RuleError(f"unsafe negation, unbound {free} in {lit!r}")
+            elif isinstance(lit, FunAtom):
+                free = {
+                    v.name
+                    for v in lit.ins
+                    if isinstance(v, Var) and not v.is_wildcard
+                } - bound
+                if free:
+                    raise RuleError(f"unbound function inputs {free} in {lit!r}")
+            elif isinstance(lit, FilterAtom):
+                free = {
+                    v.name
+                    for v in lit.args
+                    if isinstance(v, Var) and not v.is_wildcard
+                } - bound
+                if free:
+                    raise RuleError(f"unbound filter args {free} in {lit!r}")
+        for head in self.heads:
+            for v in head.variables():
+                if v.name not in bound:
+                    raise RuleError(f"unsafe head variable {v!r} in {head!r}")
+            if any(isinstance(a, Var) and a.is_wildcard for a in head.args):
+                raise RuleError(f"wildcard in head {head!r}")
+
+    def __repr__(self) -> str:
+        heads = ", ".join(map(repr, self.heads))
+        body = ", ".join(map(repr, self.body))
+        return f"{heads} <- {body}."
+
+
+@dataclass
+class AggregateRule:
+    """``head(group_vars..., agg_var) <- agg<agg_var = KIND(...)> body``.
+
+    Kinds: ``count`` (distinct bindings of all named body variables per
+    group), and ``sum``/``min``/``max`` over the designated ``value_var``
+    (folded over the distinct witness bindings, so a tuple derived two ways
+    contributes once — LogicBlox set semantics).
+    """
+
+    head_pred: str
+    group_vars: Tuple[Var, ...]
+    agg_var: Var
+    body: Tuple[Literal, ...]
+    kind: str = "count"
+    value_var: Optional[Var] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("count", "sum", "min", "max"):
+            raise RuleError(f"unsupported aggregate kind {self.kind!r}")
+        if self.kind == "count" and self.value_var is not None:
+            raise RuleError("count() takes no value variable")
+        if self.kind != "count" and self.value_var is None:
+            raise RuleError(f"{self.kind}() needs a value variable")
+        bound: Set[str] = set()
+        for lit in self.body:
+            if isinstance(lit, Atom):
+                bound.update(v.name for v in lit.variables())
+                if any(isinstance(a, Var) and a.is_wildcard for a in lit.args):
+                    raise RuleError(
+                        "wildcards are not allowed in aggregate bodies: "
+                        "aggregation is over distinct bindings of named "
+                        f"variables, so name every position in {lit!r}"
+                    )
+        for gv in self.group_vars:
+            if gv.name not in bound:
+                raise RuleError(f"aggregate group variable {gv!r} unbound")
+        if self.value_var is not None and self.value_var.name not in bound:
+            raise RuleError(f"aggregate value variable {self.value_var!r} unbound")
+
+    def head_preds(self) -> Set[str]:
+        return {self.head_pred}
+
+    def body_preds(self) -> Set[str]:
+        return {l.pred for l in self.body if isinstance(l, (Atom, NegAtom))}
+
+    def negated_preds(self) -> Set[str]:
+        # Aggregation, like negation, needs its inputs complete: treat every
+        # body predicate as a stratification-ordering edge.
+        return self.body_preds()
+
+    def __repr__(self) -> str:
+        groups = ", ".join(map(repr, self.group_vars))
+        body = ", ".join(map(repr, self.body))
+        value = repr(self.value_var) if self.value_var is not None else ""
+        return (
+            f"{self.head_pred}({groups}, {self.agg_var!r}) <- "
+            f"agg<{self.agg_var!r} = {self.kind}({value})>({body})."
+        )
+
+
+class RuleProgram:
+    """A validated collection of rules plus declared EDB predicates."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        aggregates: Sequence[AggregateRule] = (),
+        edb: Sequence[str] = (),
+    ) -> None:
+        self.rules: List[Rule] = list(rules)
+        self.aggregates: List[AggregateRule] = list(aggregates)
+        self.edb: Set[str] = set(edb)
+        for rule in self.rules:
+            rule.validate()
+        self.idb: Set[str] = set()
+        for rule in self.rules:
+            self.idb.update(rule.head_preds())
+        for agg in self.aggregates:
+            self.idb.update(agg.head_preds())
+        overlap = self.idb & self.edb
+        if overlap:
+            raise RuleError(f"predicates both EDB and IDB: {sorted(overlap)}")
+
+    def all_preds(self) -> Set[str]:
+        preds = set(self.edb) | set(self.idb)
+        for rule in self.rules:
+            preds.update(rule.body_preds())
+        for agg in self.aggregates:
+            preds.update(agg.body_preds())
+        return preds
+
+    def dependency_edges(self) -> List[Tuple[str, str, bool]]:
+        """(head, body, needs_completion) edges for stratification."""
+        edges: List[Tuple[str, str, bool]] = []
+        for rule in self.rules:
+            neg = rule.negated_preds()
+            for h in rule.head_preds():
+                for b in rule.body_preds():
+                    edges.append((h, b, b in neg))
+        for agg in self.aggregates:
+            for b in agg.body_preds():
+                edges.append((agg.head_pred, b, True))
+        return edges

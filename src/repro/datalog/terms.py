@@ -1,0 +1,145 @@
+"""Terms and literals of the Datalog dialect.
+
+The dialect is exactly what the paper's model needs (Section 2):
+
+* positive and negated atoms over flat relations of Python constants;
+* *function atoms* — LogicBlox-style constructor functions such as
+  ``RECORD(heap, ctx) = hctx``: a Python function applied to bound input
+  terms, binding one output variable.  These model the paper's four context
+  constructors;
+* *filter atoms* — a Python predicate over bound terms (used for e.g.
+  subtype checks when written natively rather than as a SUBTYPE relation);
+* count aggregation (:mod:`repro.datalog.aggregates`), used by the
+  introspection metric queries of Section 3.
+
+Variables are :class:`Var` instances (conventionally created via the
+``V.name`` shorthand); every other argument is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence, Tuple, Union
+
+__all__ = ["Var", "V", "Atom", "NegAtom", "FunAtom", "FilterAtom", "Literal", "Term"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable.  ``Var("_")`` is the anonymous variable: each
+    occurrence is distinct and never joins."""
+
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "_"
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+class _VarFactory:
+    """``V.x`` — shorthand for ``Var("x")``; ``V._`` for the wildcard."""
+
+    def __getattr__(self, name: str) -> Var:
+        return Var(name)
+
+    def __call__(self, name: str) -> Var:
+        return Var(name)
+
+
+V = _VarFactory()
+
+#: A term: a variable or a constant.
+Term = Union[Var, Hashable]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positive atom ``pred(t1, ..., tn)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, pred: str, *args: Term) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(args))
+
+    def variables(self):
+        return [a for a in self.args if isinstance(a, Var) and not a.is_wildcard]
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class NegAtom:
+    """A negated atom ``!pred(t1, ..., tn)``.
+
+    All its variables must be bound by earlier positive literals
+    (safe negation); stratification ensures ``pred`` is fully computed
+    before any rule with this literal runs.
+    """
+
+    atom: Atom
+
+    @property
+    def pred(self) -> str:
+        return self.atom.pred
+
+    def __repr__(self) -> str:
+        return f"!{self.atom!r}"
+
+
+@dataclass(frozen=True)
+class FunAtom:
+    """A constructor-function atom ``out = func(*ins)``.
+
+    ``func`` must be pure.  During evaluation all ``ins`` must already be
+    bound; ``out`` is bound to the function value (or joined against it if
+    already bound).
+    """
+
+    func: Callable[..., Hashable]
+    ins: Tuple[Term, ...]
+    out: Var
+    name: str = "<fun>"
+
+    def __init__(
+        self,
+        func: Callable[..., Hashable],
+        ins: Sequence[Term],
+        out: Var,
+        name: str = "",
+    ) -> None:
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "ins", tuple(ins))
+        object.__setattr__(self, "out", out)
+        object.__setattr__(self, "name", name or getattr(func, "__name__", "<fun>"))
+
+    def __repr__(self) -> str:
+        return f"{self.out!r} = {self.name}({', '.join(map(repr, self.ins))})"
+
+
+@dataclass(frozen=True)
+class FilterAtom:
+    """A guard ``func(*args)`` that must evaluate truthy; args must be bound."""
+
+    func: Callable[..., bool]
+    args: Tuple[Term, ...]
+    name: str = "<filter>"
+
+    def __init__(
+        self, func: Callable[..., bool], args: Sequence[Term], name: str = ""
+    ) -> None:
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "name", name or getattr(func, "__name__", "<filter>"))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+#: Anything allowed in a rule body.
+Literal = Union[Atom, NegAtom, FunAtom, FilterAtom]

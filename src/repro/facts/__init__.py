@@ -1,0 +1,16 @@
+"""IR-to-relations encoding (the model's EDB)."""
+
+from .encoder import FactBase, encode_program
+from .io import load_facts, save_facts, save_solution
+from .schema import COMPUTED_RELATIONS, INPUT_RELATIONS, arity_of
+
+__all__ = [
+    "COMPUTED_RELATIONS",
+    "FactBase",
+    "INPUT_RELATIONS",
+    "arity_of",
+    "encode_program",
+    "load_facts",
+    "save_facts",
+    "save_solution",
+]

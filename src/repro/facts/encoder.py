@@ -1,0 +1,248 @@
+"""Encoding of IR programs into the model's input relations.
+
+The :class:`FactBase` produced here is the bridge between the IR and the two
+analysis engines:
+
+* the Datalog model (:mod:`repro.analysis.datalog_model`) loads the tuples
+  verbatim as its EDB;
+* the worklist solver compiles them into interned arrays;
+* the introspection metrics and the type-sensitive context policy use the
+  auxiliary maps (``heap_type``, ``alloc_class``, actual-args index, …).
+
+All entities are encoded as the human-readable string identities assigned by
+:mod:`repro.ir.program` (qualified variables, allocation/invocation site ids,
+method ids, signature tokens, type and field names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.instructions import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+)
+from ..ir.program import Method, Program
+from ..ir.types import JAVA_STRING
+
+__all__ = ["FactBase", "encode_program"]
+
+
+@dataclass
+class FactBase:
+    """All input relations of one program, as tuple lists plus indexes."""
+
+    program: Program
+
+    # Instruction relations -- tuples follow the schema in facts.schema.
+    alloc: List[Tuple[str, str, str]] = field(default_factory=list)
+    move: List[Tuple[str, str]] = field(default_factory=list)
+    load: List[Tuple[str, str, str]] = field(default_factory=list)
+    store: List[Tuple[str, str, str]] = field(default_factory=list)
+    vcall: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    scall: List[Tuple[str, str, str]] = field(default_factory=list)
+    specialcall: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    cast: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    staticload: List[Tuple[str, str, str]] = field(default_factory=list)
+    staticstore: List[Tuple[str, str, str]] = field(default_factory=list)
+    throwinstr: List[Tuple[str, str]] = field(default_factory=list)
+    catchclause: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    # Name-and-type relations.
+    formalarg: List[Tuple[str, int, str]] = field(default_factory=list)
+    actualarg: List[Tuple[str, int, str]] = field(default_factory=list)
+    formalreturn: List[Tuple[str, str]] = field(default_factory=list)
+    actualreturn: List[Tuple[str, str]] = field(default_factory=list)
+    thisvar: List[Tuple[str, str]] = field(default_factory=list)
+    heaptype: List[Tuple[str, str]] = field(default_factory=list)
+    lookup: List[Tuple[str, str, str]] = field(default_factory=list)
+    subtype: List[Tuple[str, str]] = field(default_factory=list)
+    allocclass: List[Tuple[str, str]] = field(default_factory=list)
+    varinmeth: List[Tuple[str, str]] = field(default_factory=list)
+    invoinmeth: List[Tuple[str, str]] = field(default_factory=list)
+    reachableroot: List[Tuple[str]] = field(default_factory=list)
+
+    # Indexes used by policies, metrics, and the solver.
+    heap_type: Dict[str, str] = field(default_factory=dict)
+    alloc_class: Dict[str, str] = field(default_factory=dict)
+    vars_of_method: Dict[str, List[str]] = field(default_factory=dict)
+    args_of_invo: Dict[str, List[str]] = field(default_factory=dict)
+    method_of_invo: Dict[str, str] = field(default_factory=dict)
+    vcall_invos: Set[str] = field(default_factory=set)
+    all_heaps: Set[str] = field(default_factory=set)
+    string_const_heaps: Set[str] = field(default_factory=set)
+
+    def as_relation_dict(self) -> Dict[str, List[tuple]]:
+        """Tuples keyed by schema relation name (Datalog EDB loading)."""
+        return {
+            "ALLOC": list(self.alloc),
+            "MOVE": list(self.move),
+            "LOAD": list(self.load),
+            "STORE": list(self.store),
+            "VCALL": list(self.vcall),
+            "SCALL": list(self.scall),
+            "SPECIALCALL": list(self.specialcall),
+            "CAST": list(self.cast),
+            "STATICLOAD": list(self.staticload),
+            "STATICSTORE": list(self.staticstore),
+            "THROWINSTR": list(self.throwinstr),
+            "CATCHCLAUSE": list(self.catchclause),
+            "FORMALARG": list(self.formalarg),
+            "ACTUALARG": list(self.actualarg),
+            "FORMALRETURN": list(self.formalreturn),
+            "ACTUALRETURN": list(self.actualreturn),
+            "THISVAR": list(self.thisvar),
+            "HEAPTYPE": list(self.heaptype),
+            "LOOKUP": list(self.lookup),
+            "SUBTYPE": list(self.subtype),
+            "ALLOCCLASS": list(self.allocclass),
+            "VARINMETH": list(self.varinmeth),
+            "INVOINMETH": list(self.invoinmeth),
+            "REACHABLEROOT": list(self.reachableroot),
+        }
+
+    def alloc_class_of(self, heap: str) -> str:
+        """Type-sensitivity context element: class containing the alloc site."""
+        return self.alloc_class[heap]
+
+    def count_tuples(self) -> int:
+        return sum(len(v) for v in self.as_relation_dict().values())
+
+
+def encode_program(program: Program) -> FactBase:
+    """Encode a frozen program into its input relations."""
+    if not program.frozen:
+        raise ValueError("program must be frozen before encoding")
+    facts = FactBase(program)
+    for method in program.methods():
+        _encode_method(program, method, facts)
+    _encode_types(program, facts)
+    for ep in program.entry_points:
+        facts.reachableroot.append((ep,))
+    return facts
+
+
+def _encode_method(program: Program, method: Method, facts: FactBase) -> None:
+    mid = method.id
+    qual = method.qualified_var
+
+    local_vars = sorted(method.local_vars())
+    facts.vars_of_method[mid] = [qual(v) for v in local_vars]
+    for v in local_vars:
+        facts.varinmeth.append((qual(v), mid))
+
+    for i, p in enumerate(method.params):
+        facts.formalarg.append((mid, i, qual(p)))
+    if not method.is_static:
+        facts.thisvar.append((mid, qual("this")))
+    for rv in set(method.return_vars()):
+        facts.formalreturn.append((mid, qual(rv)))
+
+    alloc_idx = 0
+    for instr in method.instructions:
+        if isinstance(instr, Alloc):
+            heap = program.alloc_site(method, alloc_idx)
+            alloc_idx += 1
+            facts.alloc.append((qual(instr.target), heap, mid))
+            facts.heaptype.append((heap, instr.class_name))
+            facts.heap_type[heap] = instr.class_name
+            facts.allocclass.append((heap, method.class_name))
+            facts.alloc_class[heap] = method.class_name
+            facts.all_heaps.add(heap)
+        elif isinstance(instr, ConstString):
+            heap = instr.heap_id
+            facts.alloc.append((qual(instr.target), heap, mid))
+            if heap not in facts.all_heaps:
+                facts.heaptype.append((heap, JAVA_STRING))
+                facts.heap_type[heap] = JAVA_STRING
+                # Shared constants have no single allocating class; the
+                # type-sensitivity context element coarsens to the string
+                # class itself (all constants merge under type contexts).
+                facts.allocclass.append((heap, JAVA_STRING))
+                facts.alloc_class[heap] = JAVA_STRING
+                facts.all_heaps.add(heap)
+            facts.string_const_heaps.add(heap)
+        elif isinstance(instr, Move):
+            facts.move.append((qual(instr.target), qual(instr.source)))
+        elif isinstance(instr, Load):
+            facts.load.append((qual(instr.target), qual(instr.base), instr.field_name))
+        elif isinstance(instr, Store):
+            facts.store.append((qual(instr.base), instr.field_name, qual(instr.source)))
+        elif isinstance(instr, StaticLoad):
+            facts.staticload.append(
+                (qual(instr.target), instr.class_name, instr.field_name)
+            )
+        elif isinstance(instr, StaticStore):
+            facts.staticstore.append(
+                (instr.class_name, instr.field_name, qual(instr.source))
+            )
+        elif isinstance(instr, Cast):
+            facts.cast.append(
+                (qual(instr.target), instr.type_name, qual(instr.source), mid)
+            )
+        elif isinstance(instr, VirtualCall):
+            facts.vcall.append((qual(instr.base), instr.sig, instr.invo, mid))
+            facts.vcall_invos.add(instr.invo)
+            _encode_call_common(instr, qual, facts, mid)
+        elif isinstance(instr, StaticCall):
+            callee = program.lookup(instr.class_name, instr.sig)
+            assert callee is not None, "validated earlier"
+            facts.scall.append((callee.id, instr.invo, mid))
+            _encode_call_common(instr, qual, facts, mid)
+        elif isinstance(instr, SpecialCall):
+            callee = program.lookup(instr.class_name, instr.sig)
+            assert callee is not None, "validated earlier"
+            facts.specialcall.append((qual(instr.base), callee.id, instr.invo, mid))
+            _encode_call_common(instr, qual, facts, mid)
+        elif isinstance(instr, Throw):
+            facts.throwinstr.append((qual(instr.var), mid))
+        elif isinstance(instr, Catch):
+            facts.catchclause.append((mid, instr.type_name, qual(instr.target)))
+        elif isinstance(instr, Return):
+            pass  # handled via method.return_vars()
+        else:  # pragma: no cover - exhaustive over instruction kinds
+            raise TypeError(f"unencodable instruction: {instr!r}")
+
+
+def _encode_call_common(instr, qual, facts: FactBase, in_meth: str) -> None:
+    facts.args_of_invo[instr.invo] = [qual(a) for a in instr.args]
+    facts.method_of_invo[instr.invo] = in_meth
+    facts.invoinmeth.append((instr.invo, in_meth))
+    for i, a in enumerate(instr.args):
+        facts.actualarg.append((instr.invo, i, qual(a)))
+    if instr.target is not None:
+        facts.actualreturn.append((instr.invo, qual(instr.target)))
+
+
+def _encode_types(program: Program, facts: FactBase) -> None:
+    hierarchy = program.hierarchy
+    # SUBTYPE: reflexive-transitive closure, as the cast rule expects.
+    for ct in hierarchy:
+        for sup in hierarchy.supertypes(ct.name):
+            facts.subtype.append((ct.name, sup))
+    # LOOKUP: dispatch table for every *instantiable* type and every
+    # signature resolvable on it.  Only concrete classes can be receivers.
+    sigs: Set[str] = set()
+    for method in program.methods():
+        if not method.is_static:
+            sigs.add(method.sig)
+    for ct in hierarchy:
+        if ct.is_interface or ct.is_abstract:
+            continue
+        for sig in sigs:
+            target = program.lookup(ct.name, sig)
+            if target is not None and not target.is_static:
+                facts.lookup.append((ct.name, sig, target.id))

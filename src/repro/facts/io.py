@@ -1,0 +1,140 @@
+"""Saving and loading fact databases, Doop-style.
+
+Doop materializes its input relations as tab-separated ``.facts`` files and
+its outputs as delimited text; the paper's timing discussion mentions that
+the implementation "saves the first-run database and re-generates it from
+scratch".  This module provides the same workflow:
+
+* :func:`save_facts` — one ``<RELATION>.facts`` TSV per input relation;
+* :func:`load_facts` — read a directory of ``.facts`` files back into
+  relation-name -> tuple-list form (loadable into the Datalog engine or
+  comparable against an encoder run);
+* :func:`save_solution` — dump a result's computed relations
+  (``VARPOINTSTO.csv`` etc.) with contexts rendered as ``||``-joined
+  element strings.
+
+Values never contain tabs or newlines (identities are built from
+identifier-ish characters), so plain TSV is lossless; this is asserted on
+save.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..analysis.results import AnalysisResult
+from .encoder import FactBase
+from .schema import INPUT_RELATIONS
+
+__all__ = ["save_facts", "load_facts", "save_solution", "FORBIDDEN_CHARS"]
+
+FORBIDDEN_CHARS = ("\t", "\n", "\r")
+
+_CTX_SEP = "||"
+
+
+def _check_value(value: object) -> str:
+    text = str(value)
+    for ch in FORBIDDEN_CHARS:
+        if ch in text:
+            raise ValueError(f"value not TSV-safe: {text!r}")
+    return text
+
+
+def save_facts(facts: FactBase, directory: Union[str, Path]) -> List[Path]:
+    """Write one ``<RELATION>.facts`` TSV per input relation.
+
+    Returns the written paths.  Empty relations are written too (an empty
+    file), so a directory always carries the full schema.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name, rows in facts.as_relation_dict().items():
+        path = out_dir / f"{name}.facts"
+        with path.open("w") as handle:
+            for row in sorted(map(tuple, rows), key=lambda r: tuple(map(str, r))):
+                handle.write("\t".join(_check_value(v) for v in row) + "\n")
+        written.append(path)
+    return written
+
+
+def load_facts(directory: Union[str, Path]) -> Dict[str, List[tuple]]:
+    """Read a directory of ``.facts`` files back to relation tuples.
+
+    Integer-typed columns (currently only FORMALARG/ACTUALARG's index) are
+    restored from the schema.
+    """
+    out_dir = Path(directory)
+    relations: Dict[str, List[tuple]] = {}
+    int_columns = {
+        "FORMALARG": {1},
+        "ACTUALARG": {1},
+    }
+    for path in sorted(out_dir.glob("*.facts")):
+        name = path.stem
+        if name not in INPUT_RELATIONS:
+            raise ValueError(f"unknown relation file: {path.name}")
+        arity = len(INPUT_RELATIONS[name])
+        ints = int_columns.get(name, set())
+        rows: List[tuple] = []
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            parts = line.split("\t")
+            if len(parts) != arity:
+                raise ValueError(
+                    f"{path.name}:{line_no}: expected {arity} columns, "
+                    f"got {len(parts)}"
+                )
+            rows.append(
+                tuple(
+                    int(p) if i in ints else p for i, p in enumerate(parts)
+                )
+            )
+        relations[name] = rows
+    return relations
+
+
+def save_solution(
+    result: AnalysisResult, directory: Union[str, Path]
+) -> List[Path]:
+    """Dump the computed relations of a result as delimited text.
+
+    Context tuples are rendered as ``||``-joined elements (empty string for
+    the ``★`` context), one relation per ``<NAME>.csv``.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def ctx_text(ctx: tuple) -> str:
+        return _CTX_SEP.join(str(c) for c in ctx)
+
+    dumps: Dict[str, List[Tuple[str, ...]]] = {
+        "VARPOINTSTO": [
+            (var, ctx_text(ctx), heap, ctx_text(hctx))
+            for var, ctx, heap, hctx in result.iter_var_points_to()
+        ],
+        "FLDPOINTSTO": [
+            (base, ctx_text(bh), fld, heap, ctx_text(hctx))
+            for base, bh, fld, heap, hctx in result.iter_fld_points_to()
+        ],
+        "CALLGRAPH": [
+            (invo, ctx_text(cc), meth, ctx_text(ec))
+            for invo, cc, meth, ec in result.iter_call_graph()
+        ],
+        "REACHABLE": [
+            (meth, ctx_text(ctx)) for meth, ctx in result.iter_reachable()
+        ],
+        "THROWPOINTSTO": [
+            (meth, ctx_text(ctx), heap, ctx_text(hctx))
+            for meth, ctx, heap, hctx in result.iter_throw_points_to()
+        ],
+    }
+    written: List[Path] = []
+    for name, rows in dumps.items():
+        path = out_dir / f"{name}.csv"
+        with path.open("w") as handle:
+            for row in sorted(rows):
+                handle.write("\t".join(_check_value(v) for v in row) + "\n")
+        written.append(path)
+    return written

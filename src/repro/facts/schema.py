@@ -1,0 +1,69 @@
+"""Relation schema of the analysis model (paper Figure 2).
+
+Names and argument orders follow the paper exactly for the relations it
+defines; the handful of extra relations (SCALL, SPECIALCALL, CAST,
+STATICLOAD, STATICSTORE, SUBTYPE, ALLOCCLASS) cover the language extensions
+described in :mod:`repro.ir.instructions` and are named in the same style.
+
+The schema is shared by the fact encoder, the Datalog model and the metrics
+queries, so it lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["INPUT_RELATIONS", "COMPUTED_RELATIONS", "arity_of"]
+
+#: name -> attribute tuple (documentation + arity source of truth).
+INPUT_RELATIONS: Dict[str, Tuple[str, ...]] = {
+    # -- instruction relations (paper Figure 2) -------------------------
+    "ALLOC": ("var", "heap", "inMeth"),
+    "MOVE": ("to", "from"),
+    "LOAD": ("to", "base", "fld"),
+    "STORE": ("base", "fld", "from"),
+    "VCALL": ("base", "sig", "invo", "inMeth"),
+    # -- instruction relations (language extensions) --------------------
+    "SCALL": ("meth", "invo", "inMeth"),
+    "SPECIALCALL": ("base", "meth", "invo", "inMeth"),
+    "CAST": ("to", "type", "from", "inMeth"),
+    "STATICLOAD": ("to", "cls", "fld"),
+    "STATICSTORE": ("cls", "fld", "from"),
+    "THROWINSTR": ("var", "inMeth"),
+    "CATCHCLAUSE": ("meth", "type", "var"),
+    # -- name-and-type relations (paper Figure 2) -----------------------
+    "FORMALARG": ("meth", "i", "arg"),
+    "ACTUALARG": ("invo", "i", "arg"),
+    "FORMALRETURN": ("meth", "ret"),
+    "ACTUALRETURN": ("invo", "var"),
+    "THISVAR": ("meth", "this"),
+    "HEAPTYPE": ("heap", "type"),
+    "LOOKUP": ("type", "sig", "meth"),
+    # -- name-and-type relations (extensions) ---------------------------
+    "SUBTYPE": ("sub", "sup"),
+    "ALLOCCLASS": ("heap", "cls"),  # class containing the allocation site
+    "VARINMETH": ("var", "meth"),
+    "INVOINMETH": ("invo", "meth"),
+    "REACHABLEROOT": ("meth",),  # entry points seeding REACHABLE
+    # -- introspection parameterization (paper Figure 2) -----------------
+    "SITETOREFINE": ("invo", "meth"),
+    "OBJECTTOREFINE": ("heap",),
+}
+
+#: Computed (intermediate/output) relations, context arguments included.
+COMPUTED_RELATIONS: Dict[str, Tuple[str, ...]] = {
+    "VARPOINTSTO": ("var", "ctx", "heap", "hctx"),
+    "CALLGRAPH": ("invo", "callerCtx", "meth", "calleeCtx"),
+    "FLDPOINTSTO": ("baseH", "baseHCtx", "fld", "heap", "hctx"),
+    "STATICFLDPOINTSTO": ("cls", "fld", "heap", "hctx"),
+    "INTERPROCASSIGN": ("to", "toCtx", "from", "fromCtx"),
+    "REACHABLE": ("meth", "ctx"),
+    "THROWPOINTSTO": ("meth", "ctx", "heap", "hctx"),
+}
+
+
+def arity_of(relation: str) -> int:
+    """Arity of a known relation name; KeyError for unknown names."""
+    if relation in INPUT_RELATIONS:
+        return len(INPUT_RELATIONS[relation])
+    return len(COMPUTED_RELATIONS[relation])

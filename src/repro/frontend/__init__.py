@@ -1,0 +1,37 @@
+"""Textual frontend: a mini-Java-like surface language for the IR.
+
+Usage::
+
+    from repro.frontend import parse_source
+
+    program = parse_source('''
+        class Box {
+            field v;
+            method set(x) { this.v = x; }
+            method get()  { r = this.v; return r; }
+        }
+        class Main {
+            static method main() {
+                b = new Box();
+                o = new Box();
+                b.set(o);
+                g = b.get();
+            }
+        }
+    ''')
+"""
+
+from __future__ import annotations
+
+from ..ir.program import Program
+from .ast_nodes import SourceProgram
+from .lexer import SyntaxError_
+from .lowering import lower_program
+from .parser import parse_source_text
+
+__all__ = ["SyntaxError_", "parse_source", "parse_source_text", "lower_program"]
+
+
+def parse_source(text: str) -> Program:
+    """Parse and lower surface-language source to a frozen IR program."""
+    return lower_program(parse_source_text(text))

@@ -1,0 +1,173 @@
+"""AST of the textual surface language.
+
+The surface language is a small Java-flavoured notation for the IR — one
+statement per instruction, no expressions-in-expressions — so lowering is a
+direct translation.  See :mod:`repro.frontend.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SourceProgram",
+    "ClassDecl",
+    "MethodDecl",
+    "Stmt",
+    "AllocStmt",
+    "ConstStringStmt",
+    "MoveStmt",
+    "LoadStmt",
+    "StoreStmt",
+    "StaticLoadStmt",
+    "StaticStoreStmt",
+    "CastStmt",
+    "VCallStmt",
+    "SCallStmt",
+    "SpecialCallStmt",
+    "ArrayLoadStmt",
+    "ArrayStoreStmt",
+    "ReturnStmt",
+    "ThrowStmt",
+    "CatchStmt",
+]
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class AllocStmt(Stmt):
+    target: str = ""
+    class_name: str = ""
+
+
+@dataclass
+class ConstStringStmt(Stmt):
+    target: str = ""
+    value: str = ""
+
+
+@dataclass
+class MoveStmt(Stmt):
+    target: str = ""
+    source: str = ""
+
+
+@dataclass
+class LoadStmt(Stmt):
+    target: str = ""
+    base: str = ""
+    field_name: str = ""
+
+
+@dataclass
+class StoreStmt(Stmt):
+    base: str = ""
+    field_name: str = ""
+    source: str = ""
+
+
+@dataclass
+class StaticLoadStmt(Stmt):
+    target: str = ""
+    class_name: str = ""
+    field_name: str = ""
+
+
+@dataclass
+class StaticStoreStmt(Stmt):
+    class_name: str = ""
+    field_name: str = ""
+    source: str = ""
+
+
+@dataclass
+class CastStmt(Stmt):
+    target: str = ""
+    type_name: str = ""
+    source: str = ""
+
+
+@dataclass
+class VCallStmt(Stmt):
+    target: Optional[str] = None
+    base: str = ""
+    method_name: str = ""
+    args: Tuple[str, ...] = ()
+
+
+@dataclass
+class SCallStmt(Stmt):
+    target: Optional[str] = None
+    class_name: str = ""
+    method_name: str = ""
+    args: Tuple[str, ...] = ()
+
+
+@dataclass
+class SpecialCallStmt(Stmt):
+    target: Optional[str] = None
+    base: str = ""
+    class_name: str = ""
+    method_name: str = ""
+    args: Tuple[str, ...] = ()
+
+
+@dataclass
+class ArrayLoadStmt(Stmt):
+    target: str = ""
+    base: str = ""
+
+
+@dataclass
+class ArrayStoreStmt(Stmt):
+    base: str = ""
+    source: str = ""
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    var: Optional[str] = None
+
+
+@dataclass
+class ThrowStmt(Stmt):
+    var: str = ""
+
+
+@dataclass
+class CatchStmt(Stmt):
+    type_name: str = ""
+    target: str = ""
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: Tuple[str, ...]
+    body: List[Stmt] = field(default_factory=list)
+    is_static: bool = False
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: Optional[str] = None
+    interfaces: Tuple[str, ...] = ()
+    fields: Tuple[str, ...] = ()
+    static_fields: Tuple[str, ...] = ()
+    methods: List[MethodDecl] = field(default_factory=list)
+    is_interface: bool = False
+    is_abstract: bool = False
+    line: int = 0
+
+
+@dataclass
+class SourceProgram:
+    classes: List[ClassDecl] = field(default_factory=list)
+    entries: List[Tuple[str, str]] = field(default_factory=list)  # (class, method)

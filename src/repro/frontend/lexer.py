@@ -1,0 +1,70 @@
+"""Tokenizer for the surface language."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+__all__ = ["Token", "SyntaxError_", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "class",
+    "interface",
+    "abstract",
+    "extends",
+    "implements",
+    "field",
+    "static",
+    "method",
+    "new",
+    "return",
+    "throw",
+    "catch",
+    "entry",
+}
+
+
+class SyntaxError_(Exception):
+    """Lexical or syntactic error with line information."""
+
+
+class Token(NamedTuple):
+    kind: str  # 'ident', 'keyword', 'punct'
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<coloncolon>::)
+  | (?P<brackets>\[\])
+  | (?P<punct>[{}()<>,.;=])
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    line = 1
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SyntaxError_(f"line {line}: unexpected character {text[pos]!r}")
+        kind = m.lastgroup or ""
+        value = m.group()
+        start_line = line
+        line += value.count("\n")
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and value in KEYWORDS:
+            yield Token("keyword", value, start_line)
+        elif kind in ("coloncolon", "brackets", "punct"):
+            yield Token("punct", value, start_line)
+        else:
+            yield Token(kind, value, start_line)

@@ -1,0 +1,138 @@
+"""AST -> IR lowering.
+
+The surface language is a direct notation for the IR, so lowering is a
+statement-by-statement translation through the
+:class:`~repro.ir.builder.ProgramBuilder` (which also validates).  Entry
+points come from explicit ``entry Class.method;`` declarations; without
+any, every static method named ``main`` is an entry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.builder import MethodBuilder, ProgramBuilder
+from ..ir.program import Program
+from ..ir.types import OBJECT
+from .ast_nodes import (
+    AllocStmt,
+    ConstStringStmt,
+    ArrayLoadStmt,
+    ArrayStoreStmt,
+    CastStmt,
+    CatchStmt,
+    ClassDecl,
+    LoadStmt,
+    MethodDecl,
+    MoveStmt,
+    ReturnStmt,
+    SCallStmt,
+    SourceProgram,
+    SpecialCallStmt,
+    StaticLoadStmt,
+    StaticStoreStmt,
+    Stmt,
+    StoreStmt,
+    ThrowStmt,
+    VCallStmt,
+)
+from .lexer import SyntaxError_
+
+__all__ = ["lower_program"]
+
+
+def lower_program(ast: SourceProgram) -> Program:
+    """Lower a parsed surface program to a frozen, validated IR program."""
+    builder = ProgramBuilder()
+    for cls in ast.classes:
+        builder.klass(
+            cls.name,
+            super_name=cls.superclass or OBJECT,
+            interfaces=cls.interfaces,
+            fields=cls.fields,
+            static_fields=cls.static_fields,
+            interface=cls.is_interface,
+            abstract=cls.is_abstract,
+        )
+    for cls in ast.classes:
+        for method in cls.methods:
+            _lower_method(builder, cls, method)
+
+    entries = _entry_ids(ast)
+    if not entries:
+        raise SyntaxError_(
+            "no entry points: declare `entry Class.method;` or define a "
+            "static method named `main`"
+        )
+    for entry in entries[:-1]:
+        builder.entry(entry)
+    return builder.build(entry=entries[-1])
+
+
+def _entry_ids(ast: SourceProgram) -> List[str]:
+    def method_id(cls_name: str, meth_name: str) -> str:
+        for cls in ast.classes:
+            if cls.name != cls_name:
+                continue
+            for method in cls.methods:
+                if method.name == meth_name:
+                    return f"{cls_name}.{meth_name}/{len(method.params)}"
+        raise SyntaxError_(f"entry {cls_name}.{meth_name} is not defined")
+
+    if ast.entries:
+        return [method_id(c, m) for c, m in ast.entries]
+    mains: List[str] = []
+    for cls in ast.classes:
+        for method in cls.methods:
+            if method.name == "main" and method.is_static:
+                mains.append(f"{cls.name}.main/{len(method.params)}")
+    return mains
+
+
+def _lower_method(builder: ProgramBuilder, cls: ClassDecl, decl: MethodDecl) -> None:
+    with builder.method(cls.name, decl.name, decl.params, static=decl.is_static) as m:
+        for stmt in decl.body:
+            _lower_stmt(m, stmt)
+
+
+def _lower_stmt(m: MethodBuilder, stmt: Stmt) -> None:
+    if isinstance(stmt, AllocStmt):
+        m.alloc(stmt.target, stmt.class_name)
+    elif isinstance(stmt, ConstStringStmt):
+        m.const_string(stmt.target, stmt.value)
+    elif isinstance(stmt, MoveStmt):
+        m.move(stmt.target, stmt.source)
+    elif isinstance(stmt, LoadStmt):
+        m.load(stmt.target, stmt.base, stmt.field_name)
+    elif isinstance(stmt, StoreStmt):
+        m.store(stmt.base, stmt.field_name, stmt.source)
+    elif isinstance(stmt, StaticLoadStmt):
+        m.static_load(stmt.target, stmt.class_name, stmt.field_name)
+    elif isinstance(stmt, StaticStoreStmt):
+        m.static_store(stmt.class_name, stmt.field_name, stmt.source)
+    elif isinstance(stmt, CastStmt):
+        m.cast(stmt.target, stmt.source, stmt.type_name)
+    elif isinstance(stmt, VCallStmt):
+        m.vcall(stmt.base, stmt.method_name, list(stmt.args), target=stmt.target)
+    elif isinstance(stmt, SCallStmt):
+        m.scall(stmt.class_name, stmt.method_name, list(stmt.args), target=stmt.target)
+    elif isinstance(stmt, SpecialCallStmt):
+        m.special_call(
+            stmt.base,
+            stmt.class_name,
+            stmt.method_name,
+            list(stmt.args),
+            target=stmt.target,
+        )
+    elif isinstance(stmt, ArrayLoadStmt):
+        m.array_load(stmt.target, stmt.base)
+    elif isinstance(stmt, ArrayStoreStmt):
+        m.array_store(stmt.base, stmt.source)
+    elif isinstance(stmt, ReturnStmt):
+        m.ret(stmt.var)
+    elif isinstance(stmt, ThrowStmt):
+        m.throw(stmt.var)
+    elif isinstance(stmt, CatchStmt):
+        m.catch(stmt.target, stmt.type_name)
+    else:  # pragma: no cover - exhaustive over statement kinds
+        raise SyntaxError_(f"cannot lower statement {stmt!r}")

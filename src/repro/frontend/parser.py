@@ -1,0 +1,386 @@
+"""Recursive-descent parser for the surface language.
+
+Grammar (one statement per IR instruction; ``//`` and ``/* */`` comments)::
+
+    program     := (class_decl | entry_decl)*
+    entry_decl  := "entry" Ident "." Ident ";"
+    class_decl  := "abstract"? ("class" | "interface") Ident
+                   ("extends" Ident)? ("implements" Ident ("," Ident)*)?
+                   "{" member* "}"
+    member      := "static"? "field" Ident ";"
+                 | "static"? "method" Ident "(" idents? ")" "{" stmt* "}"
+
+    stmt := target "=" rhs ";"         (assignment forms below)
+          | base "." Ident "=" var ";"              // field store
+          | base "[]" "=" var ";"                   // array store
+          | Class "::" Ident "=" var ";"            // static field store
+          | call ";"                                 // call, result dropped
+          | "return" var? ";"
+          | "throw" var ";"
+          | "catch" "(" Class ")" var ";"            // handler clause
+
+    rhs  := "new" Class ("(" ")")?                  // allocation
+          | String                                   // string constant
+          | "(" Class ")" var                        // cast
+          | base "." Ident "(" vars? ")"            // virtual call
+          | base ".<" Class "::" Ident ">" "(" vars? ")"   // special call
+          | Class "::" Ident "(" vars? ")"          // static call
+          | base "." Ident                           // field load
+          | base "[]"                                // array load
+          | Class "::" Ident                         // static field load
+          | var                                      // move
+
+A name on the left of ``::`` is a class; a name before ``.`` is a local
+variable.  With no ``entry`` declaration, every static method named ``main``
+becomes an entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    AllocStmt,
+    ConstStringStmt,
+    ArrayLoadStmt,
+    ArrayStoreStmt,
+    CastStmt,
+    CatchStmt,
+    ClassDecl,
+    LoadStmt,
+    MethodDecl,
+    MoveStmt,
+    ReturnStmt,
+    SCallStmt,
+    SourceProgram,
+    SpecialCallStmt,
+    StaticLoadStmt,
+    StaticStoreStmt,
+    Stmt,
+    StoreStmt,
+    ThrowStmt,
+    VCallStmt,
+)
+from .lexer import SyntaxError_, Token, tokenize
+
+__all__ = ["parse_source_text", "SyntaxError_"]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens: List[Token] = list(tokenize(text))
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Optional[Token]:
+        idx = self._pos + ahead
+        return self._tokens[idx] if idx < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise SyntaxError_("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def _expect(self, text: str) -> Token:
+        tok = self._next()
+        if tok.text != text:
+            raise SyntaxError_(
+                f"line {tok.line}: expected {text!r}, found {tok.text!r}"
+            )
+        return tok
+
+    def _ident(self, what: str = "identifier") -> Token:
+        tok = self._next()
+        if tok.kind != "ident":
+            raise SyntaxError_(
+                f"line {tok.line}: expected {what}, found {tok.text!r}"
+            )
+        return tok
+
+    def _at(self, text: str, ahead: int = 0) -> bool:
+        tok = self._peek(ahead)
+        return tok is not None and tok.text == text
+
+    def _type_name(self, what: str = "type name") -> str:
+        """A possibly dotted type name (``java.lang.Object``).  Dotted
+        names are only valid at type positions: after ``new``, in casts,
+        extends/implements lists, and special-call class positions."""
+        parts = [self._ident(what).text]
+        while self._at("."):
+            self._next()
+            parts.append(self._ident(what).text)
+        return ".".join(parts)
+
+    # -- program structure --------------------------------------------------
+    def program(self) -> SourceProgram:
+        prog = SourceProgram()
+        while self._peek() is not None:
+            if self._at("entry"):
+                self._next()
+                parts = [self._ident("class name").text]
+                self._expect(".")
+                parts.append(self._ident("name").text)
+                while self._at("."):
+                    self._next()
+                    parts.append(self._ident("name").text)
+                self._expect(";")
+                prog.entries.append((".".join(parts[:-1]), parts[-1]))
+            else:
+                prog.classes.append(self.class_decl())
+        return prog
+
+    def class_decl(self) -> ClassDecl:
+        start = self._peek()
+        is_abstract = False
+        if self._at("abstract"):
+            self._next()
+            is_abstract = True
+        kw = self._next()
+        if kw.text not in ("class", "interface"):
+            raise SyntaxError_(
+                f"line {kw.line}: expected 'class' or 'interface', found {kw.text!r}"
+            )
+        is_interface = kw.text == "interface"
+        name = self._ident("class name").text
+        superclass = None
+        interfaces: List[str] = []
+        if self._at("extends"):
+            self._next()
+            superclass = self._type_name("superclass name")
+        if self._at("implements"):
+            self._next()
+            interfaces.append(self._type_name("interface name"))
+            while self._at(","):
+                self._next()
+                interfaces.append(self._type_name("interface name"))
+        self._expect("{")
+        decl = ClassDecl(
+            name=name,
+            superclass=superclass,
+            interfaces=tuple(interfaces),
+            is_interface=is_interface,
+            is_abstract=is_abstract,
+            line=start.line if start else 0,
+        )
+        fields: List[str] = []
+        static_fields: List[str] = []
+        while not self._at("}"):
+            is_static = False
+            if self._at("static"):
+                self._next()
+                is_static = True
+            if self._at("field"):
+                self._next()
+                fname = self._ident("field name").text
+                self._expect(";")
+                (static_fields if is_static else fields).append(fname)
+            elif self._at("method"):
+                decl.methods.append(self.method_decl(is_static))
+            else:
+                tok = self._peek()
+                raise SyntaxError_(
+                    f"line {tok.line}: expected member, found {tok.text!r}"  # type: ignore[union-attr]
+                )
+        self._expect("}")
+        decl.fields = tuple(fields)
+        decl.static_fields = tuple(static_fields)
+        return decl
+
+    def method_decl(self, is_static: bool) -> MethodDecl:
+        start = self._expect("method")
+        name = self._ident("method name").text
+        self._expect("(")
+        params: List[str] = []
+        if not self._at(")"):
+            params.append(self._ident("parameter").text)
+            while self._at(","):
+                self._next()
+                params.append(self._ident("parameter").text)
+        self._expect(")")
+        self._expect("{")
+        body: List[Stmt] = []
+        while not self._at("}"):
+            body.append(self.statement())
+        self._expect("}")
+        return MethodDecl(
+            name=name,
+            params=tuple(params),
+            body=body,
+            is_static=is_static,
+            line=start.line,
+        )
+
+    # -- statements ----------------------------------------------------
+    def statement(self) -> Stmt:
+        tok = self._peek()
+        assert tok is not None
+        line = tok.line
+        if self._at("return"):
+            self._next()
+            var = None
+            if not self._at(";"):
+                var = self._ident("return variable").text
+            self._expect(";")
+            return ReturnStmt(line=line, var=var)
+        if self._at("throw"):
+            self._next()
+            var = self._ident("thrown variable").text
+            self._expect(";")
+            return ThrowStmt(line=line, var=var)
+        if self._at("catch"):
+            self._next()
+            self._expect("(")
+            type_name = self._type_name("exception type")
+            self._expect(")")
+            target = self._ident("handler variable").text
+            self._expect(";")
+            return CatchStmt(line=line, type_name=type_name, target=target)
+
+        first = self._ident("variable or class name").text
+        if self._at("::"):
+            # Class::member = var;  or  Class::method(args);
+            self._next()
+            member = self._ident("member name").text
+            if self._at("("):
+                args = self._arg_list()
+                self._expect(";")
+                return SCallStmt(
+                    line=line,
+                    target=None,
+                    class_name=first,
+                    method_name=member,
+                    args=args,
+                )
+            self._expect("=")
+            src = self._ident("variable").text
+            self._expect(";")
+            return StaticStoreStmt(
+                line=line, class_name=first, field_name=member, source=src
+            )
+        if self._at("."):
+            # base.f = v;  or  base.m(args);  or  base.<C::m>(args);
+            self._next()
+            if self._at("<"):
+                stmt = self._special_call(line, first, target=None)
+                self._expect(";")
+                return stmt
+            member = self._ident("member name").text
+            if self._at("("):
+                args = self._arg_list()
+                self._expect(";")
+                return VCallStmt(
+                    line=line,
+                    target=None,
+                    base=first,
+                    method_name=member,
+                    args=args,
+                )
+            self._expect("=")
+            src = self._ident("variable").text
+            self._expect(";")
+            return StoreStmt(line=line, base=first, field_name=member, source=src)
+        if self._at("[]"):
+            self._next()
+            self._expect("=")
+            src = self._ident("variable").text
+            self._expect(";")
+            return ArrayStoreStmt(line=line, base=first, source=src)
+
+        self._expect("=")
+        stmt = self._assignment_rhs(line, first)
+        self._expect(";")
+        return stmt
+
+    def _assignment_rhs(self, line: int, target: str) -> Stmt:
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "string":
+            self._next()
+            return ConstStringStmt(
+                line=line, target=target, value=nxt.text[1:-1]
+            )
+        if self._at("new"):
+            self._next()
+            cls = self._type_name("class name")
+            if self._at("("):
+                self._next()
+                self._expect(")")
+            return AllocStmt(line=line, target=target, class_name=cls)
+        if self._at("("):
+            # cast: (Class) var
+            self._next()
+            cls = self._type_name()
+            self._expect(")")
+            src = self._ident("variable").text
+            return CastStmt(line=line, target=target, type_name=cls, source=src)
+
+        first = self._ident("variable or class name").text
+        if self._at("::"):
+            self._next()
+            member = self._ident("member name").text
+            if self._at("("):
+                args = self._arg_list()
+                return SCallStmt(
+                    line=line,
+                    target=target,
+                    class_name=first,
+                    method_name=member,
+                    args=args,
+                )
+            return StaticLoadStmt(
+                line=line, target=target, class_name=first, field_name=member
+            )
+        if self._at("."):
+            self._next()
+            if self._at("<"):
+                return self._special_call(line, first, target=target)
+            member = self._ident("member name").text
+            if self._at("("):
+                args = self._arg_list()
+                return VCallStmt(
+                    line=line,
+                    target=target,
+                    base=first,
+                    method_name=member,
+                    args=args,
+                )
+            return LoadStmt(line=line, target=target, base=first, field_name=member)
+        if self._at("[]"):
+            self._next()
+            return ArrayLoadStmt(line=line, target=target, base=first)
+        return MoveStmt(line=line, target=target, source=first)
+
+    def _special_call(
+        self, line: int, base: str, target: Optional[str]
+    ) -> SpecialCallStmt:
+        self._expect("<")
+        cls = self._type_name("class name")
+        self._expect("::")
+        meth = self._ident("method name").text
+        self._expect(">")
+        args = self._arg_list()
+        return SpecialCallStmt(
+            line=line,
+            target=target,
+            base=base,
+            class_name=cls,
+            method_name=meth,
+            args=args,
+        )
+
+    def _arg_list(self) -> Tuple[str, ...]:
+        self._expect("(")
+        args: List[str] = []
+        if not self._at(")"):
+            args.append(self._ident("argument").text)
+            while self._at(","):
+                self._next()
+                args.append(self._ident("argument").text)
+        self._expect(")")
+        return tuple(args)
+
+
+def parse_source_text(text: str) -> SourceProgram:
+    """Parse surface-language source into an AST."""
+    return _Parser(text).program()

@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results: tables and bar charts.
+
+The paper's figures are bar charts over benchmarks; in a terminal we render
+each as an aligned table plus horizontal ASCII bars, with full bars marked
+``TIMEOUT`` for non-terminating runs (the paper's "full bars in the time
+chart" convention).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "render_bars", "render_markdown_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]]
+) -> str:
+    """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    out = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def render_bars(
+    title: str,
+    series: Dict[str, List[Optional[float]]],
+    labels: Sequence[str],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``series`` maps a series name (analysis) to one value per label
+    (benchmark); ``None`` renders as a full TIMEOUT bar, matching the
+    paper's convention of truncated/full bars for non-terminating runs.
+    """
+    finite = [
+        v for values in series.values() for v in values if v is not None
+    ]
+    top = max(finite, default=1.0) or 1.0
+    name_w = max((len(n) for n in series), default=4)
+    out = [title]
+    for i, label in enumerate(labels):
+        out.append(f"{label}:")
+        for name, values in series.items():
+            v = values[i]
+            if v is None:
+                bar = "#" * width
+                suffix = "TIMEOUT"
+            else:
+                bar = "#" * max(1, int(round(width * v / top)))
+                suffix = f"{v:.2f}{unit}"
+            out.append(f"  {name.ljust(name_w)} |{bar} {suffix}")
+    return "\n".join(out)

@@ -1,0 +1,155 @@
+"""Budgeted analysis runs: the experiment harness's unit of work.
+
+The paper ran on a 24 GB machine with a 90-minute timeout; our stand-in is
+a *tuple budget* (total derived tuples — the quantity that actually
+explodes) plus a wall-clock guard.  :func:`run_analysis` and
+:func:`run_introspective_analysis` wrap the engines, catch
+:class:`~repro.analysis.solver.BudgetExceeded`, and return a uniform
+:class:`RunOutcome` that reporting code can render ("TIMEOUT" bars in the
+figures).
+
+``EXPERIMENT_BUDGET`` and the *scaled* heuristic constants used by every
+figure experiment live here so the whole evaluation uses one consistent
+configuration (see EXPERIMENTS.md for the scaling rationale: our synthetic
+benchmarks are ~two orders of magnitude smaller than DaCapo-on-JDK, so the
+paper's K=L=100, M=200, P=Q=10000 scale down proportionally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..analysis import AnalysisResult, AnalysisStats, BudgetExceeded, analyze
+from ..clients.precision import PrecisionReport, measure_precision
+from ..contexts.policies import ContextPolicy
+from ..facts.encoder import FactBase, encode_program
+from ..introspection.driver import IntrospectiveOutcome, run_introspective
+from ..introspection.heuristics import Heuristic, HeuristicA, HeuristicB
+from ..ir.program import Program
+from ..utils import Stopwatch
+
+__all__ = [
+    "EXPERIMENT_BUDGET",
+    "EXPERIMENT_TIME_LIMIT",
+    "RunOutcome",
+    "run_analysis",
+    "run_introspective_analysis",
+    "scaled_heuristic_a",
+    "scaled_heuristic_b",
+]
+
+#: Tuple budget standing in for the paper's 90-minute timeout.
+EXPERIMENT_BUDGET = 150_000
+
+#: Wall-clock guard (seconds) — generous; the tuple budget trips first.
+EXPERIMENT_TIME_LIMIT = 120.0
+
+
+def scaled_heuristic_a() -> HeuristicA:
+    """Heuristic A with constants scaled to the synthetic benchmark sizes."""
+    return HeuristicA(K=40, L=40, M=10)
+
+
+def scaled_heuristic_b() -> HeuristicB:
+    """Heuristic B with constants scaled to the synthetic benchmark sizes."""
+    return HeuristicB(P=150, Q=250)
+
+
+@dataclass
+class RunOutcome:
+    """One analysis run, timed and measured — or a recorded timeout."""
+
+    benchmark: str
+    analysis: str
+    seconds: float
+    timed_out: bool
+    stats: Optional[AnalysisStats] = None
+    precision: Optional[PrecisionReport] = None
+    result: Optional[AnalysisResult] = None
+    introspective: Optional[IntrospectiveOutcome] = None
+
+    @property
+    def tuples(self) -> Optional[int]:
+        return self.stats.tuple_count if self.stats else None
+
+    def cell(self) -> str:
+        """Short table-cell rendering."""
+        if self.timed_out:
+            return "TIMEOUT"
+        return f"{self.seconds:.2f}s/{self.stats.tuple_count}t"
+
+
+def run_analysis(
+    program: Program,
+    analysis: Union[str, ContextPolicy],
+    facts: Optional[FactBase] = None,
+    benchmark: str = "?",
+    max_tuples: int = EXPERIMENT_BUDGET,
+    max_seconds: float = EXPERIMENT_TIME_LIMIT,
+    with_precision: bool = True,
+) -> RunOutcome:
+    """Run one plain analysis under the experiment budget."""
+    if facts is None:
+        facts = encode_program(program)
+    name = analysis if isinstance(analysis, str) else analysis.name
+    watch = Stopwatch()
+    try:
+        result = analyze(
+            program,
+            analysis,
+            facts=facts,
+            max_tuples=max_tuples,
+            max_seconds=max_seconds,
+        )
+    except BudgetExceeded:
+        return RunOutcome(
+            benchmark=benchmark,
+            analysis=name,
+            seconds=watch.elapsed(),
+            timed_out=True,
+        )
+    return RunOutcome(
+        benchmark=benchmark,
+        analysis=result.analysis_name,
+        seconds=watch.elapsed(),
+        timed_out=False,
+        stats=result.stats(),
+        precision=measure_precision(result, facts) if with_precision else None,
+        result=result,
+    )
+
+
+def run_introspective_analysis(
+    program: Program,
+    analysis: str,
+    heuristic: Heuristic,
+    facts: Optional[FactBase] = None,
+    pass1: Optional[AnalysisResult] = None,
+    benchmark: str = "?",
+    max_tuples: int = EXPERIMENT_BUDGET,
+    max_seconds: float = EXPERIMENT_TIME_LIMIT,
+) -> RunOutcome:
+    """Run one introspective variant under the experiment budget."""
+    if facts is None:
+        facts = encode_program(program)
+    outcome = run_introspective(
+        program,
+        analysis,
+        heuristic,
+        facts=facts,
+        pass1=pass1,
+        max_tuples=max_tuples,
+        max_seconds=max_seconds,
+    )
+    result = outcome.result
+    return RunOutcome(
+        benchmark=benchmark,
+        analysis=outcome.name,
+        seconds=outcome.seconds,
+        timed_out=outcome.timed_out,
+        stats=result.stats() if result is not None else None,
+        precision=measure_precision(result, facts) if result is not None else None,
+        result=result,
+        introspective=outcome,
+    )

@@ -1,0 +1,32 @@
+"""Introspective context-sensitivity: metrics, heuristics, two-pass driver."""
+
+from .datalog_metrics import compute_metrics_datalog
+from .driver import IntrospectiveOutcome, RefinementStats, run_introspective
+from .heuristics import (
+    CustomHeuristic,
+    Heuristic,
+    HeuristicA,
+    HeuristicB,
+    RefineEverything,
+    call_site_universe,
+    object_universe,
+    string_exclusion_decision,
+)
+from .metrics import IntrospectionMetrics, compute_metrics
+
+__all__ = [
+    "CustomHeuristic",
+    "Heuristic",
+    "HeuristicA",
+    "HeuristicB",
+    "IntrospectionMetrics",
+    "IntrospectiveOutcome",
+    "RefineEverything",
+    "RefinementStats",
+    "call_site_universe",
+    "compute_metrics",
+    "compute_metrics_datalog",
+    "object_universe",
+    "string_exclusion_decision",
+    "run_introspective",
+]

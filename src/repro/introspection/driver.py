@@ -1,0 +1,165 @@
+"""The two-pass introspective analysis driver (the paper's Section 3 recipe).
+
+``run_introspective`` packages the whole pipeline:
+
+1. run a context-insensitive pass (RECORD/MERGE return ``★``,
+   refine relations empty);
+2. compute the Section 3 cost metrics over its results;
+3. apply a heuristic to obtain the exclusion sets (the complements of
+   OBJECTTOREFINE / SITETOREFINE, per footnote 4);
+4. re-run the *same* analysis code with the dual
+   :class:`~repro.contexts.introspective.IntrospectivePolicy`: refined
+   constructors everywhere except the excluded elements.
+
+Timing convention: like the paper (Section 4, "Discussion"), the headline
+``seconds`` of an introspective analysis is the *second pass only*; the
+pass-1 time and metric-computation time are reported separately
+(``pass1_seconds``, ``overhead_seconds``) so both accountings are available.
+
+Both passes accept the same tuple/time budgets; a budget trip in pass 2 is
+reported as ``timed_out`` (pass 1, being context-insensitive, is expected to
+always fit — if it does not, the budget is simply too small for the program
+and we re-raise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..analysis import AnalysisResult, BudgetExceeded, analyze
+from ..contexts.introspective import IntrospectivePolicy, RefinementDecision
+from ..contexts.policies import ContextPolicy, InsensitivePolicy, policy_by_name
+from ..facts.encoder import FactBase, encode_program
+from ..ir.program import Program
+from ..utils import Stopwatch
+from .heuristics import Heuristic, HeuristicA, call_site_universe, object_universe
+from .metrics import IntrospectionMetrics, compute_metrics
+
+__all__ = ["IntrospectiveOutcome", "RefinementStats", "run_introspective"]
+
+
+@dataclass(frozen=True)
+class RefinementStats:
+    """Figure 4's quantities: how much of the program is *not* refined."""
+
+    total_call_sites: int
+    excluded_call_sites: int
+    total_objects: int
+    excluded_objects: int
+
+    @property
+    def call_site_percent(self) -> float:
+        """% of call sites selected to not be refined."""
+        if self.total_call_sites == 0:
+            return 0.0
+        return 100.0 * self.excluded_call_sites / self.total_call_sites
+
+    @property
+    def object_percent(self) -> float:
+        """% of objects selected to not be refined."""
+        if self.total_objects == 0:
+            return 0.0
+        return 100.0 * self.excluded_objects / self.total_objects
+
+
+@dataclass
+class IntrospectiveOutcome:
+    """Everything produced by one introspective run."""
+
+    analysis_name: str
+    heuristic_name: str
+    pass1: AnalysisResult
+    metrics: IntrospectionMetrics
+    decision: RefinementDecision
+    refinement_stats: RefinementStats
+    result: Optional[AnalysisResult]  # None when pass 2 hit its budget
+    pass1_seconds: float
+    overhead_seconds: float
+    seconds: float
+    timed_out: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.analysis_name}-Intro{self.heuristic_name}"
+
+
+def run_introspective(
+    program: Program,
+    analysis: Union[str, ContextPolicy] = "2objH",
+    heuristic: Optional[Heuristic] = None,
+    facts: Optional[FactBase] = None,
+    pass1: Optional[AnalysisResult] = None,
+    max_tuples: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+) -> IntrospectiveOutcome:
+    """Run the full two-pass introspective analysis.
+
+    ``analysis`` names the refined (expensive) analysis; ``heuristic``
+    defaults to the paper's Heuristic A.  A precomputed ``pass1`` result
+    (and ``facts``) may be supplied to amortize the insensitive pass across
+    several introspective variants, as the paper's timing discussion
+    suggests.
+    """
+    if heuristic is None:
+        heuristic = HeuristicA()
+    if facts is None:
+        facts = encode_program(program)
+    refined = (
+        policy_by_name(analysis, alloc_class_of=facts.alloc_class_of)
+        if isinstance(analysis, str)
+        else analysis
+    )
+
+    watch = Stopwatch()
+    if pass1 is None:
+        pass1 = analyze(
+            program,
+            InsensitivePolicy(),
+            facts=facts,
+            max_tuples=max_tuples,
+            max_seconds=max_seconds,
+        )
+    pass1_seconds = watch.elapsed()
+
+    watch.restart()
+    metrics = compute_metrics(pass1, facts)
+    decision = heuristic.decide(metrics, facts, pass1)
+    overhead_seconds = watch.elapsed()
+
+    stats = RefinementStats(
+        total_call_sites=len({invo for invo, _ in call_site_universe(pass1)}),
+        excluded_call_sites=len({invo for invo, _ in decision.excluded_sites}),
+        total_objects=len(object_universe(pass1, facts)),
+        excluded_objects=len(decision.excluded_objects),
+    )
+
+    policy = IntrospectivePolicy(refined, decision)
+    watch.restart()
+    timed_out = False
+    result: Optional[AnalysisResult] = None
+    try:
+        result = analyze(
+            program,
+            policy,
+            facts=facts,
+            max_tuples=max_tuples,
+            max_seconds=max_seconds,
+        )
+    except BudgetExceeded:
+        timed_out = True
+    seconds = watch.elapsed()
+
+    return IntrospectiveOutcome(
+        analysis_name=refined.name,
+        heuristic_name=heuristic.name,
+        pass1=pass1,
+        metrics=metrics,
+        decision=decision,
+        refinement_stats=stats,
+        result=result,
+        pass1_seconds=pass1_seconds,
+        overhead_seconds=overhead_seconds,
+        seconds=seconds,
+        timed_out=timed_out,
+    )

@@ -1,0 +1,110 @@
+"""The six cost metrics of Section 3.
+
+All metrics are computed over the *context-insensitive projections* of a
+(normally context-insensitive) analysis result — exactly the quantities the
+paper's example Datalog query computes with count aggregation:
+
+1. **in-flow** of an invocation site: cumulative size of the points-to sets
+   of its actual arguments (distinct ``(arg, heap)`` pairs, for invocation
+   sites present in the call graph);
+2. **total points-to volume** of a method: cumulative points-to size over
+   all its local variables (variant: **max var-points-to**, the maximum);
+3. **max field points-to** of an object: maximum field points-to set over
+   its fields (variant: **total field points-to**, the sum);
+4. **max var-field points-to** of a method: maximum metric-3 value among
+   objects pointed to by the method's locals;
+5. **pointed-by-vars** of an object: number of local variables that may
+   point to it;
+6. **pointed-by-objs** of an object: number of object-field pairs that may
+   point to it.
+
+Every metric defaults to 0 for program elements that don't appear — e.g.
+unreachable methods or never-pointed-to objects.
+
+:func:`compute_metrics` is the fast path used by the experiments;
+:mod:`repro.introspection.datalog_metrics` re-expresses the same metrics as
+engine-level Datalog queries (the paper's formulation), and the test suite
+checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Set, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..facts.encoder import FactBase
+
+__all__ = ["IntrospectionMetrics", "compute_metrics"]
+
+
+@dataclass
+class IntrospectionMetrics:
+    """Metric values keyed by invocation site, method, or allocation site."""
+
+    in_flow: Dict[str, int] = field(default_factory=dict)  # metric 1, per invo
+    total_pts_volume: Dict[str, int] = field(default_factory=dict)  # 2, per meth
+    max_var_pts: Dict[str, int] = field(default_factory=dict)  # 2 variant
+    max_field_pts: Dict[str, int] = field(default_factory=dict)  # 3, per heap
+    total_field_pts: Dict[str, int] = field(default_factory=dict)  # 3 variant
+    max_var_field_pts: Dict[str, int] = field(default_factory=dict)  # 4, per meth
+    pointed_by_vars: Dict[str, int] = field(default_factory=dict)  # 5, per heap
+    pointed_by_objs: Dict[str, int] = field(default_factory=dict)  # 6, per heap
+
+    def object_weight(self, heap: str) -> int:
+        """Heuristic B's object score: total-field-pts x pointed-by-vars —
+        "an object's total potential for weighing down the analysis"."""
+        return self.total_field_pts.get(heap, 0) * self.pointed_by_vars.get(heap, 0)
+
+
+def compute_metrics(result: AnalysisResult, facts: FactBase) -> IntrospectionMetrics:
+    """Compute all six metrics from an analysis result's projections."""
+    metrics = IntrospectionMetrics()
+    var_pts: Mapping[str, Set[str]] = result.var_points_to
+    fld_pts: Mapping[Tuple[str, str], Set[str]] = result.fld_points_to
+    call_graph: Mapping[str, Set[str]] = result.call_graph
+
+    # Metric 3 (max + total variants), per object.
+    for (base_heap, _fld), heaps in fld_pts.items():
+        size = len(heaps)
+        if size > metrics.max_field_pts.get(base_heap, 0):
+            metrics.max_field_pts[base_heap] = size
+        metrics.total_field_pts[base_heap] = (
+            metrics.total_field_pts.get(base_heap, 0) + size
+        )
+
+    # Metric 6, per object.
+    for (base_heap, fld), heaps in fld_pts.items():
+        for heap in heaps:
+            metrics.pointed_by_objs[heap] = metrics.pointed_by_objs.get(heap, 0) + 1
+
+    # Metrics 2 (both variants), 4, 5 need the var -> method mapping.
+    meth_of_var: Dict[str, str] = {v: m for v, m in facts.varinmeth}
+    for var, heaps in var_pts.items():
+        size = len(heaps)
+        meth = meth_of_var.get(var)
+        if meth is not None:
+            metrics.total_pts_volume[meth] = (
+                metrics.total_pts_volume.get(meth, 0) + size
+            )
+            if size > metrics.max_var_pts.get(meth, 0):
+                metrics.max_var_pts[meth] = size
+            best = metrics.max_var_field_pts.get(meth, 0)
+            for heap in heaps:
+                mfp = metrics.max_field_pts.get(heap, 0)
+                if mfp > best:
+                    best = mfp
+            if best:
+                metrics.max_var_field_pts[meth] = best
+        for heap in heaps:
+            metrics.pointed_by_vars[heap] = metrics.pointed_by_vars.get(heap, 0) + 1
+
+    # Metric 1: in-flow, per invocation site in the call graph.
+    for invo in call_graph:
+        args = facts.args_of_invo.get(invo, ())
+        total = 0
+        for arg in set(args):
+            total += len(var_pts.get(arg, ()))
+        metrics.in_flow[invo] = total
+
+    return metrics

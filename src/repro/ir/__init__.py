@@ -1,0 +1,71 @@
+"""Typed Jimple-like intermediate representation (the paper's input language).
+
+Public surface:
+
+* :class:`ProgramBuilder` / :class:`MethodBuilder` — construct programs;
+* :class:`Program`, :class:`Method`, :class:`ClassDef` — the representation;
+* :class:`TypeHierarchy`, :class:`ClassType` — types and subtyping;
+* instruction dataclasses (``Alloc``, ``Move``, ``Load``, ``Store``,
+  ``VirtualCall``, ``StaticCall``, ``SpecialCall``, ``Cast``, …);
+* ``validate_program`` and ``dump_program`` utilities.
+"""
+
+from .builder import MethodBuilder, ProgramBuilder
+from .instructions import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Instruction,
+    Invocation,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+)
+from .printer import dump_method, dump_program, format_instruction
+from .program import ClassDef, Method, Program, ProgramError, signature
+from .types import JAVA_STRING, OBJECT, ClassType, TypeError_, TypeHierarchy
+from .validate import ValidationError, validate_program
+
+__all__ = [
+    "OBJECT",
+    "JAVA_STRING",
+    "Alloc",
+    "Cast",
+    "Catch",
+    "ConstString",
+    "ClassDef",
+    "ClassType",
+    "Instruction",
+    "Invocation",
+    "Load",
+    "Method",
+    "MethodBuilder",
+    "Move",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "Return",
+    "SpecialCall",
+    "StaticCall",
+    "StaticLoad",
+    "StaticStore",
+    "Store",
+    "Throw",
+    "TypeError_",
+    "TypeHierarchy",
+    "ValidationError",
+    "VirtualCall",
+    "dump_method",
+    "dump_program",
+    "format_instruction",
+    "signature",
+    "validate_program",
+]

@@ -1,0 +1,243 @@
+"""Fluent builder API for constructing IR programs.
+
+The builder is the main front door for tests, examples and the benchmark
+generator.  A small program looks like::
+
+    b = ProgramBuilder()
+    b.klass("Animal", abstract=True)
+    b.klass("Dog", super_name="Animal")
+    with b.method("Dog", "speak", ["loudness"]) as m:
+        m.alloc("s", "Sound")
+        m.ret("s")
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("d", "Dog")
+        m.alloc("l", "Level")
+        m.vcall("d", "speak", ["l"], target="out")
+    program = b.build(entry="Main.main/0")
+
+Method bodies are recorded through the context-manager :class:`MethodBuilder`
+and attached on exit; ``build`` freezes the program (validating the hierarchy
+and assigning site identities).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .instructions import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Instruction,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+)
+from .program import Method, Program, ProgramError, signature
+from .types import OBJECT, ClassType
+from .validate import validate_program
+
+__all__ = ["ProgramBuilder", "MethodBuilder"]
+
+
+class MethodBuilder:
+    """Accumulates the instructions of one method; see :class:`ProgramBuilder`."""
+
+    def __init__(
+        self,
+        parent: "ProgramBuilder",
+        class_name: str,
+        name: str,
+        params: Sequence[str],
+        static: bool,
+    ) -> None:
+        self._parent = parent
+        self._class_name = class_name
+        self._name = name
+        self._params = tuple(params)
+        self._static = static
+        self._instructions: List[Instruction] = []
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "MethodBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._parent._attach(
+                Method(
+                    class_name=self._class_name,
+                    name=self._name,
+                    params=self._params,
+                    instructions=tuple(self._instructions),
+                    is_static=self._static,
+                )
+            )
+
+    # -- instruction emitters --------------------------------------------
+    def emit(self, instruction: Instruction) -> "MethodBuilder":
+        self._instructions.append(instruction)
+        return self
+
+    def alloc(self, target: str, class_name: str) -> "MethodBuilder":
+        return self.emit(Alloc(target, class_name))
+
+    def const_string(self, target: str, value: str) -> "MethodBuilder":
+        return self.emit(ConstString(target, value))
+
+    def move(self, target: str, source: str) -> "MethodBuilder":
+        return self.emit(Move(target, source))
+
+    def load(self, target: str, base: str, field_name: str) -> "MethodBuilder":
+        return self.emit(Load(target, base, field_name))
+
+    def store(self, base: str, field_name: str, source: str) -> "MethodBuilder":
+        return self.emit(Store(base, field_name, source))
+
+    def static_load(
+        self, target: str, class_name: str, field_name: str
+    ) -> "MethodBuilder":
+        return self.emit(StaticLoad(target, class_name, field_name))
+
+    def static_store(
+        self, class_name: str, field_name: str, source: str
+    ) -> "MethodBuilder":
+        return self.emit(StaticStore(class_name, field_name, source))
+
+    def cast(self, target: str, source: str, type_name: str) -> "MethodBuilder":
+        return self.emit(Cast(target, source, type_name))
+
+    def vcall(
+        self,
+        base: str,
+        name: str,
+        args: Sequence[str] = (),
+        target: Optional[str] = None,
+    ) -> "MethodBuilder":
+        sig = signature(name, len(args))
+        return self.emit(
+            VirtualCall(target=target, args=tuple(args), base=base, sig=sig)
+        )
+
+    def scall(
+        self,
+        class_name: str,
+        name: str,
+        args: Sequence[str] = (),
+        target: Optional[str] = None,
+    ) -> "MethodBuilder":
+        sig = signature(name, len(args))
+        return self.emit(
+            StaticCall(target=target, args=tuple(args), class_name=class_name, sig=sig)
+        )
+
+    def special_call(
+        self,
+        base: str,
+        class_name: str,
+        name: str,
+        args: Sequence[str] = (),
+        target: Optional[str] = None,
+    ) -> "MethodBuilder":
+        sig = signature(name, len(args))
+        return self.emit(
+            SpecialCall(
+                target=target,
+                args=tuple(args),
+                base=base,
+                class_name=class_name,
+                sig=sig,
+            )
+        )
+
+    def ret(self, var: Optional[str] = None) -> "MethodBuilder":
+        return self.emit(Return(var))
+
+    def throw(self, var: str) -> "MethodBuilder":
+        return self.emit(Throw(var))
+
+    def catch(self, target: str, type_name: str) -> "MethodBuilder":
+        return self.emit(Catch(target, type_name))
+
+    # array sugar: arrays are a load/store on the distinguished field "<arr>"
+    ARRAY_FIELD = "<arr>"
+
+    def array_load(self, target: str, base: str) -> "MethodBuilder":
+        return self.load(target, base, self.ARRAY_FIELD)
+
+    def array_store(self, base: str, source: str) -> "MethodBuilder":
+        return self.store(base, self.ARRAY_FIELD, source)
+
+
+class ProgramBuilder:
+    """Builds a frozen, validated :class:`~repro.ir.program.Program`."""
+
+    def __init__(self) -> None:
+        self._program = Program()
+        self._auto_classes: bool = True
+
+    def klass(
+        self,
+        name: str,
+        super_name: str = OBJECT,
+        interfaces: Iterable[str] = (),
+        fields: Iterable[str] = (),
+        static_fields: Iterable[str] = (),
+        interface: bool = False,
+        abstract: bool = False,
+    ) -> "ProgramBuilder":
+        self._program.add_class(
+            ClassType(
+                name,
+                superclass=super_name,
+                interfaces=tuple(interfaces),
+                is_interface=interface,
+                is_abstract=abstract,
+            ),
+            fields=fields,
+            static_fields=static_fields,
+        )
+        return self
+
+    def interface(self, name: str, super_name: str = OBJECT) -> "ProgramBuilder":
+        return self.klass(name, super_name=super_name, interface=True)
+
+    def method(
+        self,
+        class_name: str,
+        name: str,
+        params: Sequence[str] = (),
+        static: bool = False,
+    ) -> MethodBuilder:
+        """Open a method body.  Declares ``class_name`` on the fly if unseen."""
+        if self._auto_classes and class_name not in self._program.classes:
+            self.klass(class_name)
+        return MethodBuilder(self, class_name, name, params, static)
+
+    def _attach(self, method: Method) -> None:
+        self._program.add_method(method)
+
+    def entry(self, method_id: str) -> "ProgramBuilder":
+        self._program.add_entry_point(method_id)
+        return self
+
+    def build(
+        self, entry: Optional[str] = None, validate: bool = True
+    ) -> Program:
+        """Freeze and (by default) validate the program."""
+        if entry is not None:
+            self._program.add_entry_point(entry)
+        if not self._program.entry_points:
+            raise ProgramError("a program needs at least one entry point")
+        self._program.freeze()
+        if validate:
+            validate_program(self._program)
+        return self._program

@@ -1,0 +1,293 @@
+"""Instructions of the analyzed intermediate language.
+
+The paper's input language (Section 2) has four instruction kinds — "new",
+"move", "store"/"load", and "virtual method call" — and the paper notes the
+language is in essence a simplified Jimple.  We implement those four plus the
+small set of extra kinds that the full Doop implementation (which the model
+abstracts) needs for the paper's precision metrics and benchmarks:
+
+* static method calls (``StaticCall``) and super/constructor calls
+  (``SpecialCall``), both statically dispatched;
+* reference casts (``Cast``), needed for the "reachable casts that may fail"
+  precision metric — casts filter points-to flow by declared type, as in Doop;
+* static (global) field access (``StaticLoad``/``StaticStore``);
+* ``Return`` to model the paper's FORMALRETURN relation.
+
+Arrays are modeled by the fact encoder as a load/store on the single
+distinguished field ``"<arr>"`` (Doop's array-insensitive treatment), so they
+need no instruction kind of their own.
+
+Every instruction is an immutable dataclass; variables are plain strings that
+are local to the enclosing method.  Invocation sites and allocation sites get
+globally unique string identities when a method is attached to a program
+(:mod:`repro.ir.program`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "Instruction",
+    "Alloc",
+    "ConstString",
+    "Move",
+    "Load",
+    "Store",
+    "StaticLoad",
+    "StaticStore",
+    "Cast",
+    "Invocation",
+    "VirtualCall",
+    "StaticCall",
+    "SpecialCall",
+    "Return",
+    "Throw",
+    "Catch",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions."""
+
+    def defined_vars(self) -> Iterator[str]:
+        """Local variables written by this instruction."""
+        return iter(())
+
+    def used_vars(self) -> Iterator[str]:
+        """Local variables read by this instruction."""
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Alloc(Instruction):
+    """``target = new class_name``.
+
+    The allocation site is the heap abstraction: one abstract object per
+    ``Alloc`` instruction (plus heap context, added by the analysis).
+    """
+
+    target: str
+    class_name: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+
+@dataclass(frozen=True)
+class ConstString(Instruction):
+    """``target = "value"`` — a string constant.
+
+    Following Doop, all occurrences of the same constant share one global
+    heap object ``<"value">`` of type ``java.lang.String``.  Doop's
+    documented hard-coded heuristic of allocating strings
+    context-insensitively is available as
+    :func:`repro.introspection.heuristics.string_exclusion_decision` —
+    which is nothing but a fixed introspective refinement decision.
+    """
+
+    target: str
+    value: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+    @property
+    def heap_id(self) -> str:
+        return f'<"{self.value}">'
+
+
+@dataclass(frozen=True)
+class Move(Instruction):
+    """``target = source`` — copy between locals."""
+
+    target: str
+    source: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.source
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``target = base.field``."""
+
+    target: str
+    base: str
+    field_name: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.base
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``base.field = source``."""
+
+    base: str
+    field_name: str
+    source: str
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.base
+        yield self.source
+
+
+@dataclass(frozen=True)
+class StaticLoad(Instruction):
+    """``target = class_name.field`` (static field read)."""
+
+    target: str
+    class_name: str
+    field_name: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+
+@dataclass(frozen=True)
+class StaticStore(Instruction):
+    """``class_name.field = source`` (static field write)."""
+
+    class_name: str
+    field_name: str
+    source: str
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.source
+
+
+@dataclass(frozen=True)
+class Cast(Instruction):
+    """``target = (type_name) source``.
+
+    Casts filter the points-to flow: only objects whose dynamic type is a
+    subtype of ``type_name`` propagate to ``target`` (Doop's AssignCast
+    semantics).  The "casts that may fail" client counts reachable casts
+    whose *source* may point to an object failing this check.
+    """
+
+    target: str
+    source: str
+    type_name: str
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.source
+
+
+@dataclass(frozen=True)
+class Invocation(Instruction):
+    """Base of all call instructions.
+
+    ``target`` receives the return value (``None`` if discarded).  ``invo``
+    is the globally unique invocation-site id, assigned by the program when
+    the enclosing method is attached; it is the ``I`` element of the paper's
+    domain and the key of SITETOREFINE.
+    """
+
+    target: Optional[str]
+    args: Tuple[str, ...]
+    invo: str = field(default="", compare=False)
+
+    def defined_vars(self) -> Iterator[str]:
+        if self.target is not None:
+            yield self.target
+
+    def used_vars(self) -> Iterator[str]:
+        yield from self.args
+
+
+@dataclass(frozen=True)
+class VirtualCall(Invocation):
+    """``target = base.sig(args)`` — dispatched on the dynamic type of base.
+
+    ``sig`` is a method signature string (``name/arity``); the analysis
+    resolves it with LOOKUP on the receiver object's type.
+    """
+
+    base: str = ""
+    sig: str = ""
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.base
+        yield from self.args
+
+
+@dataclass(frozen=True)
+class StaticCall(Invocation):
+    """``target = class_name.sig(args)`` — statically bound, no receiver."""
+
+    class_name: str = ""
+    sig: str = ""
+
+
+@dataclass(frozen=True)
+class SpecialCall(Invocation):
+    """``target = base.<class_name::sig>(args)`` — statically bound with a
+    receiver: constructor invocations and ``super`` calls."""
+
+    base: str = ""
+    class_name: str = ""
+    sig: str = ""
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.base
+        yield from self.args
+
+
+@dataclass(frozen=True)
+class Return(Instruction):
+    """``return var`` (or bare ``return`` when ``var`` is ``None``)."""
+
+    var: Optional[str] = None
+
+    def used_vars(self) -> Iterator[str]:
+        if self.var is not None:
+            yield self.var
+
+
+@dataclass(frozen=True)
+class Throw(Instruction):
+    """``throw var`` — raise the exception object(s) ``var`` points to.
+
+    Exception flow is flow-insensitive and method-scoped (a simplification
+    of Doop's per-instruction handler ranges, consistent with the rest of
+    the model): a thrown object is caught by any type-matching
+    :class:`Catch` clause of the *same* method, and escapes to the callers
+    otherwise.
+    """
+
+    var: str = ""
+
+    def used_vars(self) -> Iterator[str]:
+        yield self.var
+
+
+@dataclass(frozen=True)
+class Catch(Instruction):
+    """``catch (type_name) target`` — a handler clause of the enclosing
+    method.
+
+    Binds every exception raised in the method (by its own ``throw``
+    instructions or propagated from its callees) whose dynamic type is a
+    subtype of ``type_name``.  All matching clauses bind (a sound
+    over-approximation of Java's first-match dispatch under our
+    flow-insensitive, method-scoped model).
+    """
+
+    target: str = ""
+    type_name: str = ""
+
+    def defined_vars(self) -> Iterator[str]:
+        yield self.target

@@ -1,0 +1,103 @@
+"""Textual dump of IR programs, for debugging and golden tests.
+
+The format round-trips through :mod:`repro.frontend` for the instruction
+kinds the frontend supports; it is primarily a human-readable inspection
+aid (``print(dump_program(p))``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Instruction,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+)
+from .program import Method, Program
+
+__all__ = ["dump_program", "dump_method", "format_instruction"]
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line rendering of a single instruction."""
+    if isinstance(instr, Alloc):
+        return f"{instr.target} = new {instr.class_name}"
+    if isinstance(instr, ConstString):
+        return f'{instr.target} = "{instr.value}"'
+    if isinstance(instr, Move):
+        return f"{instr.target} = {instr.source}"
+    if isinstance(instr, Load):
+        return f"{instr.target} = {instr.base}.{instr.field_name}"
+    if isinstance(instr, Store):
+        return f"{instr.base}.{instr.field_name} = {instr.source}"
+    if isinstance(instr, StaticLoad):
+        return f"{instr.target} = {instr.class_name}::{instr.field_name}"
+    if isinstance(instr, StaticStore):
+        return f"{instr.class_name}::{instr.field_name} = {instr.source}"
+    if isinstance(instr, Cast):
+        return f"{instr.target} = ({instr.type_name}) {instr.source}"
+    if isinstance(instr, VirtualCall):
+        lhs = f"{instr.target} = " if instr.target else ""
+        return f"{lhs}{instr.base}.{instr.sig}({', '.join(instr.args)})"
+    if isinstance(instr, StaticCall):
+        lhs = f"{instr.target} = " if instr.target else ""
+        return f"{lhs}{instr.class_name}::{instr.sig}({', '.join(instr.args)})"
+    if isinstance(instr, SpecialCall):
+        lhs = f"{instr.target} = " if instr.target else ""
+        return (
+            f"{lhs}{instr.base}.<{instr.class_name}::{instr.sig}>"
+            f"({', '.join(instr.args)})"
+        )
+    if isinstance(instr, Return):
+        return f"return {instr.var}" if instr.var else "return"
+    if isinstance(instr, Throw):
+        return f"throw {instr.var}"
+    if isinstance(instr, Catch):
+        return f"catch ({instr.type_name}) {instr.target}"
+    raise TypeError(f"unknown instruction: {instr!r}")
+
+
+def dump_method(method: Method) -> str:
+    mod = "static " if method.is_static else ""
+    header = f"  {mod}{method.name}({', '.join(method.params)})"
+    body = "\n".join(f"    {format_instruction(i)}" for i in method.instructions)
+    return f"{header} {{\n{body}\n  }}" if body else f"{header} {{ }}"
+
+
+def dump_program(program: Program) -> str:
+    """Full textual rendering of a program, classes in name order."""
+    out: List[str] = []
+    for name in sorted(program.classes):
+        cd = program.classes[name]
+        if not cd.methods and not cd.fields and not cd.static_fields:
+            continue
+        ct = cd.type
+        kind = "interface" if ct.is_interface else "class"
+        mods = "abstract " if ct.is_abstract else ""
+        extends = f" extends {ct.superclass}" if ct.superclass else ""
+        implements = (
+            f" implements {', '.join(ct.interfaces)}" if ct.interfaces else ""
+        )
+        out.append(f"{mods}{kind} {name}{extends}{implements} {{")
+        for fld in cd.fields:
+            out.append(f"  field {fld}")
+        for fld in cd.static_fields:
+            out.append(f"  static field {fld}")
+        for sig in sorted(cd.methods):
+            out.append(dump_method(cd.methods[sig]))
+        out.append("}")
+    out.append(f"// entry points: {', '.join(program.entry_points)}")
+    return "\n".join(out)

@@ -1,0 +1,204 @@
+"""Class types and the type hierarchy of the analyzed language.
+
+The input language of the paper (Section 2) is a simplified Jimple-like
+intermediate language for a class-based object-oriented language.  Types are
+reference types only: classes and interfaces arranged in a single-inheritance
+class hierarchy with multiple interface implementation.  Primitive values are
+irrelevant to a points-to analysis and are not modeled.
+
+The central service this module provides is subtyping (``TypeHierarchy``),
+which the analysis needs for two purposes:
+
+* method dispatch (``LOOKUP`` in the paper's Figure 2 walks the superclass
+  chain of the receiver's dynamic type), and
+* cast filtering / the "casts that may fail" precision metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "ClassType",
+    "TypeHierarchy",
+    "TypeError_",
+    "OBJECT",
+    "JAVA_STRING",
+]
+
+#: Name of the implicit root of every hierarchy.
+OBJECT = "java.lang.Object"
+
+#: Name of the implicit string class (the type of string constants).
+JAVA_STRING = "java.lang.String"
+
+
+class TypeError_(Exception):
+    """Raised on malformed type declarations (cycles, unknown supertypes)."""
+
+
+@dataclass(frozen=True)
+class ClassType:
+    """A class or interface declaration.
+
+    Parameters
+    ----------
+    name:
+        Fully qualified, globally unique type name.
+    superclass:
+        Name of the direct superclass.  ``None`` only for the hierarchy root
+        (``java.lang.Object``).  Interfaces also record a superclass (their
+        super-interface or the root) to keep lookup uniform.
+    interfaces:
+        Names of directly implemented interfaces.
+    is_interface:
+        Interfaces cannot be instantiated and never win method dispatch
+        (their methods are abstract); they only contribute to subtyping.
+    is_abstract:
+        Abstract classes cannot be instantiated but may define methods that
+        concrete subclasses inherit.
+    """
+
+    name: str
+    superclass: Optional[str] = OBJECT
+    interfaces: Tuple[str, ...] = ()
+    is_interface: bool = False
+    is_abstract: bool = False
+
+    def __post_init__(self) -> None:
+        if self.name == self.superclass:
+            raise TypeError_(f"type {self.name!r} cannot be its own superclass")
+
+
+class TypeHierarchy:
+    """An immutable-after-``freeze`` collection of class types with subtyping.
+
+    Usage: add every :class:`ClassType`, then call :meth:`freeze` (done by
+    ``Program.freeze``).  ``freeze`` validates that all supertype references
+    resolve, that there are no inheritance cycles, and precomputes the
+    transitive supertype sets so that :meth:`is_subtype` is O(1).
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, ClassType] = {}
+        self._supertypes: Dict[str, FrozenSet[str]] = {}
+        self._subtypes: Dict[str, FrozenSet[str]] = {}
+        self._frozen = False
+        self.add(ClassType(OBJECT, superclass=None))
+        self.add(ClassType(JAVA_STRING))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, class_type: ClassType) -> ClassType:
+        """Register a type declaration.  Names must be unique."""
+        if self._frozen:
+            raise TypeError_("cannot add types to a frozen hierarchy")
+        if class_type.name in self._types:
+            raise TypeError_(f"duplicate type declaration: {class_type.name!r}")
+        self._types[class_type.name] = class_type
+        return class_type
+
+    def freeze(self) -> None:
+        """Validate the hierarchy and precompute transitive supertypes."""
+        if self._frozen:
+            return
+        for ct in self._types.values():
+            for ref in self._direct_super_names(ct):
+                if ref not in self._types:
+                    raise TypeError_(
+                        f"type {ct.name!r} references unknown supertype {ref!r}"
+                    )
+        for name in self._types:
+            self._supertypes[name] = frozenset(self._compute_supertypes(name))
+        subtypes: Dict[str, Set[str]] = {name: set() for name in self._types}
+        for name, supers in self._supertypes.items():
+            for sup in supers:
+                subtypes[sup].add(name)
+        self._subtypes = {name: frozenset(subs) for name, subs in subtypes.items()}
+        self._frozen = True
+
+    def _direct_super_names(self, ct: ClassType) -> Iterator[str]:
+        if ct.superclass is not None:
+            yield ct.superclass
+        yield from ct.interfaces
+
+    def _compute_supertypes(self, name: str) -> Set[str]:
+        """All supertypes of ``name``, including itself.  Detects cycles."""
+        result: Set[str] = set()
+        stack: List[str] = [name]
+        on_path: Set[str] = set()
+
+        def visit(n: str, path: Tuple[str, ...]) -> None:
+            if n in path:
+                cycle = " -> ".join(path + (n,))
+                raise TypeError_(f"inheritance cycle: {cycle}")
+            if n in result:
+                return
+            result.add(n)
+            for sup in self._direct_super_names(self._types[n]):
+                visit(sup, path + (n,))
+
+        del stack, on_path  # simple recursive formulation is clearest here
+        visit(name, ())
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __getitem__(self, name: str) -> ClassType:
+        return self._types[name]
+
+    def __iter__(self) -> Iterator[ClassType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def names(self) -> Iterable[str]:
+        return self._types.keys()
+
+    def get(self, name: str) -> Optional[ClassType]:
+        return self._types.get(name)
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """``True`` iff ``sub`` <: ``sup`` (reflexive, transitive)."""
+        self._require_frozen()
+        supers = self._supertypes.get(sub)
+        if supers is None:
+            raise TypeError_(f"unknown type: {sub!r}")
+        return sup in supers
+
+    def supertypes(self, name: str) -> FrozenSet[str]:
+        """All supertypes of ``name`` including itself."""
+        self._require_frozen()
+        return self._supertypes[name]
+
+    def subtypes(self, name: str) -> FrozenSet[str]:
+        """All subtypes of ``name`` including itself."""
+        self._require_frozen()
+        return self._subtypes[name]
+
+    def superclass_chain(self, name: str) -> Iterator[ClassType]:
+        """``name``, its superclass, its superclass's superclass, ... to root.
+
+        This is the dispatch-resolution order: interfaces are not included
+        because they cannot provide a concrete method body.
+        """
+        current: Optional[str] = name
+        while current is not None:
+            ct = self._types[current]
+            yield ct
+            current = ct.superclass
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise TypeError_("hierarchy must be frozen before querying subtyping")

@@ -1,0 +1,61 @@
+"""Small shared utilities: string interning and a monotonic stopwatch."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Generic, Hashable, List, TypeVar
+
+__all__ = ["Interner", "Stopwatch"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Interner(Generic[T]):
+    """Bidirectional mapping of hashable values to dense integer ids.
+
+    Used to intern variables, heaps, methods, invocation sites, fields and
+    types so the solver's hot loops work on small integers.
+    """
+
+    __slots__ = ("_by_value", "_by_id")
+
+    def __init__(self) -> None:
+        self._by_value: Dict[T, int] = {}
+        self._by_id: List[T] = []
+
+    def intern(self, value: T) -> int:
+        idx = self._by_value.get(value)
+        if idx is None:
+            idx = len(self._by_id)
+            self._by_value[value] = idx
+            self._by_id.append(value)
+        return idx
+
+    def get(self, value: T) -> int:
+        """Id of an already-interned value; KeyError if unseen."""
+        return self._by_value[value]
+
+    def __contains__(self, value: T) -> bool:
+        return value in self._by_value
+
+    def value(self, idx: int) -> T:
+        return self._by_id[idx]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def values(self) -> List[T]:
+        return list(self._by_id)
+
+
+class Stopwatch:
+    """Monotonic elapsed-seconds stopwatch."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def restart(self) -> None:
+        self._start = time.monotonic()

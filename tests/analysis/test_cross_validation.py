@@ -1,0 +1,139 @@
+"""Cross-validation: the worklist solver and the Datalog model must compute
+exactly the same VARPOINTSTO / CALLGRAPH / REACHABLE / FLDPOINTSTO relations
+on every program kind, for every context flavor, including introspective
+configurations and both refinement-set polarities."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.contexts import InsensitivePolicy, IntrospectivePolicy, RefinementDecision
+from tests.conftest import (
+    build_box_program,
+    build_kitchen_sink_program,
+    build_tiny_program,
+)
+
+PROGRAMS = {
+    "tiny": build_tiny_program,
+    "boxes": build_box_program,
+    "kitchen-sink": build_kitchen_sink_program,
+}
+
+FLAVORS = ["insens", "2objH", "2callH", "2typeH", "1objH", "2objH+hybrid"]
+
+
+def solver_relations(result):
+    return (
+        frozenset(result.iter_var_points_to()),
+        frozenset(result.iter_fld_points_to()),
+        frozenset(result.iter_call_graph()),
+        frozenset(result.iter_reachable()),
+    )
+
+
+def model_relations(model_result):
+    return (
+        model_result.var_points_to,
+        model_result.fld_points_to,
+        model_result.call_graph,
+        model_result.reachable,
+    )
+
+
+@pytest.mark.parametrize("flavor", FLAVORS)
+@pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+def test_plain_analyses_agree(prog_name, flavor):
+    program = PROGRAMS[prog_name]()
+    facts = encode_program(program)
+    policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+    solver = analyze(program, policy, facts=facts)
+    model = DatalogPointsToAnalysis(program, policy, facts=facts).run()
+    assert solver_relations(solver) == model_relations(model)
+
+
+def introspective_setup(program):
+    """An arbitrary but nonempty refinement decision over the box program."""
+    facts = encode_program(program)
+    pass1 = analyze(program, "insens", facts=facts)
+    cg_pairs = {
+        (invo, meth)
+        for invo, targets in pass1.call_graph.items()
+        for meth in targets
+    }
+    all_objects = set(facts.all_heaps)
+    # exclude one box allocation and one call-site pair, refine the rest
+    excluded_objects = {h for h in all_objects if h.endswith("BoxFactory0.make/0/new Box/0")}
+    excluded_objects = excluded_objects or {sorted(all_objects)[0]}
+    excluded_sites = {sorted(cg_pairs)[0]}
+    return facts, pass1, all_objects, cg_pairs, excluded_objects, excluded_sites
+
+
+@pytest.mark.parametrize("flavor", ["2objH", "2callH"])
+def test_introspective_agree_complement_polarity(flavor):
+    program = build_box_program()
+    facts, _p1, _objs, _sites, excl_obj, excl_sites = introspective_setup(program)
+    refined = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+
+    solver = analyze(
+        program,
+        IntrospectivePolicy(refined, RefinementDecision(excl_obj, excl_sites)),
+        facts=facts,
+    )
+    model = DatalogPointsToAnalysis(
+        program,
+        InsensitivePolicy(),
+        refined_policy=refined,
+        facts=facts,
+        polarity="complement",
+        excluded_objects=excl_obj,
+        excluded_sites=excl_sites,
+    ).run()
+    assert solver_relations(solver) == model_relations(model)
+
+
+def test_positive_and_complement_polarity_agree():
+    """Footnote 4: the positive-form and complement-form gating must be
+    equivalent when SITETOREFINE = universe - exclusions."""
+    program = build_box_program()
+    facts, pass1, all_objects, cg_pairs, excl_obj, excl_sites = introspective_setup(
+        program
+    )
+    refined = policy_by_name("2objH")
+
+    complement = DatalogPointsToAnalysis(
+        program,
+        InsensitivePolicy(),
+        refined_policy=refined,
+        facts=facts,
+        polarity="complement",
+        excluded_objects=excl_obj,
+        excluded_sites=excl_sites,
+    ).run()
+    positive = DatalogPointsToAnalysis(
+        program,
+        InsensitivePolicy(),
+        refined_policy=refined,
+        facts=facts,
+        polarity="positive",
+        objects_to_refine=all_objects - excl_obj,
+        sites_to_refine=cg_pairs - excl_sites,
+    ).run()
+    assert model_relations(complement) == model_relations(positive)
+
+
+def test_first_pass_with_empty_refine_sets_is_insensitive():
+    """Paper Section 3: in the first run SITETOREFINE/OBJECTTOREFINE are
+    empty (positive polarity) and the refined constructors never fire, even
+    though they are configured."""
+    program = build_tiny_program()
+    facts = encode_program(program)
+    first_pass = DatalogPointsToAnalysis(
+        program,
+        InsensitivePolicy(),
+        refined_policy=policy_by_name("2objH"),
+        facts=facts,
+        polarity="positive",
+    ).run()
+    plain = DatalogPointsToAnalysis(program, InsensitivePolicy(), facts=facts).run()
+    assert model_relations(first_pass) == model_relations(plain)

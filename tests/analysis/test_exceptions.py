@@ -1,0 +1,249 @@
+"""Tests for the exception-flow extension: throw/catch semantics,
+propagation through the call graph, context-sensitivity of handlers,
+engine cross-validation, and the exceptions client."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.clients import analyze_exceptions
+
+
+def build_and_run(setup, analysis="insens"):
+    b = ProgramBuilder()
+    b.klass("Exc")
+    b.klass("IOExc", super_name="Exc")
+    b.klass("NetExc", super_name="Exc")
+    setup(b)
+    p = b.build(entry="Main.main/0")
+    return analyze(p, analysis), p
+
+
+class TestLocalThrowCatch:
+    def test_matching_clause_binds(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+                m.catch("h", "IOExc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h") == {"Main.main/0/new IOExc/0"}
+        assert r.throw_points_to == {}
+
+    def test_supertype_clause_catches_subtype(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+                m.catch("h", "Exc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h") == {"Main.main/0/new IOExc/0"}
+
+    def test_subtype_clause_misses_supertype(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "Exc")
+                m.throw("e")
+                m.catch("h", "IOExc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h") == set()
+        assert r.throw_points_to["Main.main/0"] == {"Main.main/0/new Exc/0"}
+
+    def test_all_matching_clauses_bind(self):
+        """Any-match over-approximation: both clauses receive."""
+
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+                m.catch("h1", "IOExc")
+                m.catch("h2", "Exc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h1") == {"Main.main/0/new IOExc/0"}
+        assert r.points_to("Main.main/0/h2") == {"Main.main/0/new IOExc/0"}
+
+    def test_uncaught_escapes(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "NetExc")
+                m.throw("e")
+                m.catch("h", "IOExc")
+
+        r, _ = build_and_run(setup)
+        assert r.throw_points_to["Main.main/0"] == {"Main.main/0/new NetExc/0"}
+
+
+class TestPropagation:
+    def test_escape_through_call_chain(self):
+        def setup(b):
+            with b.method("Deep", "boom", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+            with b.method("Mid", "relay", [], static=True) as m:
+                m.scall("Deep", "boom", [])
+            with b.method("Main", "main", [], static=True) as m:
+                m.scall("Mid", "relay", [])
+                m.catch("h", "IOExc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h") == {"Deep.boom/0/new IOExc/0"}
+        assert "Mid.relay/0" in r.throw_points_to
+        assert "Main.main/0" not in r.throw_points_to
+
+    def test_intermediate_handler_filters(self):
+        """Mid catches IOExc; only NetExc reaches main."""
+
+        def setup(b):
+            with b.method("Deep", "boom", [], static=True) as m:
+                m.alloc("io", "IOExc")
+                m.throw("io")
+                m.alloc("net", "NetExc")
+                m.throw("net")
+            with b.method("Mid", "relay", [], static=True) as m:
+                m.scall("Deep", "boom", [])
+                m.catch("local", "IOExc")
+            with b.method("Main", "main", [], static=True) as m:
+                m.scall("Mid", "relay", [])
+                m.catch("h", "Exc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Mid.relay/0/local") == {"Deep.boom/0/new IOExc/0"}
+        assert r.points_to("Main.main/0/h") == {"Deep.boom/0/new NetExc/1"}
+
+    def test_virtual_call_propagation(self):
+        def setup(b):
+            b.klass("Thrower")
+            with b.method("Thrower", "go", []) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("t", "Thrower")
+                m.vcall("t", "go", [])
+                m.catch("h", "IOExc")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/h") == {"Thrower.go/0/new IOExc/0"}
+
+    def test_exception_objects_flow_like_objects(self):
+        """A caught exception is an ordinary value afterwards."""
+
+        def setup(b):
+            b.klass("Holder", fields=["f"])
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+                m.catch("h", "Exc")
+                m.alloc("box", "Holder")
+                m.store("box", "f", "h")
+                m.load("back", "box", "f")
+
+        r, _ = build_and_run(setup)
+        assert r.points_to("Main.main/0/back") == {"Main.main/0/new IOExc/0"}
+
+
+class TestContextSensitivity:
+    @pytest.fixture(scope="class")
+    def program(self):
+        """Two workers throw their own exception objects through a shared
+        helper; context-sensitivity keeps the handlers apart."""
+        b = ProgramBuilder()
+        b.klass("Exc")
+        b.klass("Worker", fields=["payload"])
+        with b.method("Worker", "setup", ["e"]) as m:
+            m.store("this", "payload", "e")
+        with b.method("Worker", "fail", []) as m:
+            m.load("e", "this", "payload")
+            m.throw("e")
+        for i in range(2):
+            with b.method(f"Site{i}", "run", ["w"], static=True) as m:
+                m.vcall("w", "fail", [])
+                m.catch("h", "Exc")
+        with b.method("Main", "main", [], static=True) as m:
+            for i in range(2):
+                m.alloc(f"w{i}", "Worker")
+                m.alloc(f"e{i}", "Exc")
+                m.vcall(f"w{i}", "setup", [f"e{i}"])
+                m.scall(f"Site{i}", "run", [f"w{i}"])
+        return b.build(entry="Main.main/0")
+
+    def test_insensitive_conflates_handlers(self, program):
+        r = analyze(program, "insens")
+        assert len(r.points_to("Site0.run/1/h")) == 2
+
+    def test_object_sensitivity_separates_handlers(self, program):
+        r = analyze(program, "2objH")
+        assert r.points_to("Site0.run/1/h") == {"Main.main/0/new Exc/1"}
+        assert r.points_to("Site1.run/1/h") == {"Main.main/0/new Exc/3"}
+
+    def test_throw_points_to_relation_has_contexts(self, program):
+        r = analyze(program, "2objH")
+        rows = list(r.iter_throw_points_to())
+        # Worker.fail escapes per receiver context before being caught
+        fails = [row for row in rows if row[0] == "Worker.fail/0"]
+        assert len(fails) == 2
+        assert {row[1] for row in fails} == {
+            ("Main.main/0/new Worker/0",),
+            ("Main.main/0/new Worker/2",),
+        }
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("flavor", ["insens", "2objH", "2callH", "2typeH"])
+    def test_solver_matches_model(self, flavor):
+        b = ProgramBuilder()
+        b.klass("Exc")
+        b.klass("IOExc", super_name="Exc")
+        with b.method("Lib", "risky", []) as m:
+            m.alloc("e", "IOExc")
+            m.throw("e")
+            m.ret("this")
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("lib", "Lib")
+            m.vcall("lib", "risky", [], target="r")
+            m.catch("h", "IOExc")
+            m.alloc("raw", "Exc")
+            m.throw("raw")
+        program = b.build(entry="Main.main/0")
+        facts = encode_program(program)
+        policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+        solver = analyze(program, policy, facts=facts)
+        model = DatalogPointsToAnalysis(program, policy, facts=facts).run()
+        assert frozenset(solver.iter_var_points_to()) == model.var_points_to
+        assert (
+            frozenset(solver.iter_throw_points_to()) == model.throw_points_to
+        )
+
+
+class TestExceptionsClient:
+    def test_report(self):
+        def setup(b):
+            with b.method("Lib", "boom", [], static=True) as m:
+                m.alloc("e", "NetExc")
+                m.throw("e")
+            with b.method("Main", "main", [], static=True) as m:
+                m.scall("Lib", "boom", [])
+                m.catch("dead", "IOExc")  # never matches NetExc
+
+        r, p = build_and_run(setup)
+        report = analyze_exceptions(r, encode_program(p))
+        assert report.may_crash
+        assert report.escaping["Main.main/0"] == {"Lib.boom/0/new NetExc/0"}
+        assert report.escaping_count == 1
+        assert report.dead_handlers == {"Main.main/0/dead"}
+        assert "escaping 1" in report.summary()
+
+    def test_clean_program(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("e", "IOExc")
+                m.throw("e")
+                m.catch("h", "Exc")
+
+        r, p = build_and_run(setup)
+        report = analyze_exceptions(r, encode_program(p))
+        assert not report.may_crash
+        assert report.dead_handlers == frozenset()

@@ -1,0 +1,104 @@
+"""Tests for the IR -> input-relations encoder (paper Figure 2's EDB)."""
+
+import pytest
+
+from repro import encode_program
+from repro.facts import INPUT_RELATIONS, arity_of
+
+
+class TestInstructionRelations:
+    def test_alloc(self, tiny_facts):
+        assert ("Main.main/0/a", "Main.main/0/new A/0", "Main.main/0") in tiny_facts.alloc
+
+    def test_vcall(self, tiny_facts):
+        rows = {r for r in tiny_facts.vcall}
+        assert ("Main.main/0/a", "id/1", "Main.main/0/invo/0", "Main.main/0") in rows
+
+    def test_load_store(self, tiny_facts):
+        assert ("Main.main/0/x", "Main.main/0/a", "f") in tiny_facts.load
+        assert ("Main.main/0/a", "f", "Main.main/0/b") in tiny_facts.store
+
+    def test_cast(self, tiny_facts):
+        assert (
+            "Main.main/0/y",
+            "B",
+            "Main.main/0/x",
+            "Main.main/0",
+        ) in tiny_facts.cast
+
+
+class TestNameAndTypeRelations:
+    def test_formal_and_actual_args(self, tiny_facts):
+        assert ("A.id/1", 0, "A.id/1/p") in tiny_facts.formalarg
+        assert ("Main.main/0/invo/0", 0, "Main.main/0/b") in tiny_facts.actualarg
+
+    def test_formal_and_actual_returns(self, tiny_facts):
+        assert ("A.id/1", "A.id/1/p") in tiny_facts.formalreturn
+        assert ("Main.main/0/invo/0", "Main.main/0/r1") in tiny_facts.actualreturn
+
+    def test_thisvar_only_for_instance_methods(self, tiny_facts):
+        meths = {m for m, _ in tiny_facts.thisvar}
+        assert meths == {"A.id/1", "B.id/1"}
+
+    def test_heaptype(self, tiny_facts):
+        assert tiny_facts.heap_type["Main.main/0/new B/1"] == "B"
+
+    def test_allocclass_for_type_sensitivity(self, tiny_facts):
+        assert tiny_facts.alloc_class_of("Main.main/0/new A/0") == "Main"
+        assert tiny_facts.alloc_class_of("B.id/1/new B/0") == "B"
+
+    def test_lookup_covers_concrete_receivers(self, tiny_facts):
+        rows = set(tiny_facts.lookup)
+        assert ("A", "id/1", "A.id/1") in rows
+        assert ("B", "id/1", "B.id/1") in rows
+        # abstract/interface types never appear as receivers
+        assert all(t not in ("java.lang.Object",) or m for t, _s, m in rows)
+
+    def test_subtype_reflexive_transitive(self, tiny_facts):
+        rows = set(tiny_facts.subtype)
+        assert ("B", "B") in rows
+        assert ("B", "A") in rows
+        assert ("B", "java.lang.Object") in rows
+        assert ("A", "B") not in rows
+
+    def test_reachable_roots_are_entry_points(self, tiny_facts):
+        assert tiny_facts.reachableroot == [("Main.main/0",)]
+
+    def test_vars_of_method_qualified(self, tiny_facts):
+        main_vars = set(tiny_facts.vars_of_method["Main.main/0"])
+        assert "Main.main/0/a" in main_vars and "Main.main/0/y" in main_vars
+
+
+class TestKitchenSink:
+    def test_special_and_static_calls(self, kitchen_sink_program):
+        facts = encode_program(kitchen_sink_program)
+        assert any(callee == "Animal.init/1" for _b, callee, _i, _m in facts.specialcall)
+        assert any(callee == "Util.pick/2" for callee, _i, _m in facts.scall)
+
+    def test_static_fields(self, kitchen_sink_program):
+        facts = encode_program(kitchen_sink_program)
+        assert any(
+            (cls, fld) == ("Globals", "shared") for _v, cls, fld in facts.staticload
+        )
+        assert any(
+            (cls, fld) == ("Globals", "shared") for cls, fld, _v in facts.staticstore
+        )
+
+    def test_relation_dict_matches_schema(self, kitchen_sink_program):
+        facts = encode_program(kitchen_sink_program)
+        rel_dict = facts.as_relation_dict()
+        for name, rows in rel_dict.items():
+            assert name in INPUT_RELATIONS
+            for row in rows:
+                assert len(row) == arity_of(name), name
+
+    def test_count_tuples_positive(self, tiny_facts):
+        assert tiny_facts.count_tuples() > 20
+
+
+class TestErrors:
+    def test_unfrozen_program_rejected(self):
+        from repro.ir.program import Program
+
+        with pytest.raises(ValueError, match="frozen"):
+            encode_program(Program())

@@ -1,0 +1,159 @@
+"""Property-based whole-pipeline tests on randomly generated programs.
+
+A hypothesis strategy builds small but structurally rich valid IR programs
+(hierarchy with overriding, virtual/static calls, field traffic, casts).
+Two invariants are checked on every sample:
+
+* **engine agreement** — the worklist solver and the Figure 3 Datalog model
+  derive exactly the same relations, for insensitive and deep-context
+  flavors (the strongest correctness check we have: two independent
+  implementations of the same specification);
+* **projection soundness** — collapsing contexts of any context-sensitive
+  result yields a subset of the context-insensitive result (each sensitive
+  derivation maps homomorphically onto an insensitive one).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ProgramBuilder, analyze, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+
+CLASSES = ["C0", "C1", "C2", "C3"]  # chain: C3 <: C2 <: C1 <: C0
+VARS = ["v0", "v1", "v2", "v3"]
+FIELDS = ["f", "g"]
+CATCH_TYPES = CLASSES + ["java.lang.Object"]
+
+
+@st.composite
+def instructions(draw, vars_pool, allow_this):
+    """One random instruction descriptor."""
+    pool = vars_pool + (["this"] if allow_this else [])
+    kind = draw(
+        st.sampled_from(
+            [
+                "alloc",
+                "move",
+                "store",
+                "load",
+                "cast",
+                "vcall",
+                "scall",
+                "ret",
+                "throw",
+                "catch",
+            ]
+        )
+    )
+    v = lambda: draw(st.sampled_from(pool))  # noqa: E731
+    tgt = lambda: draw(st.sampled_from(vars_pool))  # noqa: E731
+    if kind == "alloc":
+        return ("alloc", tgt(), draw(st.sampled_from(CLASSES)))
+    if kind == "move":
+        return ("move", tgt(), v())
+    if kind == "store":
+        return ("store", v(), draw(st.sampled_from(FIELDS)), v())
+    if kind == "load":
+        return ("load", tgt(), v(), draw(st.sampled_from(FIELDS)))
+    if kind == "cast":
+        return ("cast", tgt(), v(), draw(st.sampled_from(CLASSES)))
+    if kind == "vcall":
+        return ("vcall", v(), draw(st.sampled_from(["m0", "m1"])), v(), tgt())
+    if kind == "scall":
+        return ("scall", draw(st.sampled_from(["s0", "s1"])), v(), tgt())
+    if kind == "throw":
+        return ("throw", v())
+    if kind == "catch":
+        return ("catch", tgt(), draw(st.sampled_from(CATCH_TYPES)))
+    return ("ret", v())
+
+
+def body(draw, vars_pool, allow_this, max_size=7):
+    return draw(
+        st.lists(instructions(vars_pool, allow_this), min_size=1, max_size=max_size)
+    )
+
+
+@st.composite
+def programs(draw):
+    b = ProgramBuilder()
+    prev = None
+    for name in CLASSES:
+        b.klass(name, super_name=prev or "java.lang.Object", fields=FIELDS)
+        prev = name
+
+    def emit(m, instrs):
+        for ins in instrs:
+            if ins[0] == "alloc":
+                m.alloc(ins[1], ins[2])
+            elif ins[0] == "move":
+                m.move(ins[1], ins[2])
+            elif ins[0] == "store":
+                m.store(ins[1], ins[2], ins[3])
+            elif ins[0] == "load":
+                m.load(ins[1], ins[2], ins[3])
+            elif ins[0] == "cast":
+                m.cast(ins[1], ins[2], ins[3])
+            elif ins[0] == "vcall":
+                m.vcall(ins[1], ins[2], [ins[3]], target=ins[4])
+            elif ins[0] == "scall":
+                m.scall("Util", ins[1], [ins[2]], target=ins[3])
+            elif ins[0] == "throw":
+                m.throw(ins[1])
+            elif ins[0] == "catch":
+                m.catch(ins[1], ins[2])
+            elif ins[0] == "ret":
+                m.ret(ins[1])
+
+    # m0 defined at the root and overridden mid-chain; m1 only at the root.
+    for cls, meth in (("C0", "m0"), ("C2", "m0"), ("C0", "m1")):
+        with b.method(cls, meth, ["p"]) as m:
+            emit(m, body(draw, VARS + ["p"], allow_this=True))
+    for meth in ("s0", "s1"):
+        with b.method("Util", meth, ["p"], static=True) as m:
+            emit(m, body(draw, VARS + ["p"], allow_this=False))
+    with b.method("Main", "main", [], static=True) as m:
+        emit(m, body(draw, VARS, allow_this=False, max_size=10))
+    return b.build(entry="Main.main/0")
+
+
+def solver_relations(result):
+    return (
+        frozenset(result.iter_var_points_to()),
+        frozenset(result.iter_fld_points_to()),
+        frozenset(result.iter_call_graph()),
+        frozenset(result.iter_reachable()),
+    )
+
+
+@given(programs(), st.sampled_from(["insens", "2objH", "2callH", "2typeH"]))
+@settings(max_examples=40, deadline=None)
+def test_solver_matches_datalog_model(program, flavor):
+    facts = encode_program(program)
+    policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+    solver = analyze(program, policy, facts=facts)
+    model = DatalogPointsToAnalysis(program, policy, facts=facts).run()
+    assert solver_relations(solver) == (
+        model.var_points_to,
+        model.fld_points_to,
+        model.call_graph,
+        model.reachable,
+    )
+    assert frozenset(solver.iter_throw_points_to()) == model.throw_points_to
+
+
+@given(programs(), st.sampled_from(["2objH", "2callH", "2typeH", "2objH+hybrid"]))
+@settings(max_examples=40, deadline=None)
+def test_sensitive_projection_subset_of_insensitive(program, flavor):
+    facts = encode_program(program)
+    insens = analyze(program, "insens", facts=facts)
+    policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+    sensitive = analyze(program, policy, facts=facts)
+
+    insens_vpt = insens.var_points_to
+    for var, heaps in sensitive.var_points_to.items():
+        assert heaps <= insens_vpt.get(var, set()), var
+    assert sensitive.reachable_methods <= insens.reachable_methods
+    insens_cg = insens.call_graph
+    for invo, targets in sensitive.call_graph.items():
+        assert targets <= insens_cg.get(invo, set()), invo

@@ -1,0 +1,83 @@
+"""Tests for AnalysisResult projections and stats."""
+
+import pytest
+
+from repro import analyze, encode_program
+
+
+class TestProjections:
+    def test_var_points_to_projection(self, tiny_program):
+        r = analyze(tiny_program, "2objH")
+        proj = r.var_points_to
+        assert proj["Main.main/0/a"] == {"Main.main/0/new A/0"}
+        # contexts are collapsed: each var maps to plain heap names
+        for heaps in proj.values():
+            assert all(isinstance(h, str) for h in heaps)
+
+    def test_points_to_unknown_var_is_empty(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        assert r.points_to("Main.main/0/ghost") == frozenset()
+
+    def test_fld_points_to_projection(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        assert r.fld_points_to[("Main.main/0/new A/0", "f")] == {
+            "Main.main/0/new B/1"
+        }
+
+    def test_call_graph_projection(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        targets = {m for ms in r.call_graph.values() for m in ms}
+        assert targets == {"A.id/1", "B.id/1"}
+
+    def test_reachable_methods(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        assert r.reachable_methods == {"Main.main/0", "A.id/1", "B.id/1"}
+
+    def test_vcall_resolved_targets(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        assert r.vcall_resolved_targets("Main.main/0/invo/0") == {"A.id/1"}
+        assert r.vcall_resolved_targets("Main.main/0/invo/1") == {"B.id/1"}
+        assert r.vcall_resolved_targets("no/such/site") == frozenset()
+
+    def test_projections_are_cached(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        assert r.var_points_to is r.var_points_to
+
+
+class TestIteration:
+    def test_iter_var_points_to_shape(self, tiny_program):
+        r = analyze(tiny_program, "2objH")
+        for var, ctx, heap, hctx in r.iter_var_points_to():
+            assert isinstance(var, str) and isinstance(heap, str)
+            assert isinstance(ctx, tuple) and isinstance(hctx, tuple)
+
+    def test_iter_call_graph_shape(self, tiny_program):
+        r = analyze(tiny_program, "2callH")
+        edges = list(r.iter_call_graph())
+        assert edges
+        for invo, caller_ctx, meth, callee_ctx in edges:
+            assert "invo" in invo
+            assert isinstance(caller_ctx, tuple)
+            assert meth in r.reachable_methods
+            assert isinstance(callee_ctx, tuple)
+
+
+class TestStats:
+    def test_stats_fields(self, tiny_program):
+        r = analyze(tiny_program, "insens")
+        s = r.stats()
+        assert s.analysis == "insens"
+        assert s.reachable_methods == 3
+        assert s.contexts == 1
+        assert s.heap_contexts == 1
+        assert s.var_pts_tuples > 0
+        assert s.tuple_count >= s.var_pts_tuples
+        assert not s.timed_out
+
+    def test_stats_row_keys(self, tiny_program):
+        row = analyze(tiny_program, "insens").stats().row()
+        assert {"analysis", "seconds", "tuples", "var-pts", "cg-edges"} <= set(row)
+
+    def test_timed_out_flag_propagates(self, tiny_program):
+        s = analyze(tiny_program, "insens").stats(timed_out=True)
+        assert s.timed_out

@@ -1,0 +1,300 @@
+"""Tests for the worklist solver's core semantics, flow by flow."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze
+
+
+def pts(result, var):
+    return set(result.points_to(var))
+
+
+def build_and_run(setup, analysis="insens"):
+    b = ProgramBuilder()
+    setup(b)
+    p = b.build(entry="Main.main/0")
+    return analyze(p, analysis), p
+
+
+class TestAllocAndMove:
+    def test_alloc_flows_to_target(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("x", "java.lang.Object")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/x") == {"Main.main/0/new java.lang.Object/0"}
+
+    def test_move_copies(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("x", "java.lang.Object")
+                m.move("y", "x")
+                m.move("z", "y")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/z") == {"Main.main/0/new java.lang.Object/0"}
+
+    def test_move_is_flow_insensitive(self):
+        """y = x before x is assigned still sees x's objects (Section 2:
+        the analysis is flow-insensitive)."""
+
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.move("y", "x")
+                m.alloc("x", "java.lang.Object")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/y") == {"Main.main/0/new java.lang.Object/0"}
+
+    def test_moves_accumulate(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("a", "java.lang.Object")
+                m.alloc("b", "java.lang.Object")
+                m.move("x", "a")
+                m.move("x", "b")
+
+        r, _ = build_and_run(setup)
+        assert len(pts(r, "Main.main/0/x")) == 2
+
+
+class TestFields:
+    def test_store_load_roundtrip(self):
+        def setup(b):
+            b.klass("Holder", fields=["f"])
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("h", "Holder")
+                m.alloc("v", "java.lang.Object")
+                m.store("h", "f", "v")
+                m.load("out", "h", "f")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/out") == {"Main.main/0/new java.lang.Object/1"}
+
+    def test_field_sensitivity(self):
+        """Distinct fields of the same object do not alias."""
+
+        def setup(b):
+            b.klass("Holder", fields=["f", "g"])
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("h", "Holder")
+                m.alloc("v", "java.lang.Object")
+                m.store("h", "f", "v")
+                m.load("out", "h", "g")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/out") == set()
+
+    def test_aliased_bases_share_fields(self):
+        def setup(b):
+            b.klass("Holder", fields=["f"])
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("h", "Holder")
+                m.move("h2", "h")
+                m.alloc("v", "java.lang.Object")
+                m.store("h", "f", "v")
+                m.load("out", "h2", "f")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/out") == {"Main.main/0/new java.lang.Object/1"}
+
+    def test_static_fields_are_global(self):
+        def setup(b):
+            b.klass("G", static_fields=["s"])
+            with b.method("Util", "reader", [], static=True) as m:
+                m.static_load("v", "G", "s")
+                m.ret("v")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("x", "java.lang.Object")
+                m.static_store("G", "s", "x")
+                m.scall("Util", "reader", [], target="got")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/got") == {"Main.main/0/new java.lang.Object/0"}
+
+    def test_arrays_conflate_elements(self):
+        def setup(b):
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("arr", "java.lang.Object")
+                m.alloc("a", "java.lang.Object")
+                m.alloc("b", "java.lang.Object")
+                m.array_store("arr", "a")
+                m.array_store("arr", "b")
+                m.array_load("out", "arr")
+
+        r, _ = build_and_run(setup)
+        assert len(pts(r, "Main.main/0/out")) == 2
+
+
+class TestCalls:
+    def test_static_call_params_and_return(self):
+        def setup(b):
+            with b.method("Util", "id", ["p"], static=True) as m:
+                m.ret("p")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("x", "java.lang.Object")
+                m.scall("Util", "id", ["x"], target="y")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/y") == {"Main.main/0/new java.lang.Object/0"}
+
+    def test_virtual_dispatch_on_dynamic_type(self):
+        def setup(b):
+            b.klass("Animal", abstract=True)
+            b.klass("Dog", super_name="Animal")
+            b.klass("Cat", super_name="Animal")
+            b.klass("Bone")
+            b.klass("Fish")
+            with b.method("Dog", "food", []) as m:
+                m.alloc("f", "Bone")
+                m.ret("f")
+            with b.method("Cat", "food", []) as m:
+                m.alloc("f", "Fish")
+                m.ret("f")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("d", "Dog")
+                m.vcall("d", "food", [], target="df")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/df") == {"Dog.food/0/new Bone/0"}
+        # Cat.food must not be reachable
+        assert "Cat.food/0" not in r.reachable_methods
+
+    def test_inherited_method_dispatch(self):
+        def setup(b):
+            b.klass("Base")
+            b.klass("Derived", super_name="Base")
+            with b.method("Base", "self", []) as m:
+                m.ret("this")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("d", "Derived")
+                m.vcall("d", "self", [], target="s")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/s") == {"Main.main/0/new Derived/0"}
+
+    def test_this_binding(self):
+        def setup(b):
+            b.klass("A")
+            with b.method("A", "me", []) as m:
+                m.ret("this")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("a1", "A")
+                m.alloc("a2", "A")
+                m.vcall("a1", "me", [], target="r")
+
+        r, _ = build_and_run(setup)
+        # insensitively, `this` merges both receivers only if both call;
+        # here only a1 calls, so r is exactly a1's object
+        assert pts(r, "Main.main/0/r") == {"Main.main/0/new A/0"}
+
+    def test_unresolvable_dispatch_is_silent(self):
+        def setup(b):
+            b.klass("A")
+            b.klass("B")
+            with b.method("B", "run", []) as m:
+                m.ret()
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("a", "A")
+                m.vcall("a", "run", [])  # A has no run/0
+
+        r, _ = build_and_run(setup)
+        assert "B.run/0" not in r.reachable_methods
+
+    def test_special_call_binds_this_statically(self):
+        def setup(b):
+            b.klass("Base")
+            b.klass("Derived", super_name="Base")
+            with b.method("Base", "init", []) as m:
+                m.ret("this")
+            with b.method("Derived", "init", []) as m:
+                m.alloc("other", "java.lang.Object")
+                m.ret("other")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("d", "Derived")
+                # super-call: statically bound to Base.init
+                m.special_call("d", "Base", "init", [], target="r")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/r") == {"Main.main/0/new Derived/0"}
+        assert "Derived.init/0" not in r.reachable_methods
+
+    def test_multiple_returns_union(self):
+        def setup(b):
+            with b.method("Util", "pick", [], static=True) as m:
+                m.alloc("a", "java.lang.Object")
+                m.alloc("b", "java.lang.Object")
+                m.ret("a")
+                m.ret("b")
+            with b.method("Main", "main", [], static=True) as m:
+                m.scall("Util", "pick", [], target="r")
+
+        r, _ = build_and_run(setup)
+        assert len(pts(r, "Main.main/0/r")) == 2
+
+    def test_unreachable_method_not_analyzed(self):
+        def setup(b):
+            with b.method("Dead", "code", [], static=True) as m:
+                m.alloc("x", "java.lang.Object")
+            with b.method("Main", "main", [], static=True) as m:
+                m.ret()
+
+        r, _ = build_and_run(setup)
+        assert "Dead.code/0" not in r.reachable_methods
+        assert pts(r, "Dead.code/0/x") == set()
+
+
+class TestCasts:
+    def test_cast_filters_incompatible(self):
+        def setup(b):
+            b.klass("A")
+            b.klass("B", super_name="A")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("a", "A")
+                m.alloc("b", "B")
+                m.move("x", "a")
+                m.move("x", "b")
+                m.cast("y", "x", "B")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/y") == {"Main.main/0/new B/1"}
+
+    def test_upcast_keeps_everything(self):
+        def setup(b):
+            b.klass("A")
+            b.klass("B", super_name="A")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("b", "B")
+                m.cast("y", "b", "A")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/y") == {"Main.main/0/new B/0"}
+
+    def test_cast_to_interface(self):
+        def setup(b):
+            b.interface("I")
+            b.klass("A", interfaces=["I"])
+            b.klass("B")
+            with b.method("Main", "main", [], static=True) as m:
+                m.alloc("a", "A")
+                m.alloc("b", "B")
+                m.move("x", "a")
+                m.move("x", "b")
+                m.cast("y", "x", "I")
+
+        r, _ = build_and_run(setup)
+        assert pts(r, "Main.main/0/y") == {"Main.main/0/new A/0"}
+
+
+class TestEntryPoints:
+    def test_multiple_entry_points(self):
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("x", "java.lang.Object")
+        with b.method("Alt", "boot", [], static=True) as m:
+            m.alloc("y", "java.lang.Object")
+        b.entry("Main.main/0")
+        p = b.build(entry="Alt.boot/0")
+        r = analyze(p, "insens")
+        assert {"Main.main/0", "Alt.boot/0"} <= set(r.reachable_methods)

@@ -1,0 +1,53 @@
+"""Tests for the solver's resource budgets (the paper's timeout analog)."""
+
+import pytest
+
+from repro import BudgetExceeded, ProgramBuilder, analyze
+from repro.benchgen import BenchmarkSpec, HubSpec, generate
+
+
+def explosive_program():
+    """A small hub program whose 2objH cost far exceeds its insens cost."""
+    spec = BenchmarkSpec(
+        name="boom",
+        util_classes=0,
+        strategy_clusters=(),
+        box_groups=(),
+        sink_groups=(),
+        hubs=(HubSpec(readers=40, elements=40, chain=10),),
+    )
+    return generate(spec)
+
+
+class TestTupleBudget:
+    def test_budget_exceeded_raises(self):
+        program = explosive_program()
+        with pytest.raises(BudgetExceeded) as info:
+            analyze(program, "2objH", max_tuples=2000)
+        assert info.value.tuples > 2000
+        assert "tuple budget" in str(info.value)
+
+    def test_generous_budget_passes(self):
+        program = explosive_program()
+        result = analyze(program, "2objH", max_tuples=10_000_000)
+        assert result.stats().tuple_count > 2000
+
+    def test_insensitive_fits_where_sensitive_does_not(self):
+        """The bimodality in miniature: same program, same budget."""
+        program = explosive_program()
+        budget = 5000
+        insens = analyze(program, "insens", max_tuples=budget)
+        assert insens.stats().tuple_count <= budget
+        with pytest.raises(BudgetExceeded):
+            analyze(program, "2objH", max_tuples=budget)
+
+    def test_budget_none_means_unlimited(self):
+        program = explosive_program()
+        analyze(program, "2objH")  # must terminate without budget
+
+
+class TestTimeBudget:
+    def test_zero_time_budget_trips(self):
+        program = explosive_program()
+        with pytest.raises(BudgetExceeded, match="time budget"):
+            analyze(program, "2objH", max_seconds=0.0)

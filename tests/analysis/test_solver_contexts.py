@@ -1,0 +1,116 @@
+"""Tests for context-sensitivity behavior: where precision appears and how
+the flavors differ — on the classic container example."""
+
+import pytest
+
+from repro import analyze
+from tests.conftest import build_box_program
+
+
+ALL_SENSITIVE = ["2objH", "2callH", "2typeH", "1objH", "2objH+hybrid"]
+
+
+class TestBoxSeparation:
+    """The conftest box program: three boxes, each holding its own item."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_box_program(boxes=3)
+
+    def test_insensitive_conflates(self, program):
+        r = analyze(program, "insens")
+        for k in range(3):
+            assert len(r.points_to(f"Main.main/0/g{k}")) == 3
+
+    @pytest.mark.parametrize("analysis", ALL_SENSITIVE)
+    def test_sensitive_separates(self, program, analysis):
+        r = analyze(program, analysis)
+        for k in range(3):
+            assert r.points_to(f"Main.main/0/g{k}") == {
+                f"Main.main/0/new Item{k}/{k}"
+            }
+
+    @pytest.mark.parametrize("analysis", ALL_SENSITIVE + ["insens"])
+    def test_sensitive_subset_of_insensitive(self, program, analysis):
+        """Soundness-style sanity: refined projections never exceed the
+        insensitive ones on this program family."""
+        insens = analyze(program, "insens").var_points_to
+        refined = analyze(program, analysis).var_points_to
+        for var, heaps in refined.items():
+            assert heaps <= insens.get(var, set()), var
+
+    def test_context_counts_grow_with_sensitivity(self, program):
+        insens = analyze(program, "insens")
+        obj = analyze(program, "2objH")
+        assert len(insens.raw.ctxs) == 1
+        assert len(obj.raw.ctxs) > 1
+
+
+class TestContextsInResults:
+    def test_insensitive_contexts_are_star(self):
+        r = analyze(build_box_program(1), "insens")
+        for _var, ctx, _heap, hctx in r.iter_var_points_to():
+            assert ctx == ()
+            assert hctx == ()
+
+    def test_object_contexts_are_allocation_sites(self):
+        r = analyze(build_box_program(2), "2objH")
+        set_contexts = {
+            ctx
+            for meth, ctx in r.iter_reachable()
+            if meth == "Box.set/1" and ctx != ()
+        }
+        # Box.set runs once per box object: context = the box's alloc site.
+        assert {ctx[0] for ctx in set_contexts} == {
+            "BoxFactory0.make/0/new Box/0",
+            "BoxFactory1.make/0/new Box/0",
+        }
+
+    def test_call_site_contexts_are_invocation_sites(self):
+        r = analyze(build_box_program(2), "2callH")
+        set_contexts = {
+            ctx for meth, ctx in r.iter_reachable() if meth == "Box.set/1"
+        }
+        assert all("invo" in ctx[0] for ctx in set_contexts)
+
+    def test_type_contexts_are_class_names(self):
+        r = analyze(build_box_program(2), "2typeH")
+        set_contexts = {
+            ctx
+            for meth, ctx in r.iter_reachable()
+            if meth == "Box.set/1" and ctx != ()
+        }
+        assert {ctx[0] for ctx in set_contexts} == {
+            "BoxFactory0",
+            "BoxFactory1",
+        }
+
+
+class TestHeapContext:
+    def test_heap_context_qualifies_allocations(self):
+        """Under 2objH, an object allocated inside a method running in
+        context (c,) gets heap context (c,) — RECORD = ctx truncation."""
+        from repro import ProgramBuilder
+
+        b = ProgramBuilder()
+        b.klass("Factory")
+        b.klass("Product")
+        with b.method("Factory", "make", []) as m:
+            m.alloc("p", "Product")
+            m.ret("p")
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("f1", "Factory")
+            m.alloc("f2", "Factory")
+            m.vcall("f1", "make", [], target="p1")
+            m.vcall("f2", "make", [], target="p2")
+        p = b.build(entry="Main.main/0")
+        r = analyze(p, "2objH")
+        hctxs = {
+            (heap, hctx)
+            for var, _ctx, heap, hctx in r.iter_var_points_to()
+            if var in ("Main.main/0/p1", "Main.main/0/p2")
+        }
+        assert hctxs == {
+            ("Factory.make/0/new Product/0", ("Main.main/0/new Factory/0",)),
+            ("Factory.make/0/new Product/0", ("Main.main/0/new Factory/1",)),
+        }

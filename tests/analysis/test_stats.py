@@ -1,0 +1,70 @@
+"""Tests for the cost-explanation report."""
+
+import pytest
+
+from repro import analyze, encode_program
+from repro.analysis.stats import explain_costs
+from repro.benchgen import BenchmarkSpec, HubSpec, generate
+
+
+@pytest.fixture(scope="module")
+def hub_setup():
+    spec = BenchmarkSpec(
+        name="hot",
+        util_classes=4,
+        util_methods_per_class=3,
+        strategy_clusters=(3,),
+        box_groups=(),
+        sink_groups=(),
+        hubs=(HubSpec(readers=12, elements=10, chain=5),),
+    )
+    program = generate(spec)
+    facts = encode_program(program)
+    result = analyze(program, "2objH", facts=facts)
+    return program, facts, result
+
+
+class TestExplainCosts:
+    def test_hub_reader_is_hottest_by_contexts(self, hub_setup):
+        _, facts, result = hub_setup
+        report = explain_costs(result, facts)
+        top_methods = [m for m, _n in report.method_contexts[:3]]
+        assert "HReader0.consume/1" in top_methods
+        consume_contexts = dict(report.method_contexts)["HReader0.consume/1"]
+        assert consume_contexts == 12  # one per reader object
+
+    def test_hub_reader_dominates_tuples(self, hub_setup):
+        _, facts, result = hub_setup
+        report = explain_costs(result, facts)
+        assert report.method_tuples[0][0] == "HReader0.consume/1"
+        # the pathological method carries the bulk of the work
+        assert report.concentration(top=3) > 0.5
+
+    def test_histogram_accounts_for_all_methods(self, hub_setup):
+        _, facts, result = hub_setup
+        report = explain_costs(result, facts)
+        assert sum(report.context_histogram.values()) == len(
+            report.method_contexts
+        )
+        assert report.context_histogram[12] >= 1  # consume's bucket
+
+    def test_heap_context_fanout(self, hub_setup):
+        _, facts, result = hub_setup
+        report = explain_costs(result, facts)
+        top_heap, n = report.object_heap_contexts[0]
+        # wrapper objects get one heap context per reader
+        assert "HWrap0" in top_heap
+        assert n == 12
+
+    def test_render(self, hub_setup):
+        _, facts, result = hub_setup
+        report = explain_costs(result, facts)
+        text = report.render(top=3)
+        assert "hottest methods by contexts" in text
+        assert "HReader0.consume/1" in text
+
+    def test_insensitive_run_is_flat(self, hub_setup):
+        program, facts, _ = hub_setup
+        report = explain_costs(analyze(program, "insens", facts=facts), facts)
+        assert all(n == 1 for _m, n in report.method_contexts)
+        assert set(report.context_histogram) == {1}

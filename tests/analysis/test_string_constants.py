@@ -1,0 +1,138 @@
+"""Tests for string constants and Doop's hard-coded string heuristic.
+
+The paper (Section 5) lists "allocating strings ... context-insensitively"
+among the frameworks' hard-coded heuristics — which introspective analysis
+generalizes.  Our `string_exclusion_decision` expresses that heuristic as
+a fixed RefinementDecision, making the subsumption literal.
+"""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program, policy_by_name
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.contexts import IntrospectivePolicy
+from repro.introspection import string_exclusion_decision
+from repro.ir import JAVA_STRING
+
+
+def string_factory_program():
+    """A factory stamping labels: every call allocates nothing — it returns
+    one of the shared string constants."""
+    b = ProgramBuilder()
+    b.klass("Tag", fields=["label"])
+    with b.method("Labels", "ok", [], static=True) as m:
+        m.const_string("s", "OK")
+        m.ret("s")
+    with b.method("Labels", "err", [], static=True) as m:
+        m.const_string("s", "ERROR")
+        m.ret("s")
+    with b.method("Tag", "init", ["l"]) as m:
+        m.store("this", "label", "l")
+    with b.method("TagFactory", "make", [], static=True) as m:
+        m.alloc("t", "Tag")
+        m.ret("t")
+    with b.method("Main", "main", [], static=True) as m:
+        m.scall("TagFactory", "make", [], target="t1")
+        m.scall("Labels", "ok", [], target="l1")
+        m.vcall("t1", "init", ["l1"])
+        m.scall("TagFactory", "make", [], target="t2")
+        m.scall("Labels", "err", [], target="l2")
+        m.vcall("t2", "init", ["l2"])
+        m.const_string("again", "OK")
+        m.cast("str_check", "again", JAVA_STRING)
+    return b.build(entry="Main.main/0")
+
+
+class TestSemantics:
+    def test_same_literal_shares_one_heap(self):
+        program = string_factory_program()
+        result = analyze(program, "insens")
+        assert result.points_to("Labels.ok/0/s") == {'<"OK">'}
+        assert result.points_to("Main.main/0/again") == {'<"OK">'}
+
+    def test_distinct_literals_distinct_heaps(self):
+        program = string_factory_program()
+        result = analyze(program, "insens")
+        assert result.points_to("Labels.err/0/s") == {'<"ERROR">'}
+
+    def test_string_type_and_cast(self):
+        program = string_factory_program()
+        facts = encode_program(program)
+        assert facts.heap_type['<"OK">'] == JAVA_STRING
+        result = analyze(program, "insens", facts=facts)
+        assert result.points_to("Main.main/0/str_check") == {'<"OK">'}
+
+    def test_string_const_heaps_tracked(self):
+        facts = encode_program(string_factory_program())
+        assert facts.string_const_heaps == {'<"OK">', '<"ERROR">'}
+
+    def test_engines_agree_with_string_constants(self):
+        program = string_factory_program()
+        facts = encode_program(program)
+        for flavor in ("insens", "2objH", "2callH"):
+            policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+            solver = analyze(program, policy, facts=facts)
+            model = DatalogPointsToAnalysis(program, policy, facts=facts).run()
+            assert frozenset(solver.iter_var_points_to()) == model.var_points_to
+
+    def test_type_context_coarsens_to_string_class(self):
+        """Shared constants have no single allocating class; under
+        type-sensitivity their context element is java.lang.String."""
+        facts = encode_program(string_factory_program())
+        assert facts.alloc_class_of('<"OK">') == JAVA_STRING
+
+
+class TestHardCodedHeuristic:
+    def test_string_exclusion_is_a_refinement_decision(self):
+        program = string_factory_program()
+        facts = encode_program(program)
+        decision = string_exclusion_decision(facts)
+        assert decision.excluded_objects == {'<"OK">', '<"ERROR">'}
+        assert not decision.excluded_sites
+        assert decision.refine_object("TagFactory.make/0/new Tag/0")
+        assert not decision.refine_object('<"OK">')
+
+    def test_strings_get_star_heap_context_under_the_heuristic(self):
+        """2callH normally gives string constants per-call-site heap
+        contexts; with the hard-coded heuristic they all collapse to ★
+        while every other object keeps its refined heap context."""
+        program = string_factory_program()
+        facts = encode_program(program)
+        refined = policy_by_name("2callH")
+        plain = analyze(program, refined, facts=facts)
+        hardcoded = analyze(
+            program,
+            IntrospectivePolicy(refined, string_exclusion_decision(facts)),
+            facts=facts,
+        )
+
+        def string_hctxs(result):
+            return {
+                hctx
+                for _v, _c, heap, hctx in result.iter_var_points_to()
+                if heap.startswith('<"')
+            }
+
+        assert string_hctxs(plain) != {()}
+        assert string_hctxs(hardcoded) == {()}
+        # non-string objects still get refined heap contexts
+        tag_hctxs = {
+            hctx
+            for _v, _c, heap, hctx in hardcoded.iter_var_points_to()
+            if "new Tag" in heap
+        }
+        assert tag_hctxs != {()}
+
+    def test_heuristic_costs_no_precision_here(self):
+        """Collapsing string heap contexts loses nothing on this program —
+        the rationale for the Doop default."""
+        program = string_factory_program()
+        facts = encode_program(program)
+        refined = policy_by_name("2objH")
+        plain = analyze(program, refined, facts=facts)
+        hardcoded = analyze(
+            program,
+            IntrospectivePolicy(refined, string_exclusion_decision(facts)),
+            facts=facts,
+        )
+        assert plain.var_points_to == hardcoded.var_points_to

@@ -1,0 +1,204 @@
+"""Tests for the benchmark generator patterns: structure and the analysis
+properties each pattern is designed to exhibit."""
+
+import pytest
+
+from repro import analyze, encode_program
+from repro.benchgen import BenchmarkSpec, HubSpec, generate
+from repro.clients import measure_precision
+
+
+def bare_spec(**kwargs):
+    defaults = dict(
+        name="t",
+        util_classes=0,
+        strategy_clusters=(),
+        box_groups=(),
+        sink_groups=(),
+        hubs=(),
+    )
+    defaults.update(kwargs)
+    return BenchmarkSpec(**defaults)
+
+
+class TestBulk:
+    def test_bulk_structure(self):
+        p = generate(bare_spec(util_classes=4, util_methods_per_class=3))
+        assert "U0" in p.classes and "U3" in p.classes
+        assert "BulkRegistry" in p.classes
+        r = analyze(p, "insens")
+        assert "U0.m0/1" in r.reachable_methods
+
+    def test_bulk_is_context_friendly(self):
+        """Bulk code must not explode under 2objH (static methods inherit
+        the caller's context)."""
+        p = generate(bare_spec(util_classes=6, util_methods_per_class=6))
+        insens = analyze(p, "insens").stats().tuple_count
+        obj = analyze(p, "2objH").stats().tuple_count
+        assert obj <= insens * 1.5
+
+
+class TestStrategyClusters:
+    def test_devirt_gap_per_cluster(self):
+        p = generate(bare_spec(strategy_clusters=(3, 3)))
+        facts = encode_program(p)
+        insens = measure_precision(analyze(p, "insens", facts=facts), facts)
+        full = measure_precision(analyze(p, "2objH", facts=facts), facts)
+        # each cluster's exec-site run() call is spuriously polymorphic
+        assert insens.polymorphic_call_sites == 2
+        assert full.polymorphic_call_sites == 2  # genuinely poly at the site
+        # but the casts are rescued
+        assert insens.casts_may_fail == 6
+        assert full.casts_may_fail == 0
+
+
+class TestBoxGroups:
+    def test_cast_gap_scales_with_group(self):
+        p = generate(bare_spec(box_groups=(5,)))
+        facts = encode_program(p)
+        insens = measure_precision(analyze(p, "insens", facts=facts), facts)
+        full = measure_precision(analyze(p, "2typeH", facts=facts), facts)
+        assert insens.casts_may_fail == 5
+        assert full.casts_may_fail == 0
+
+
+class TestSinkStores:
+    def test_reach_and_poly_gaps(self):
+        p = generate(bare_spec(sink_groups=(4,)))
+        facts = encode_program(p)
+        insens = analyze(p, "insens", facts=facts)
+        full = analyze(p, "2objH", facts=facts)
+        pi = measure_precision(insens, facts)
+        pf = measure_precision(full, facts)
+        # the take/op dispatch is spuriously polymorphic insensitively
+        assert pi.polymorphic_call_sites == 1
+        assert pf.polymorphic_call_sites == 0
+        # the 4 SinkB op/helper pairs are spuriously reachable
+        assert pi.reachable_methods - pf.reachable_methods == 8
+        for e in range(4):
+            assert f"SinkB0_{e}.op/0" in insens.reachable_methods
+            assert f"SinkB0_{e}.op/0" not in full.reachable_methods
+
+
+class TestHub:
+    def test_hub_explodes_under_object_sensitivity(self):
+        p = generate(bare_spec(hubs=(HubSpec(readers=20, elements=20, chain=6),)))
+        insens = analyze(p, "insens").stats().tuple_count
+        obj = analyze(p, "2objH").stats().tuple_count
+        assert obj > 5 * insens
+
+    def test_single_class_readers_immune_to_type_sensitivity(self):
+        p = generate(bare_spec(hubs=(HubSpec(readers=20, elements=20, chain=6),)))
+        insens = analyze(p, "insens").stats().tuple_count
+        type_s = analyze(p, "2typeH").stats().tuple_count
+        assert type_s <= insens * 1.5
+
+    def test_distinct_reader_classes_defeat_type_sensitivity(self):
+        p = generate(
+            bare_spec(
+                hubs=(
+                    HubSpec(
+                        readers=20,
+                        elements=20,
+                        chain=6,
+                        distinct_reader_classes=True,
+                    ),
+                )
+            )
+        )
+        insens = analyze(p, "insens").stats().tuple_count
+        type_s = analyze(p, "2typeH").stats().tuple_count
+        assert type_s > 5 * insens
+
+    def test_call_sites_multiply_call_sensitivity(self):
+        one = generate(
+            bare_spec(hubs=(HubSpec(readers=10, elements=15, chain=5, reader_call_sites=1),))
+        )
+        four = generate(
+            bare_spec(hubs=(HubSpec(readers=10, elements=15, chain=5, reader_call_sites=4),))
+        )
+        t1 = analyze(one, "2callH").stats().tuple_count
+        t4 = analyze(four, "2callH").stats().tuple_count
+        assert t4 > 2.5 * t1
+
+    def test_payload_squaring(self):
+        flat = generate(bare_spec(hubs=(HubSpec(readers=10, elements=10, chain=4),)))
+        squared = generate(
+            bare_spec(
+                hubs=(HubSpec(readers=10, elements=10, chain=4, payloads_per_element=5),)
+            )
+        )
+        tf = analyze(flat, "2objH").stats().tuple_count
+        ts = analyze(squared, "2objH").stats().tuple_count
+        assert ts > 2.5 * tf
+
+    def test_hub_rider_cast_fails_everywhere(self):
+        p = generate(bare_spec(hubs=(HubSpec(readers=4, elements=4, chain=2),)))
+        facts = encode_program(p)
+        for analysis in ("insens", "2objH"):
+            report = measure_precision(analyze(p, analysis, facts=facts), facts)
+            assert report.casts_may_fail == 1
+
+
+class TestStaticChains:
+    def test_chains_hurt_only_call_site_sensitivity(self):
+        p = generate(
+            bare_spec(
+                static_chain_depth=4,
+                static_chain_fanout=5,
+                static_chain_payloads=30,
+            )
+        )
+        insens = analyze(p, "insens").stats().tuple_count
+        obj = analyze(p, "2objH").stats().tuple_count
+        call = analyze(p, "2callH").stats().tuple_count
+        assert obj <= insens * 1.2
+        assert call > 3 * insens
+
+
+class TestGeneratorHygiene:
+    def test_all_patterns_compose_and_validate(self):
+        spec = BenchmarkSpec(
+            name="combo",
+            util_classes=3,
+            util_methods_per_class=3,
+            strategy_clusters=(2,),
+            box_groups=(2,),
+            sink_groups=(2,),
+            hubs=(HubSpec(readers=2, elements=2, chain=2),),
+            static_chain_depth=2,
+            static_chain_fanout=2,
+            static_chain_payloads=3,
+        )
+        p = generate(spec)  # builder validates by default
+        r = analyze(p, "insens")
+        assert "Main.main/0" in r.reachable_methods
+
+    def test_generation_is_deterministic(self):
+        from repro.ir import dump_program
+
+        spec = bare_spec(strategy_clusters=(2,), box_groups=(3,))
+        assert dump_program(generate(spec)) == dump_program(generate(spec))
+
+    def test_describe_mentions_knobs(self):
+        spec = bare_spec(hubs=(HubSpec(readers=7, elements=9),))
+        assert "r=7" in spec.describe() and "e=9" in spec.describe()
+
+class TestExceptionMesh:
+    def test_precision_gap(self):
+        p = generate(bare_spec(exception_sites=5))
+        facts = encode_program(p)
+        from repro.clients import analyze_exceptions
+
+        insens = analyze_exceptions(analyze(p, "insens", facts=facts), facts)
+        full = analyze_exceptions(analyze(p, "2objH", facts=facts), facts)
+        # nothing ever escapes main (the driver has a catch-all) ...
+        assert not insens.may_crash and not full.may_crash
+        # ... but insensitively, every site spuriously leaks the other
+        # tasks\' exceptions into the catch-all
+        insens_throwing = sum(1 for h in insens.per_method.values() if h)
+        full_throwing = sum(1 for h in full.per_method.values() if h)
+        assert full_throwing < insens_throwing
+        # and the catch-all is dead code under the precise analysis
+        assert any("leftover" in v for v in full.dead_handlers)
+        assert not any("leftover" in v for v in insens.dead_handlers)

@@ -1,0 +1,84 @@
+"""Tests for the call-graph export client."""
+
+import networkx as nx
+import pytest
+
+from repro import analyze, encode_program
+from repro.clients.callgraph_export import export_call_graph
+
+
+@pytest.fixture(scope="module")
+def export(tiny_program_module):
+    program, facts = tiny_program_module
+    result = analyze(program, "insens", facts=facts)
+    return export_call_graph(result, facts)
+
+
+@pytest.fixture(scope="module")
+def tiny_program_module():
+    from tests.conftest import build_tiny_program
+
+    program = build_tiny_program()
+    return program, encode_program(program)
+
+
+class TestStructure:
+    def test_edges(self, export):
+        assert export.edges == frozenset(
+            {("Main.main/0", "A.id/1"), ("Main.main/0", "B.id/1")}
+        )
+
+    def test_nodes_include_entries(self, export):
+        assert export.nodes == {"Main.main/0", "A.id/1", "B.id/1"}
+
+    def test_successors(self, export):
+        assert export.successors("Main.main/0") == {"A.id/1", "B.id/1"}
+        assert export.successors("A.id/1") == frozenset()
+
+    def test_leaves_and_degree(self, export):
+        assert export.leaves == {"A.id/1", "B.id/1"}
+        assert export.max_out_degree == 2
+
+    def test_adjacency_sorted(self, export):
+        adj = export.adjacency()
+        assert adj["Main.main/0"] == ["A.id/1", "B.id/1"]
+        assert adj["A.id/1"] == []
+
+    def test_summary(self, export):
+        assert export.summary() == (
+            "3 methods, 2 edges, 2 leaves, max out-degree 2"
+        )
+
+
+class TestExports:
+    def test_dot_output(self, export):
+        dot = export.to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert '"Main.main/0" -> "A.id/1";' in dot
+        assert '"Main.main/0" [peripheries=2];' in dot
+        assert dot.endswith("}")
+
+    def test_dot_label_truncation(self, export):
+        dot = export.to_dot(max_label=6)
+        assert "Main.…" in dot
+
+    def test_networkx_roundtrip(self, export):
+        graph = export.to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        assert set(graph.edges()) == set(export.edges)
+        assert nx.has_path(graph, "Main.main/0", "B.id/1")
+
+
+class TestEmptyGraph:
+    def test_trivial_program(self):
+        from repro import ProgramBuilder
+
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.ret()
+        program = b.build(entry="Main.main/0")
+        facts = encode_program(program)
+        export = export_call_graph(analyze(program, "insens", facts=facts), facts)
+        assert export.edges == frozenset()
+        assert export.nodes == {"Main.main/0"}
+        assert export.max_out_degree == 0

@@ -1,0 +1,70 @@
+"""Tests for the cast-safety client."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.clients import check_casts
+
+
+@pytest.fixture(scope="module")
+def setup():
+    b = ProgramBuilder()
+    b.klass("A")
+    b.klass("B", super_name="A")
+    with b.method("Dead", "never", [], static=True) as m:
+        m.alloc("x", "A")
+        m.cast("dead", "x", "B")
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("a", "A")
+        m.alloc("b", "B")
+        m.cast("up", "b", "A")  # safe upcast
+        m.move("mix", "a")
+        m.move("mix", "b")
+        m.cast("down", "mix", "B")  # may fail
+    p = b.build(entry="Main.main/0")
+    facts = encode_program(p)
+    return facts, analyze(p, "insens", facts=facts)
+
+
+def test_verdicts(setup):
+    facts, result = setup
+    report = check_casts(result, facts)
+    assert report.safe == {"Main.main/0/up"}
+    assert report.may_fail == {"Main.main/0/down"}
+    assert report.unreachable == {"Dead.never/0/dead"}
+
+
+def test_witness_recorded(setup):
+    facts, result = setup
+    report = check_casts(result, facts)
+    failing = [v for v in report.verdicts if not v.safe]
+    assert len(failing) == 1
+    assert failing[0].witness == "Main.main/0/new A/0"
+    assert failing[0].cast_type == "B"
+    assert failing[0].method == "Main.main/0"
+
+
+def test_safe_verdict_has_no_witness(setup):
+    facts, result = setup
+    safe = [v for v in check_casts(result, facts).verdicts if v.safe]
+    assert all(v.witness == "" for v in safe)
+
+
+def test_summary(setup):
+    facts, result = setup
+    assert check_casts(result, facts).summary() == (
+        "safe 1, may-fail 1, unreachable 1"
+    )
+
+
+def test_empty_source_cast_is_safe():
+    """A cast whose source points to nothing is trivially safe."""
+    b = ProgramBuilder()
+    b.klass("A")
+    with b.method("Main", "main", [], static=True) as m:
+        m.move("x", "unset")
+        m.cast("y", "x", "A")
+    p = b.build(entry="Main.main/0")
+    facts = encode_program(p)
+    report = check_casts(analyze(p, "insens", facts=facts), facts)
+    assert report.may_fail == frozenset()

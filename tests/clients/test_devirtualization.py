@@ -1,0 +1,55 @@
+"""Tests for the devirtualization client."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.clients import devirtualize
+
+
+@pytest.fixture(scope="module")
+def setup():
+    b = ProgramBuilder()
+    b.klass("Base", abstract=True)
+    b.klass("X", super_name="Base")
+    b.klass("Y", super_name="Base")
+    for cls in ("X", "Y"):
+        with b.method(cls, "go", []) as m:
+            m.ret("this")
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("x", "X")
+        m.alloc("y", "Y")
+        m.vcall("x", "go", [], target="a")  # mono
+        m.move("e", "x")
+        m.move("e", "y")
+        m.vcall("e", "go", [], target="b")  # poly
+        m.vcall("x", "nothere", [])  # unresolved
+    p = b.build(entry="Main.main/0", validate=True)
+    facts = encode_program(p)
+    return facts, analyze(p, "insens", facts=facts)
+
+
+def test_classification(setup):
+    facts, result = setup
+    report = devirtualize(result, facts)
+    assert report.monomorphic == {"Main.main/0/invo/0"}
+    assert report.polymorphic == {"Main.main/0/invo/1"}
+    assert report.unresolved == {"Main.main/0/invo/2"}
+
+
+def test_ratios(setup):
+    facts, result = setup
+    report = devirtualize(result, facts)
+    assert report.total_reachable == 2
+    assert report.devirtualization_ratio == pytest.approx(0.5)
+    assert "devirtualizable 1/2" in report.summary()
+
+
+def test_empty_program_ratio():
+    b = ProgramBuilder()
+    with b.method("Main", "main", [], static=True) as m:
+        m.ret()
+    p = b.build(entry="Main.main/0")
+    facts = encode_program(p)
+    report = devirtualize(analyze(p, "insens", facts=facts), facts)
+    assert report.devirtualization_ratio == 1.0
+    assert report.total_reachable == 0

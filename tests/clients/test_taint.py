@@ -1,0 +1,126 @@
+"""Tests for the object-taint client: true leaks, false leaks, and how
+context-sensitivity removes exactly the false ones."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.clients.taint import (
+    analyze_taint,
+    sinks_of_method,
+    sources_in_method,
+)
+
+
+@pytest.fixture(scope="module")
+def two_users():
+    """Two users' sessions share the Session container class.  User A's
+    secret flows to A's own logger (a TRUE leak we planted); user B's
+    logger only ever receives B's public data — but insensitively A's
+    secret appears there too (a FALSE leak)."""
+    b = ProgramBuilder()
+    b.klass("Data", abstract=True)
+    b.klass("Secret", super_name="Data")
+    b.klass("Public", super_name="Data")
+    b.klass("Session", fields=["payload"])
+    with b.method("Session", "put", ["x"]) as m:
+        m.store("this", "payload", "x")
+    with b.method("Session", "get", []) as m:
+        m.load("r", "this", "payload")
+        m.ret("r")
+    with b.method("Input", "readSecret", [], static=True) as m:
+        m.alloc("s", "Secret")
+        m.ret("s")
+    with b.method("Log", "publish", ["msg"], static=True) as m:
+        m.ret()
+    with b.method("Main", "main", [], static=True) as m:
+        # user A: secret into A's session, then published (true leak)
+        m.alloc("sessA", "Session")
+        m.scall("Input", "readSecret", [], target="secret")
+        m.vcall("sessA", "put", ["secret"])
+        m.vcall("sessA", "get", [], target="outA")
+        m.scall("Log", "publish", ["outA"])
+        # user B: only public data, also published (no real leak)
+        m.alloc("sessB", "Session")
+        m.alloc("pub", "Public")
+        m.vcall("sessB", "put", ["pub"])
+        m.vcall("sessB", "get", [], target="outB")
+        m.scall("Log", "publish", ["outB"])
+    program = b.build(entry="Main.main/0")
+    facts = encode_program(program)
+    sources = sources_in_method(facts, "Input.readSecret/0")
+    sinks = sinks_of_method(facts, "Log.publish/1")
+    return program, facts, sources, sinks
+
+
+class TestDeclarations:
+    def test_sources_are_method_allocs(self, two_users):
+        _, _, sources, _ = two_users
+        assert sources == {"Input.readSecret/0/new Secret/0"}
+
+    def test_sinks_are_call_arguments(self, two_users):
+        _, _, _, sinks = two_users
+        # main's invocations: readSecret=0, putA=1, getA=2, publishA=3,
+        # putB=4, getB=5, publishB=6
+        assert {invo for invo, _a in sinks} == {
+            "Main.main/0/invo/3",
+            "Main.main/0/invo/6",
+        }
+
+
+class TestLeakDetection:
+    def test_insensitive_reports_false_leak(self, two_users):
+        program, facts, sources, sinks = two_users
+        result = analyze(program, "insens", facts=facts)
+        report = analyze_taint(result, facts, sources, sinks)
+        # both publish sites appear to leak: the sessions conflate
+        assert len(report.leaking_sinks) == 2
+
+    def test_object_sensitivity_keeps_only_true_leak(self, two_users):
+        program, facts, sources, sinks = two_users
+        result = analyze(program, "2objH", facts=facts)
+        report = analyze_taint(result, facts, sources, sinks)
+        assert report.leaking_sinks == {"Main.main/0/invo/3"}  # user A only
+        assert len(report.leaks) == 1
+        assert report.leaks[0].tainted_heap == "Input.readSecret/0/new Secret/0"
+
+    def test_summary(self, two_users):
+        program, facts, sources, sinks = two_users
+        result = analyze(program, "2objH", facts=facts)
+        report = analyze_taint(result, facts, sources, sinks)
+        assert "1 leak flows into 1 sinks (of 2 checked)" in report.summary()
+
+    def test_unreachable_sink_not_checked(self, two_users):
+        program, facts, sources, _ = two_users
+        result = analyze(program, "insens", facts=facts)
+        report = analyze_taint(
+            result, facts, sources, {("ghost/invo/9", "ghost/x")}
+        )
+        assert report.sinks_checked == 0
+        assert not report.leaks
+
+
+class TestSanitizerByConstruction:
+    def test_fresh_object_breaks_taint(self):
+        """A sanitizer returning a fresh allocation is clean by identity."""
+        b = ProgramBuilder()
+        b.klass("Secret")
+        b.klass("Clean")
+        with b.method("San", "scrub", ["x"], static=True) as m:
+            m.alloc("fresh", "Clean")
+            m.ret("fresh")
+        with b.method("Log", "publish", ["msg"], static=True) as m:
+            m.ret()
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("secret", "Secret")
+            m.scall("San", "scrub", ["secret"], target="clean")
+            m.scall("Log", "publish", ["clean"])
+        program = b.build(entry="Main.main/0")
+        facts = encode_program(program)
+        result = analyze(program, "insens", facts=facts)
+        report = analyze_taint(
+            result,
+            facts,
+            sources={"Main.main/0/new Secret/0"},
+            sinks=sinks_of_method(facts, "Log.publish/1"),
+        )
+        assert not report.leaks

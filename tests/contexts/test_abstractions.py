@@ -1,0 +1,52 @@
+"""Tests for context interning."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.contexts import EMPTY, ContextTable
+
+
+class TestContextTable:
+    def test_empty_is_id_zero(self):
+        t = ContextTable()
+        assert t.empty_id == 0
+        assert t.intern(EMPTY) == 0
+        assert t.value(0) == EMPTY
+
+    def test_intern_is_idempotent(self):
+        t = ContextTable()
+        a = t.intern(("h1",))
+        b = t.intern(("h1",))
+        assert a == b
+        assert len(t) == 2
+
+    def test_distinct_values_distinct_ids(self):
+        t = ContextTable()
+        ids = {t.intern(("h", i)) for i in range(10)}
+        assert len(ids) == 10
+
+    def test_contains(self):
+        t = ContextTable()
+        t.intern(("x",))
+        assert ("x",) in t
+        assert ("y",) not in t
+
+
+contexts = st.lists(
+    st.tuples(st.sampled_from(["h1", "h2", "i1", "T"]), st.integers(0, 3)).map(
+        lambda p: (f"{p[0]}/{p[1]}",)
+    )
+    | st.just(EMPTY),
+    max_size=50,
+)
+
+
+@given(contexts)
+def test_roundtrip_property(values):
+    t = ContextTable()
+    ids = [t.intern(v) for v in values]
+    for v, i in zip(values, ids):
+        assert t.value(i) == v
+        assert t.intern(v) == i  # stable
+    # ids are dense
+    assert max(ids, default=0) < len(t)

@@ -1,0 +1,116 @@
+"""Tests for the introspective dual policy and refinement decisions."""
+
+from repro.contexts import (
+    EMPTY,
+    InsensitivePolicy,
+    IntrospectivePolicy,
+    ObjectSensitivePolicy,
+    RefinementDecision,
+)
+
+
+class TestRefinementDecision:
+    def test_default_refines_everything(self):
+        d = RefinementDecision()
+        assert d.refine_object("any-heap")
+        assert d.refine_site("any-invo", "any-meth")
+
+    def test_exclusions(self):
+        d = RefinementDecision(
+            excluded_objects={"h1"}, excluded_sites={("i1", "m1")}
+        )
+        assert not d.refine_object("h1")
+        assert d.refine_object("h2")
+        assert not d.refine_site("i1", "m1")
+        assert d.refine_site("i1", "m2")  # pair-specific, as in SITETOREFINE
+        assert d.refine_site("i2", "m1")
+
+    def test_positive_polarity_constructor(self):
+        d = RefinementDecision.refine_nothing_but(
+            all_objects={"h1", "h2", "h3"},
+            all_sites={("i1", "m"), ("i2", "m")},
+            objects_to_refine={"h1"},
+            sites_to_refine={("i2", "m")},
+        )
+        assert d.refine_object("h1")
+        assert not d.refine_object("h2")
+        assert not d.refine_object("h3")
+        assert not d.refine_site("i1", "m")
+        assert d.refine_site("i2", "m")
+
+    def test_refine_everything_classmethod(self):
+        d = RefinementDecision.refine_everything()
+        assert d.excluded_objects == frozenset()
+        assert d.excluded_sites == frozenset()
+
+
+class TestIntrospectivePolicy:
+    def make(self):
+        refined = ObjectSensitivePolicy(k=2, heap_k=1)
+        decision = RefinementDecision(
+            excluded_objects={"cheap-heap"},
+            excluded_sites={("cheap-site", "m")},
+        )
+        return IntrospectivePolicy(refined, decision)
+
+    def test_record_dispatch(self):
+        p = self.make()
+        # refined object: object-sensitive record
+        assert p.record("hot-heap", ("ctx",)) == ("ctx",)
+        # excluded object: insensitive record
+        assert p.record("cheap-heap", ("ctx",)) == EMPTY
+
+    def test_merge_dispatch(self):
+        p = self.make()
+        assert p.merge("recv", ("h",), "hot-site", "m", EMPTY) == ("recv", "h")
+        assert p.merge("recv", ("h",), "cheap-site", "m", EMPTY) == EMPTY
+
+    def test_merge_static_dispatch(self):
+        p = self.make()
+        # object-sensitive static merge inherits the caller context
+        assert p.merge_static("hot-site", "m", ("c",)) == ("c",)
+        assert p.merge_static("cheap-site", "m", ("c",)) == EMPTY
+
+    def test_custom_cheap_policy(self):
+        refined = ObjectSensitivePolicy(k=2, heap_k=1)
+        cheap = ObjectSensitivePolicy(k=1, heap_k=0)
+        p = IntrospectivePolicy(
+            refined,
+            RefinementDecision(excluded_objects={"x"}, excluded_sites=set()),
+            cheap=cheap,
+        )
+        # cheap is 1obj: merge keeps only the receiver
+        assert p.merge("recv", ("h",), "i", "m", EMPTY) == ("recv", "h")
+
+    def test_name(self):
+        assert self.make().name == "2objH-intro"
+
+    def test_from_exclusions(self):
+        p = IntrospectivePolicy.from_exclusions(
+            ObjectSensitivePolicy(),
+            excluded_objects={"h"},
+            excluded_sites=set(),
+        )
+        assert not p.decision.refine_object("h")
+
+    def test_from_refinements(self):
+        p = IntrospectivePolicy.from_refinements(
+            ObjectSensitivePolicy(),
+            all_objects={"h1", "h2"},
+            all_sites=set(),
+            objects_to_refine={"h1"},
+            sites_to_refine=set(),
+        )
+        assert p.decision.refine_object("h1")
+        assert not p.decision.refine_object("h2")
+
+    def test_mixed_contexts_compose(self):
+        """Contexts produced by the cheap constructor flow through the
+        refined one (and vice versa) without error — the uniform tuple
+        representation of repro.contexts.abstractions."""
+        p = self.make()
+        cheap_hctx = p.record("cheap-heap", ("anything",))  # EMPTY
+        refined_ctx = p.merge("recv", cheap_hctx, "hot-site", "m", EMPTY)
+        assert refined_ctx == ("recv",)
+        cheap_ctx = p.merge("recv", refined_ctx, "cheap-site", "m", refined_ctx)
+        assert cheap_ctx == EMPTY

@@ -1,0 +1,193 @@
+"""Tests for the RECORD/MERGE constructor policies.
+
+Checks each flavor against the definitional table of
+[Smaragdakis, Bravenboer & Lhoták, POPL 2011] (see the module docstring of
+repro.contexts.policies).
+"""
+
+import pytest
+
+from repro.contexts import (
+    EMPTY,
+    CallSiteSensitivePolicy,
+    HybridObjectPolicy,
+    InsensitivePolicy,
+    ObjectSensitivePolicy,
+    TypeSensitivePolicy,
+    policy_by_name,
+)
+
+
+class TestInsensitive:
+    def test_all_constructors_return_star(self):
+        p = InsensitivePolicy()
+        assert p.record("h", ("x",)) == EMPTY
+        assert p.merge("h", ("x",), "i", "m", ("y",)) == EMPTY
+        assert p.merge_static("i", "m", ("y",)) == EMPTY
+        assert p.initial_context() == EMPTY
+
+
+class TestCallSite:
+    def test_merge_pushes_call_site(self):
+        p = CallSiteSensitivePolicy(k=2, heap_k=1)
+        assert p.merge("h", EMPTY, "site1", "m", EMPTY) == ("site1",)
+        assert p.merge("h", EMPTY, "site2", "m", ("site1",)) == ("site2", "site1")
+
+    def test_merge_truncates_to_k(self):
+        p = CallSiteSensitivePolicy(k=2, heap_k=1)
+        ctx = p.merge("h", EMPTY, "s3", "m", ("s2", "s1"))
+        assert ctx == ("s3", "s2")
+
+    def test_static_calls_treated_like_virtual(self):
+        p = CallSiteSensitivePolicy(k=2, heap_k=1)
+        assert p.merge_static("s", "m", ("x",)) == ("s", "x")
+
+    def test_record_truncates_caller_context(self):
+        p = CallSiteSensitivePolicy(k=2, heap_k=1)
+        assert p.record("h", ("s2", "s1")) == ("s2",)
+        assert p.record("h", EMPTY) == EMPTY
+
+    def test_heap_k_zero_is_context_insensitive_heap(self):
+        p = CallSiteSensitivePolicy(k=1, heap_k=0)
+        assert p.record("h", ("s1",)) == EMPTY
+
+    def test_names(self):
+        assert CallSiteSensitivePolicy(k=2, heap_k=1).name == "2callH"
+        assert CallSiteSensitivePolicy(k=1, heap_k=0).name == "1call"
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CallSiteSensitivePolicy(k=0)
+        with pytest.raises(ValueError):
+            CallSiteSensitivePolicy(k=1, heap_k=-1)
+
+
+class TestObjectSensitive:
+    def test_merge_pushes_receiver_heap(self):
+        p = ObjectSensitivePolicy(k=2, heap_k=1)
+        assert p.merge("recv", EMPTY, "i", "m", ("caller",)) == ("recv",)
+        assert p.merge("recv", ("alloc",), "i", "m", EMPTY) == ("recv", "alloc")
+
+    def test_merge_ignores_call_site_and_caller(self):
+        p = ObjectSensitivePolicy(k=2, heap_k=1)
+        a = p.merge("recv", ("h",), "site1", "m", ("c1",))
+        b = p.merge("recv", ("h",), "site2", "m", ("c2",))
+        assert a == b == ("recv", "h")
+
+    def test_static_calls_inherit_caller_context(self):
+        p = ObjectSensitivePolicy(k=2, heap_k=1)
+        assert p.merge_static("i", "m", ("recv", "h")) == ("recv", "h")
+
+    def test_record_is_caller_context_prefix(self):
+        p = ObjectSensitivePolicy(k=2, heap_k=1)
+        assert p.record("h", ("recv", "alloc")) == ("recv",)
+
+    def test_name(self):
+        assert ObjectSensitivePolicy(k=2, heap_k=1).name == "2objH"
+
+
+class TestTypeSensitive:
+    def test_merge_coarsens_to_allocating_class(self):
+        p = TypeSensitivePolicy({"h1": "ClassA", "h2": "ClassA"}.__getitem__, k=2)
+        a = p.merge("h1", EMPTY, "i", "m", EMPTY)
+        b = p.merge("h2", EMPTY, "i", "m", EMPTY)
+        assert a == b == ("ClassA",)
+
+    def test_distinct_classes_distinct_contexts(self):
+        p = TypeSensitivePolicy({"h1": "A", "h2": "B"}.__getitem__, k=2)
+        assert p.merge("h1", EMPTY, "i", "m", EMPTY) != p.merge(
+            "h2", EMPTY, "i", "m", EMPTY
+        )
+
+    def test_record_like_object_sensitivity(self):
+        p = TypeSensitivePolicy(lambda h: "A", k=2, heap_k=1)
+        assert p.record("h", ("A", "B")) == ("A",)
+
+    def test_name(self):
+        assert TypeSensitivePolicy(lambda h: "A", k=2, heap_k=1).name == "2typeH"
+
+
+class TestHybrid:
+    def test_virtual_like_object_sensitive(self):
+        p = HybridObjectPolicy(k=2, heap_k=1)
+        assert p.merge("recv", ("h",), "i", "m", ("c",)) == ("recv", "h")
+
+    def test_static_pushes_call_site(self):
+        p = HybridObjectPolicy(k=2, heap_k=1)
+        assert p.merge_static("site", "m", ("recv", "h")) == ("site", "recv")
+
+
+class TestPolicyByName:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("insens", InsensitivePolicy),
+            ("2objH", ObjectSensitivePolicy),
+            ("1objH", ObjectSensitivePolicy),
+            ("2callH", CallSiteSensitivePolicy),
+            ("1callH", CallSiteSensitivePolicy),
+            ("2objH+hybrid", HybridObjectPolicy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(policy_by_name(name), cls)
+
+    def test_type_sensitive_needs_alloc_class(self):
+        with pytest.raises(ValueError, match="alloc_class_of"):
+            policy_by_name("2typeH")
+        policy = policy_by_name("2typeH", alloc_class_of=lambda h: "A")
+        assert isinstance(policy, TypeSensitivePolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown analysis"):
+            policy_by_name("deepobj")
+        with pytest.raises(ValueError, match="unknown analysis"):
+            policy_by_name("objH")
+
+    def test_generalized_grammar(self):
+        p = policy_by_name("3objH2")
+        assert isinstance(p, ObjectSensitivePolicy)
+        assert (p.k, p.heap_k) == (3, 2)
+        assert p.name == "3objH2"
+        p = policy_by_name("1call")
+        assert (p.k, p.heap_k) == (1, 0)
+        assert p.name == "1call"
+        p = policy_by_name("4callH")
+        assert (p.k, p.heap_k) == (4, 1)
+        p = policy_by_name("3objH+hybrid")
+        assert isinstance(p, HybridObjectPolicy)
+        assert p.name == "3objH+hybrid"
+
+    def test_hybrid_only_for_objects(self):
+        with pytest.raises(ValueError, match="object-sensitivity only"):
+            policy_by_name("2callH+hybrid")
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError, match="k >= 1"):
+            policy_by_name("0objH")
+
+    def test_deeper_contexts_at_least_as_precise(self):
+        """3objH separates what 2objH separates on a two-level factory."""
+        from repro import ProgramBuilder, analyze
+
+        b = ProgramBuilder()
+        b.klass("Inner")
+        b.klass("Outer")
+        with b.method("Inner", "make", []) as m:
+            m.alloc("p", "java.lang.Object")
+            m.ret("p")
+        with b.method("Outer", "produce", ["inner"]) as m:
+            m.vcall("inner", "make", [], target="x")
+            m.ret("x")
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("inner", "Inner")
+            for i in range(2):
+                m.alloc(f"o{i}", "Outer")
+                m.vcall(f"o{i}", "produce", ["inner"], target=f"r{i}")
+        program = b.build(entry="Main.main/0")
+        shallow = analyze(program, "2objH")
+        deep = analyze(program, "3objH2")
+        # the single Inner.make alloc is shared either way, but contexts
+        # must at least not lose precision
+        for var in ("Main.main/0/r0", "Main.main/0/r1"):
+            assert deep.points_to(var) <= shallow.points_to(var)

@@ -1,0 +1,101 @@
+"""Tests for the value aggregates (sum/min/max) and their helpers."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Engine,
+    RuleError,
+    RuleProgram,
+    V,
+    count,
+    max_,
+    min_,
+    parse_program,
+    sum_,
+)
+
+
+def run(text, facts):
+    engine = Engine(parse_program(text))
+    engine.load(facts)
+    engine.run()
+    return engine
+
+
+class TestValueAggregates:
+    def test_sum_min_max(self):
+        e = run(
+            """
+            total(X, S) :- agg<S = sum(W)>(edge(X, Y, W)).
+            hi(X, M)    :- agg<M = max(W)>(edge(X, Y, W)).
+            lo(X, M)    :- agg<M = min(W)>(edge(X, Y, W)).
+            """,
+            {"edge": [("a", 1, 10), ("a", 2, 5), ("b", 1, 7)]},
+        )
+        assert e.query("total") == {("a", 15), ("b", 7)}
+        assert e.query("hi") == {("a", 10), ("b", 7)}
+        assert e.query("lo") == {("a", 5), ("b", 7)}
+
+    def test_sum_over_distinct_witnesses(self):
+        """A duplicate input tuple contributes once (set semantics)."""
+        e = run(
+            "total(X, S) :- agg<S = sum(W)>(edge(X, Y, W)).",
+            {"edge": [("a", 1, 10), ("a", 1, 10)]},
+        )
+        assert e.query("total") == {("a", 10)}
+
+    def test_two_level_count_then_max(self):
+        """The count-then-max idiom used by the metric queries."""
+        e = run(
+            """
+            size(X, Y, N) :- agg<N = count()>(triple(X, Y, Z)).
+            biggest(X, M) :- agg<M = max(N)>(size(X, Y, N)).
+            """,
+            {
+                "triple": [
+                    ("a", "p", 1),
+                    ("a", "p", 2),
+                    ("a", "p", 3),
+                    ("a", "q", 1),
+                    ("b", "r", 9),
+                ]
+            },
+        )
+        assert e.query("biggest") == {("a", 3), ("b", 1)}
+
+    def test_negative_values(self):
+        e = run(
+            "lo(X, M) :- agg<M = min(W)>(edge(X, W)).",
+            {"edge": [("a", -5), ("a", 3)]},
+        )
+        assert e.query("lo") == {("a", -5)}
+
+
+class TestHelpers:
+    def test_helper_constructors(self):
+        body = [Atom("edge", V.x, V.y, V.w)]
+        for helper, kind in ((sum_, "sum"), (min_, "min"), (max_, "max")):
+            rule = helper("out", [V.x], V.n, V.w, body)
+            assert rule.kind == kind
+            assert rule.value_var == V.w
+        assert count("out", [V.x], V.n, body).kind == "count"
+
+    def test_count_rejects_value_var(self):
+        from repro.datalog.rules import AggregateRule
+
+        with pytest.raises(RuleError, match="no value variable"):
+            AggregateRule(
+                "out", (V.x,), V.n, (Atom("e", V.x, V.w),), kind="count",
+                value_var=V.w,
+            )
+
+    def test_value_kind_requires_value_var(self):
+        from repro.datalog.rules import AggregateRule
+
+        with pytest.raises(RuleError, match="needs a value variable"):
+            AggregateRule("out", (V.x,), V.n, (Atom("e", V.x, V.w),), kind="max")
+
+    def test_unbound_value_var_rejected(self):
+        with pytest.raises(RuleError, match="value variable"):
+            max_("out", [V.x], V.n, V.ghost, [Atom("e", V.x, V.w)])

@@ -1,0 +1,74 @@
+"""Tests for relations and the fact database."""
+
+from repro.datalog.database import Database, Relation
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        r = Relation("r")
+        assert r.add((1, 2))
+        assert not r.add((1, 2))  # duplicate
+        assert (1, 2) in r
+        assert len(r) == 1
+
+    def test_index_built_lazily_and_maintained(self):
+        r = Relation("r")
+        r.add(("a", 1))
+        index = r.index_for((0,))
+        assert index == {("a",): [("a", 1)]}
+        r.add(("a", 2))  # added after index exists: must be maintained
+        assert sorted(r.match((0,), ("a",))) == [("a", 1), ("a", 2)]
+
+    def test_match_multiple_positions(self):
+        r = Relation("r")
+        r.add_many([("a", 1, "x"), ("a", 2, "x"), ("b", 1, "x")])
+        assert r.match((0, 1), ("a", 2)) == [("a", 2, "x")]
+
+    def test_match_no_positions_returns_all(self):
+        r = Relation("r")
+        r.add_many([(1,), (2,)])
+        assert sorted(r.match((), ())) == [(1,), (2,)]
+
+    def test_match_miss(self):
+        r = Relation("r")
+        r.add(("a",))
+        assert r.match((0,), ("zz",)) == []
+
+    def test_add_many_returns_new_count(self):
+        r = Relation("r")
+        assert r.add_many([(1,), (2,), (1,)]) == 2
+
+
+class TestDatabase:
+    def test_add_fact_tracks_delta(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        assert db.peek_delta("p") == {(1,)}
+        assert db.take_delta("p") == {(1,)}
+        assert db.take_delta("p") == set()
+
+    def test_duplicate_not_in_delta(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        db.take_delta("p")
+        db.add_fact("p", (1,))
+        assert db.peek_delta("p") == set()
+
+    def test_load_and_rows(self):
+        db = Database()
+        db.load({"p": [(1,), (2,)], "q": [("a", "b")]})
+        assert db.rows("p") == {(1,), (2,)}
+        assert db.count("q") == 1
+        assert db.total_rows() == 3
+
+    def test_missing_relation_queries(self):
+        db = Database()
+        assert db.rows("ghost") == set()
+        assert db.count("ghost") == 0
+
+    def test_has_delta(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        assert db.has_delta(["p", "q"])
+        db.take_delta("p")
+        assert not db.has_delta(["p", "q"])

@@ -1,0 +1,117 @@
+"""Tests for the Datalog text parser."""
+
+import pytest
+
+from repro.datalog import AggregateRule, NegAtom, ParseError, Rule, V, parse_program, parse_rule
+from repro.datalog.terms import Atom
+
+
+class TestTerms:
+    def test_uppercase_is_variable(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.heads[0].args == (V.X,)
+
+    def test_lowercase_is_constant(self):
+        rule = parse_rule("p(X) :- q(X, root).")
+        assert rule.body[0].args == (V.X, "root")
+
+    def test_quoted_strings(self):
+        rule = parse_rule("p(X) :- q(X, 'hello world'), r(X, \"two\").")
+        assert rule.body[0].args[1] == "hello world"
+        assert rule.body[1].args[1] == "two"
+
+    def test_numbers(self):
+        rule = parse_rule("p(X) :- q(X, 42), r(X, -7).")
+        assert rule.body[0].args[1] == 42
+        assert rule.body[1].args[1] == -7
+
+    def test_wildcard(self):
+        rule = parse_rule("p(X) :- q(X, _).")
+        arg = rule.body[0].args[1]
+        assert arg.is_wildcard
+
+    def test_dotted_identifiers(self):
+        rule = parse_rule("p(X) :- q(X, 'java.lang.Object').")
+        assert rule.body[0].args[1] == "java.lang.Object"
+
+
+class TestRules:
+    def test_negation(self):
+        rule = parse_rule("p(X) :- q(X), !r(X).")
+        assert isinstance(rule.body[1], NegAtom)
+
+    def test_zero_arg_atom(self):
+        rule = parse_rule("p(X) :- q(X), flag().")
+        assert rule.body[1] == Atom("flag")
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            """
+            % setup
+            p(X) :- q(X).  % copy
+            """
+        )
+        assert len(program.rules) == 1
+
+    def test_aggregate_rule(self):
+        rule = parse_rule("deg(X, N) :- agg<N = count()>(edge(X, Y)).")
+        assert isinstance(rule, AggregateRule)
+        assert rule.group_vars == (V.X,)
+        assert rule.agg_var == V.N
+
+    def test_aggregate_result_must_be_last_head_arg(self):
+        with pytest.raises(ParseError, match="last argument"):
+            parse_rule("deg(N, X) :- agg<N = count()>(edge(X, Y)).")
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(ParseError, match="unsupported aggregate"):
+            parse_rule("s(X, N) :- agg<N = median(W)>(edge(X, Y, W)).")
+
+    def test_value_aggregates(self):
+        rule = parse_rule("s(X, N) :- agg<N = sum(W)>(edge(X, Y, W)).")
+        assert rule.kind == "sum"
+        assert rule.value_var == V.W
+        rule = parse_rule("m(X, N) :- agg<N = max(W)>(edge(X, Y, W)).")
+        assert rule.kind == "max"
+
+    def test_value_aggregate_needs_variable(self):
+        with pytest.raises(ParseError, match="value must be a variable"):
+            parse_rule("s(X, N) :- agg<N = sum(3)>(edge(X, Y)).")
+
+
+class TestProgram:
+    def test_edb_inferred(self):
+        program = parse_program(
+            """
+            p(X) :- e(X).
+            q(X) :- p(X), f(X).
+            """
+        )
+        assert program.edb == {"e", "f"}
+        assert program.idb == {"p", "q"}
+
+    def test_explicit_edb(self):
+        program = parse_program("p(X) :- e(X).", edb=["e"])
+        assert program.edb == {"e"}
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("p(X) :- q(X) @ r(X).")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X)")
+
+    def test_bad_head(self):
+        with pytest.raises(ParseError):
+            parse_program("42(X) :- q(X).")
+
+    def test_trailing_garbage_single_rule(self):
+        with pytest.raises(ParseError, match="trailing input"):
+            parse_rule("p(X) :- q(X). extra")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_program("p(X) :- q(X).\n\np(X) :- q(X) ? r(X).")

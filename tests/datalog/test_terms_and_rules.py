@@ -1,0 +1,99 @@
+"""Unit tests for Datalog terms and rule objects (construction-level)."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    FilterAtom,
+    FunAtom,
+    NegAtom,
+    Rule,
+    RuleError,
+    RuleProgram,
+    V,
+    Var,
+)
+
+
+class TestTerms:
+    def test_var_factory_shorthand(self):
+        assert V.x == Var("x")
+        assert V("ctx") == Var("ctx")
+
+    def test_wildcard(self):
+        assert V("_").is_wildcard
+        assert not V.x.is_wildcard
+
+    def test_atom_variables_exclude_wildcards_and_constants(self):
+        atom = Atom("p", V.x, "const", V("_"), V.y)
+        assert atom.variables() == [V.x, V.y]
+
+    def test_atom_repr(self):
+        assert repr(Atom("p", V.x, 1)) == "p(?x, 1)"
+        assert repr(NegAtom(Atom("p", V.x))) == "!p(?x)"
+
+    def test_fun_atom_takes_name_from_function(self):
+        def record(h, c):
+            return ()
+
+        fa = FunAtom(record, ins=(V.h, V.c), out=V.hctx)
+        assert fa.name == "record"
+        assert "record(?h, ?c)" in repr(fa)
+
+    def test_filter_atom_repr(self):
+        fa = FilterAtom(lambda x: True, args=(V.x,), name="ok")
+        assert repr(fa) == "ok(?x)"
+
+
+class TestRuleObjects:
+    def test_single_head_normalized_to_tuple(self):
+        rule = Rule(Atom("p", V.x), [Atom("q", V.x)])
+        assert rule.heads == (Atom("p", V.x),)
+
+    def test_pred_queries(self):
+        rule = Rule(
+            [Atom("p", V.x), Atom("r", V.x)],
+            [Atom("q", V.x), NegAtom(Atom("s", V.x))],
+        )
+        assert rule.head_preds() == {"p", "r"}
+        assert rule.body_preds() == {"q", "s"}
+        assert rule.negated_preds() == {"s"}
+
+    def test_repr_round_shape(self):
+        rule = Rule([Atom("p", V.x)], [Atom("q", V.x)])
+        assert repr(rule) == "p(?x) <- q(?x)."
+
+    def test_no_heads_rejected(self):
+        with pytest.raises(RuleError, match="at least one head"):
+            Rule([], [Atom("q", V.x)])
+
+    def test_fun_output_counts_as_bound(self):
+        fun = FunAtom(lambda x: x, ins=(V.x,), out=V.y)
+        rule = Rule([Atom("p", V.y)], [Atom("q", V.x), fun])
+        rule.validate()  # must not raise
+
+    def test_filter_with_unbound_arg_rejected(self):
+        guard = FilterAtom(lambda v: True, args=(V.ghost,))
+        with pytest.raises(RuleError, match="unbound filter args"):
+            Rule([Atom("p", V.x)], [Atom("q", V.x), guard]).validate()
+
+
+class TestRuleProgram:
+    def test_idb_computed_from_heads(self):
+        prog = RuleProgram(
+            [Rule([Atom("p", V.x)], [Atom("e", V.x)])], edb=["e"]
+        )
+        assert prog.idb == {"p"}
+        assert prog.all_preds() == {"p", "e"}
+
+    def test_dependency_edges_flag_negation(self):
+        prog = RuleProgram(
+            [
+                Rule([Atom("p", V.x)], [Atom("e", V.x)]),
+                Rule([Atom("q", V.x)], [Atom("e", V.x), NegAtom(Atom("p", V.x))]),
+            ],
+            edb=["e"],
+        )
+        edges = set(prog.dependency_edges())
+        assert ("p", "e", False) in edges
+        assert ("q", "p", True) in edges

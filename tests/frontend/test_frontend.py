@@ -1,0 +1,222 @@
+"""Tests for the surface-language frontend: parsing, lowering, analysis."""
+
+import pytest
+
+from repro import analyze, dump_program
+from repro.frontend import SyntaxError_, parse_source, parse_source_text
+from repro.ir import (
+    Alloc,
+    Cast,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    VirtualCall,
+)
+
+BOX_SOURCE = """
+// the classic container example
+abstract class Item { }
+class Item0 extends Item { }
+class Item1 extends Item { }
+class Box {
+    field v;
+    method set(x) { this.v = x; }
+    method get()  { r = this.v; return r; }
+}
+class Main {
+    static method main() {
+        b0 = new Box();
+        b1 = new Box();
+        i0 = new Item0();
+        i1 = new Item1();
+        b0.set(i0);
+        b1.set(i1);
+        g0 = b0.get();
+        g1 = b1.get();
+        c0 = (Item0) g0;
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_class_structure(self):
+        ast = parse_source_text(BOX_SOURCE)
+        names = [c.name for c in ast.classes]
+        assert names == ["Item", "Item0", "Item1", "Box", "Main"]
+        assert ast.classes[0].is_abstract
+        assert ast.classes[1].superclass == "Item"
+
+    def test_statement_kinds(self):
+        source = """
+        interface I { }
+        class G { static field s; }
+        class C implements I {
+            field f;
+            method m(a, b) { return a; }
+            static method sm(a) { return a; }
+        }
+        class Main {
+            static method main() {
+                x = new C();
+                y = x;
+                x.f = y;
+                z = x.f;
+                G::s = x;
+                w = G::s;
+                c = (I) w;
+                r1 = x.m(y, z);
+                x.m(y, z);
+                r2 = C::sm(x);
+                C::sm(x);
+                r3 = x.<C::m>(y, z);
+                x.<C::m>(y, z);
+                arr = new C();
+                arr[] = x;
+                e = arr[];
+                return;
+            }
+        }
+        """
+        program = parse_source(source)
+        instrs = program.method("Main.main/0").instructions
+        kinds = [type(i) for i in instrs]
+        assert kinds == [
+            Alloc,
+            Move,
+            Store,
+            Load,
+            StaticStore,
+            StaticLoad,
+            Cast,
+            VirtualCall,
+            VirtualCall,
+            StaticCall,
+            StaticCall,
+            SpecialCall,
+            SpecialCall,
+            Alloc,
+            Store,
+            Load,
+            Return,
+        ]
+
+    def test_comments(self):
+        program = parse_source(
+            """
+            class Main { /* block
+               comment */ static method main() { return; } // eol
+            }
+            """
+        )
+        assert program.count_methods() == 1
+
+    def test_implements_list(self):
+        ast = parse_source_text(
+            """
+            interface A { } interface B { }
+            class C implements A, B { }
+            class Main { static method main() { return; } }
+            """
+        )
+        assert ast.classes[2].interfaces == ("A", "B")
+
+
+class TestStringsAndExceptions:
+    def test_string_literal(self):
+        program = parse_source(
+            """
+            class Main {
+                static method main() {
+                    s = "hello world";
+                    t = s;
+                }
+            }
+            """
+        )
+        result = analyze(program, "insens")
+        assert result.points_to("Main.main/0/t") == {'<"hello world">'}
+
+    def test_throw_catch_statements(self):
+        program = parse_source(
+            """
+            class Exc { }
+            class Main {
+                static method main() {
+                    e = new Exc();
+                    throw e;
+                    catch (Exc) h;
+                }
+            }
+            """
+        )
+        result = analyze(program, "insens")
+        assert result.points_to("Main.main/0/h") == {"Main.main/0/new Exc/0"}
+
+
+class TestEntries:
+    def test_implicit_main_entry(self):
+        program = parse_source("class Main { static method main() { return; } }")
+        assert program.entry_points == ["Main.main/0"]
+
+    def test_explicit_entry(self):
+        program = parse_source(
+            """
+            class App { static method boot() { return; } }
+            entry App.boot;
+            """
+        )
+        assert program.entry_points == ["App.boot/0"]
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(SyntaxError_, match="no entry points"):
+            parse_source("class A { method m() { return; } }")
+
+    def test_undefined_entry_rejected(self):
+        with pytest.raises(SyntaxError_, match="not defined"):
+            parse_source("entry Ghost.main;\nclass A { }")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("class { }", "class name"),
+            ("klass A { }", "'class' or 'interface'"),
+            ("class A extends { }", "superclass"),
+            ("class A { junk }", "member"),
+            ("class A { method m() { x = ; } }", "variable"),
+            ("class A { method m() { x = new ; } }", "class name"),
+            ("class A { method m() { return x } }", "';'"),
+        ],
+    )
+    def test_syntax_errors(self, source, match):
+        with pytest.raises(SyntaxError_, match=match):
+            parse_source_text(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SyntaxError_, match="line 3"):
+            parse_source_text("class A {\n  method m() {\n    x = ;\n  }\n}")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SyntaxError_, match="unexpected character"):
+            parse_source_text("class A # { }")
+
+
+class TestEndToEnd:
+    def test_parsed_program_analyzes_precisely(self):
+        program = parse_source(BOX_SOURCE)
+        insens = analyze(program, "insens")
+        assert len(insens.points_to("Main.main/0/g0")) == 2  # conflated
+        obj = analyze(program, "2objH")
+        assert obj.points_to("Main.main/0/g0") == {"Main.main/0/new Item0/2"}
+
+    def test_roundtrip_through_printer(self):
+        program = parse_source(BOX_SOURCE)
+        text = dump_program(program)
+        assert "g0 = b0.get/0()" in text

@@ -1,0 +1,56 @@
+"""Tests for the text table/bar renderers."""
+
+from repro.harness import render_bars, render_markdown_table, render_table
+
+
+class TestTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("alpha")
+        # columns aligned: 'n' header starts where values start
+        assert lines[0].index("n", 4) == lines[2].index("1")
+
+    def test_none_renders_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = render_table(["a"], [[1.23456]])
+        assert "1.23" in text and "1.2345" not in text
+
+
+class TestMarkdown:
+    def test_shape(self):
+        md = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestBars:
+    def test_values_scaled_to_width(self):
+        text = render_bars(
+            "t", {"x": [10.0, 20.0]}, ["one", "two"], width=10
+        )
+        lines = text.splitlines()
+        bar_one = [l for l in lines if "10.00" in l][0]
+        bar_two = [l for l in lines if "20.00" in l][0]
+        assert bar_one.count("#") == 5
+        assert bar_two.count("#") == 10
+
+    def test_timeout_is_full_bar(self):
+        text = render_bars("t", {"x": [5.0, None]}, ["a", "b"], width=8)
+        timeout_line = [l for l in text.splitlines() if "TIMEOUT" in l][0]
+        assert timeout_line.count("#") == 8
+
+    def test_all_none_does_not_crash(self):
+        text = render_bars("t", {"x": [None]}, ["a"])
+        assert "TIMEOUT" in text
+
+    def test_unit_suffix(self):
+        text = render_bars("t", {"x": [3.0]}, ["a"], unit="s")
+        assert "3.00s" in text

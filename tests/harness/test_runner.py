@@ -1,0 +1,79 @@
+"""Tests for the budgeted run wrapper."""
+
+import pytest
+
+from repro import encode_program
+from repro.harness import run_analysis, run_introspective_analysis
+from repro.harness.runner import scaled_heuristic_a, scaled_heuristic_b
+from repro.introspection import RefineEverything
+from tests.conftest import build_box_program
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_box_program()
+    return program, encode_program(program)
+
+
+class TestRunAnalysis:
+    def test_successful_run(self, setup):
+        program, facts = setup
+        out = run_analysis(program, "2objH", facts=facts, benchmark="boxes")
+        assert not out.timed_out
+        assert out.benchmark == "boxes"
+        assert out.analysis == "2objH"
+        assert out.stats is not None and out.tuples > 0
+        assert out.precision is not None
+        assert out.seconds >= 0
+        assert "t" in out.cell()
+
+    def test_timeout_run(self, setup):
+        program, facts = setup
+        out = run_analysis(program, "2objH", facts=facts, max_tuples=5)
+        assert out.timed_out
+        assert out.stats is None and out.precision is None
+        assert out.tuples is None
+        assert out.cell() == "TIMEOUT"
+
+    def test_precision_can_be_skipped(self, setup):
+        program, facts = setup
+        out = run_analysis(program, "insens", facts=facts, with_precision=False)
+        assert out.precision is None and out.stats is not None
+
+
+class TestRunIntrospective:
+    def test_successful_run(self, setup):
+        program, facts = setup
+        insens = run_analysis(program, "insens", facts=facts)
+        out = run_introspective_analysis(
+            program,
+            "2objH",
+            scaled_heuristic_a(),
+            facts=facts,
+            pass1=insens.result,
+        )
+        assert out.analysis == "2objH-IntroA"
+        assert not out.timed_out
+        assert out.introspective is not None
+        assert out.introspective.refinement_stats.total_objects > 0
+
+    def test_timeout_reported_not_raised(self, setup):
+        program, facts = setup
+        insens = run_analysis(program, "insens", facts=facts)
+        out = run_introspective_analysis(
+            program,
+            "2objH",
+            RefineEverything(),
+            facts=facts,
+            pass1=insens.result,
+            max_tuples=5,
+        )
+        assert out.timed_out and out.precision is None
+
+
+class TestScaledHeuristics:
+    def test_constants(self):
+        a = scaled_heuristic_a()
+        assert (a.K, a.L, a.M) == (40, 40, 10)
+        b = scaled_heuristic_b()
+        assert (b.P, b.Q) == (150, 250)

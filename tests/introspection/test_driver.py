@@ -1,0 +1,187 @@
+"""Tests for the two-pass introspective driver: the sandwich property,
+degenerate equivalences, refinement statistics, and budget handling."""
+
+import pytest
+
+from repro import BudgetExceeded, analyze, encode_program
+from repro.clients import measure_precision
+from repro.introspection import (
+    CustomHeuristic,
+    HeuristicA,
+    HeuristicB,
+    RefineEverything,
+    run_introspective,
+)
+from tests.conftest import build_box_program
+
+
+def vpt(result):
+    return frozenset(result.iter_var_points_to())
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_box_program(boxes=4)
+    facts = encode_program(program)
+    insens = analyze(program, "insens", facts=facts)
+    full = analyze(program, "2objH", facts=facts)
+    return program, facts, insens, full
+
+
+class TestDegenerateEquivalences:
+    def test_refine_everything_equals_full_analysis(self, setup):
+        program, facts, _insens, full = setup
+        out = run_introspective(program, "2objH", RefineEverything(), facts=facts)
+        assert vpt(out.result) == vpt(full)
+
+    def test_exclude_everything_equals_insensitive(self, setup):
+        program, facts, insens, _full = setup
+        exclude_all = CustomHeuristic(
+            exclude_object=lambda h, m: True,
+            exclude_site=lambda i, me, m: True,
+            label="all",
+        )
+        out = run_introspective(program, "2objH", exclude_all, facts=facts)
+        assert vpt(out.result) == vpt(insens)
+
+
+class TestSandwich:
+    @pytest.mark.parametrize("flavor", ["2objH", "2callH", "2typeH"])
+    def test_projection_sandwich(self, setup, flavor):
+        """insens >= intro >= full on var-points-to projections."""
+        program, facts, insens, _ = setup
+        full = analyze(program, flavor, facts=facts)
+        out = run_introspective(
+            program,
+            flavor,
+            CustomHeuristic(
+                exclude_object=lambda h, m: "BoxFactory0" in h,
+                exclude_site=lambda i, me, m: False,
+                label="one-box",
+            ),
+            facts=facts,
+        )
+        intro_proj = out.result.var_points_to
+        insens_proj = insens.var_points_to
+        full_proj = full.var_points_to
+        for var, heaps in intro_proj.items():
+            assert heaps <= insens_proj.get(var, set())
+        for var, heaps in full_proj.items():
+            assert heaps <= intro_proj.get(var, set())
+
+    def test_excluding_one_object_loses_nothing_here(self, setup):
+        """Excluding only box0's allocation keeps full precision: the
+        *calling* contexts of set/get still separate the boxes (only the
+        heap context is coarsened, and field-points-to stays keyed by the
+        box's distinct allocation site)."""
+        program, facts, _insens, full = setup
+        out = run_introspective(
+            program,
+            "2objH",
+            CustomHeuristic(
+                exclude_object=lambda h, m: "BoxFactory0" in h,
+                exclude_site=lambda i, me, m: False,
+                label="one-box",
+            ),
+            facts=facts,
+        )
+        assert (
+            measure_precision(out.result, facts).casts_may_fail
+            == measure_precision(full, facts).casts_may_fail
+            == 0
+        )
+
+    def test_partial_site_exclusion_partial_precision(self, setup):
+        """Excluding the set/get call sites of boxes 0 and 1 merges exactly
+        those two boxes at the ★ context: their two casts may fail, the
+        other boxes stay precise — the per-element selectivity that makes
+        introspective analysis work."""
+        program, facts, insens, full = setup
+        # main emits, per box k: scall make (invo 3k), vcall set (3k+1),
+        # vcall get (3k+2).  Exclude set/get of boxes 0 and 1.
+        excluded_invos = {
+            f"Main.main/0/invo/{i}" for i in (1, 2, 4, 5)
+        }
+        out = run_introspective(
+            program,
+            "2objH",
+            CustomHeuristic(
+                exclude_object=lambda h, m: False,
+                exclude_site=lambda i, me, m: i in excluded_invos,
+                label="two-boxes",
+            ),
+            facts=facts,
+        )
+        p_intro = measure_precision(out.result, facts)
+        p_insens = measure_precision(insens, facts)
+        p_full = measure_precision(full, facts)
+        assert p_full.casts_may_fail == 0
+        assert p_intro.casts_may_fail == 2
+        assert p_insens.casts_may_fail == 4
+
+
+class TestOutcomeBookkeeping:
+    def test_refinement_stats(self, setup):
+        program, facts, _insens, _full = setup
+        out = run_introspective(
+            program,
+            "2objH",
+            CustomHeuristic(
+                exclude_object=lambda h, m: "BoxFactory0" in h,
+                exclude_site=lambda i, me, m: "invo/0" in i,
+                label="bits",
+            ),
+            facts=facts,
+        )
+        stats = out.refinement_stats
+        assert stats.excluded_objects == 1
+        assert stats.excluded_call_sites == 1
+        assert 0 < stats.object_percent < 100
+        assert 0 < stats.call_site_percent < 100
+
+    def test_outcome_name(self, setup):
+        program, facts, _, _ = setup
+        out = run_introspective(program, "2objH", HeuristicA(), facts=facts)
+        assert out.name == "2objH-IntroA"
+        out_b = run_introspective(program, "2typeH", HeuristicB(), facts=facts)
+        assert out_b.name == "2typeH-IntroB"
+
+    def test_pass1_reuse(self, setup):
+        program, facts, insens, _ = setup
+        out = run_introspective(
+            program, "2objH", HeuristicA(), facts=facts, pass1=insens
+        )
+        assert out.pass1 is insens
+        assert out.pass1_seconds < 0.005  # reused, not recomputed
+
+    def test_default_heuristic_is_a(self, setup):
+        program, facts, _, _ = setup
+        out = run_introspective(program, "2objH", facts=facts)
+        assert out.heuristic_name == "A"
+
+    def test_timings_recorded(self, setup):
+        program, facts, _, _ = setup
+        out = run_introspective(program, "2objH", HeuristicB(), facts=facts)
+        assert out.seconds >= 0
+        assert out.overhead_seconds >= 0
+        assert not out.timed_out
+
+
+class TestBudgets:
+    def test_pass2_budget_trip_reported(self, setup):
+        program, facts, insens, _ = setup
+        out = run_introspective(
+            program,
+            "2objH",
+            RefineEverything(),
+            facts=facts,
+            pass1=insens,
+            max_tuples=10,
+        )
+        assert out.timed_out
+        assert out.result is None
+
+    def test_pass1_budget_trip_reraises(self, setup):
+        program, facts, _, _ = setup
+        with pytest.raises(BudgetExceeded):
+            run_introspective(program, "2objH", HeuristicA(), facts=facts, max_tuples=10)

@@ -1,0 +1,129 @@
+"""Tests for Heuristics A and B and the custom-heuristic combinator."""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.introspection import (
+    CustomHeuristic,
+    HeuristicA,
+    HeuristicB,
+    RefineEverything,
+    call_site_universe,
+    compute_metrics,
+    object_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def hub_setup():
+    """A small hub program with one obviously-hot method and object."""
+    b = ProgramBuilder()
+    b.klass("Hub", fields=["slot"])
+    b.klass("Elem", abstract=True)
+    for e in range(12):
+        b.klass(f"Elem{e}", super_name="Elem")
+    with b.method("Hub", "add", ["x"]) as m:
+        m.store("this", "slot", "x")
+    with b.method("Hub", "get", []) as m:
+        m.load("r", "this", "slot")
+        m.move("r2", "r")
+        m.move("r3", "r2")
+        m.ret("r3")
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("hub", "Hub")
+        for e in range(12):
+            m.alloc(f"e{e}", f"Elem{e}")
+            m.vcall("hub", "add", [f"e{e}"])
+        m.vcall("hub", "get", [], target="out")
+    program = b.build(entry="Main.main/0")
+    facts = encode_program(program)
+    pass1 = analyze(program, "insens", facts=facts)
+    metrics = compute_metrics(pass1, facts)
+    return program, facts, pass1, metrics
+
+
+class TestUniverses:
+    def test_call_site_universe_is_cg_pairs(self, hub_setup):
+        _, _, pass1, _ = hub_setup
+        pairs = call_site_universe(pass1)
+        assert ("Main.main/0/invo/12", "Hub.get/0") in pairs
+        assert all(meth in ("Hub.add/1", "Hub.get/0") for _i, meth in pairs)
+
+    def test_object_universe_is_reachable_allocs(self, hub_setup):
+        _, facts, pass1, _ = hub_setup
+        objs = object_universe(pass1, facts)
+        assert "Main.main/0/new Hub/0" in objs
+        assert len(objs) == 13
+
+
+class TestHeuristicA:
+    def test_excludes_popular_objects(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        # every element is pointed by e{k} + get's r/r2/r3 + out + add's x
+        decision = HeuristicA(K=4, L=10**6, M=10**6).decide(metrics, facts, pass1)
+        assert all("Elem" in h for h in decision.excluded_objects)
+        assert decision.excluded_objects  # elements are popular
+
+    def test_excludes_high_inflow_sites(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        # add(x): in-flow 1 per site; get(): in-flow 0 -> L=0 excludes add
+        decision = HeuristicA(K=10**6, L=0, M=10**6).decide(metrics, facts, pass1)
+        excluded_meths = {meth for _i, meth in decision.excluded_sites}
+        assert excluded_meths == {"Hub.add/1"}
+
+    def test_excludes_by_max_var_field(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        # get/add's `this` points to the hub whose slot holds 12 elements
+        decision = HeuristicA(K=10**6, L=10**6, M=11).decide(metrics, facts, pass1)
+        excluded_meths = {meth for _i, meth in decision.excluded_sites}
+        assert excluded_meths == {"Hub.add/1", "Hub.get/0"}
+
+    def test_paper_constants_exclude_nothing_here(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        decision = HeuristicA().decide(metrics, facts, pass1)  # K=L=100, M=200
+        assert not decision.excluded_objects
+        assert not decision.excluded_sites
+
+    def test_describe(self):
+        assert "K=1" in HeuristicA(K=1, L=2, M=3).describe()
+
+
+class TestHeuristicB:
+    def test_excludes_high_volume_methods(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        # get has locals this(1) + r,r2,r3 (12 each) = 37
+        decision = HeuristicB(P=30, Q=10**6).decide(metrics, facts, pass1)
+        excluded_meths = {meth for _i, meth in decision.excluded_sites}
+        assert excluded_meths == {"Hub.get/0"}
+
+    def test_excludes_heavy_objects(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        # hub weight = total_field_pts(12) * pointed_by_vars(hub: hub, this
+        # of add, this of get = 3) = 36
+        decision = HeuristicB(P=10**6, Q=35).decide(metrics, facts, pass1)
+        assert decision.excluded_objects == {"Main.main/0/new Hub/0"}
+
+    def test_paper_constants_exclude_nothing_here(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        decision = HeuristicB().decide(metrics, facts, pass1)
+        assert not decision.excluded_objects
+        assert not decision.excluded_sites
+
+
+class TestCustomAndDegenerate:
+    def test_refine_everything(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        decision = RefineEverything().decide(metrics, facts, pass1)
+        assert not decision.excluded_objects and not decision.excluded_sites
+
+    def test_custom_heuristic_single_metric(self, hub_setup):
+        _, facts, pass1, metrics = hub_setup
+        h = CustomHeuristic(
+            exclude_object=lambda heap, m: m.pointed_by_objs.get(heap, 0) > 0,
+            exclude_site=lambda invo, meth, m: False,
+            label="pointed-by-objs-only",
+        )
+        decision = h.decide(metrics, facts, pass1)
+        # exactly the 12 elements sit in the hub's field
+        assert len(decision.excluded_objects) == 12
+        assert h.name == "pointed-by-objs-only"

@@ -1,0 +1,143 @@
+"""Tests for mixed-flavor configurability (paper Section 3's opening claim).
+
+"The model of the previous section allows configurability of
+context-sensitivity in a large variety of ways.  For instance, some
+methods (or some call sites) can be analyzed with object-sensitivity
+while others are analyzed with call-site-sensitivity, of any depth."
+
+The `IntrospectivePolicy` is exactly that machinery: its *cheap* policy
+defaults to insensitive (the paper's experiments) but can be any policy.
+These tests exercise object-sensitive/call-site-sensitive mixes and
+shallow/deep mixes, on both engines.
+"""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.analysis.datalog_model import DatalogPointsToAnalysis
+from repro.contexts import (
+    CallSiteSensitivePolicy,
+    IntrospectivePolicy,
+    ObjectSensitivePolicy,
+    RefinementDecision,
+)
+from tests.conftest import build_box_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_box_program(boxes=3)
+
+
+def split_decision(facts, pass1, predicate):
+    """Exclude the call-site pairs selected by ``predicate(invo, meth)``."""
+    pairs = {
+        (invo, meth)
+        for invo, targets in pass1.call_graph.items()
+        for meth in targets
+    }
+    return RefinementDecision(
+        excluded_objects=set(),
+        excluded_sites={(i, m) for i, m in pairs if predicate(i, m)},
+    )
+
+
+class TestObjectPlusCallSite:
+    def test_mix_is_as_precise_as_either_flavor_here(self, program):
+        """Half the call sites get 2objH contexts, the other half 2callH.
+        On the box program either flavor fully separates the boxes, so the
+        mix must too — and it must terminate with contexts of both kinds."""
+        facts = encode_program(program)
+        pass1 = analyze(program, "insens", facts=facts)
+        decision = split_decision(
+            facts, pass1, lambda invo, meth: hash(invo) % 2 == 0
+        )
+        policy = IntrospectivePolicy(
+            refined=ObjectSensitivePolicy(k=2, heap_k=1),
+            decision=decision,
+            cheap=CallSiteSensitivePolicy(k=2, heap_k=1),
+        )
+        result = analyze(program, policy, facts=facts)
+        for k in range(3):
+            assert result.points_to(f"Main.main/0/g{k}") == {
+                f"Main.main/0/new Item{k}/{k}"
+            }
+        # both context kinds are present in the fixpoint
+        elements = {
+            ctx[0]
+            for _m, ctx in result.iter_reachable()
+            if ctx
+        }
+        assert any("invo" in str(e) for e in elements)  # call-site elements
+        assert any("new " in str(e) for e in elements)  # allocation elements
+
+    def test_engines_agree_on_mixed_policies(self, program):
+        facts = encode_program(program)
+        pass1 = analyze(program, "insens", facts=facts)
+        decision = split_decision(
+            facts, pass1, lambda invo, meth: "get" in meth
+        )
+        refined = ObjectSensitivePolicy(k=2, heap_k=1)
+        cheap = CallSiteSensitivePolicy(k=1, heap_k=1)
+        policy = IntrospectivePolicy(refined, decision, cheap=cheap)
+
+        solver = analyze(program, policy, facts=facts)
+        model = DatalogPointsToAnalysis(
+            program,
+            cheap,
+            refined_policy=refined,
+            facts=facts,
+            polarity="complement",
+            excluded_sites=decision.excluded_sites,
+        ).run()
+        assert frozenset(solver.iter_var_points_to()) == model.var_points_to
+        assert frozenset(solver.iter_reachable()) == model.reachable
+
+
+class TestDepthMix:
+    def test_shallow_fallback_instead_of_insensitive(self, program):
+        """Refine with 2objH but fall back to 1objH (not insens) for the
+        excluded sites: precision must sit between full-1objH and
+        full-2objH — here all three separate the boxes, so equal."""
+        facts = encode_program(program)
+        pass1 = analyze(program, "insens", facts=facts)
+        decision = split_decision(facts, pass1, lambda i, m: "set" in m)
+        policy = IntrospectivePolicy(
+            refined=ObjectSensitivePolicy(k=2, heap_k=1),
+            decision=decision,
+            cheap=ObjectSensitivePolicy(k=1, heap_k=1),
+        )
+        mixed = analyze(program, policy, facts=facts)
+        full = analyze(program, "2objH", facts=facts)
+        assert mixed.var_points_to == full.var_points_to
+
+    def test_insensitive_fallback_loses_more(self, program):
+        """The same exclusions with an insensitive fallback *do* conflate:
+        the choice of cheap policy is a real knob."""
+        facts = encode_program(program)
+        pass1 = analyze(program, "insens", facts=facts)
+        decision = split_decision(
+            facts, pass1, lambda i, m: "set" in m or "get" in m
+        )
+        shallow = analyze(
+            program,
+            IntrospectivePolicy(
+                ObjectSensitivePolicy(k=2, heap_k=1),
+                decision,
+                cheap=ObjectSensitivePolicy(k=1, heap_k=1),
+            ),
+            facts=facts,
+        )
+        insens_fallback = analyze(
+            program,
+            IntrospectivePolicy(
+                ObjectSensitivePolicy(k=2, heap_k=1),
+                decision,
+            ),
+            facts=facts,
+        )
+        # 1obj fallback still separates receiver objects; insens does not.
+        g0_shallow = shallow.points_to("Main.main/0/g0")
+        g0_insens = insens_fallback.points_to("Main.main/0/g0")
+        assert len(g0_shallow) == 1
+        assert len(g0_insens) == 3

@@ -1,0 +1,177 @@
+"""Tests for the ProgramBuilder fluent API."""
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    Cast,
+    Load,
+    Move,
+    ProgramBuilder,
+    ProgramError,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    ValidationError,
+    VirtualCall,
+)
+
+
+class TestClassDeclaration:
+    def test_explicit_class_with_fields(self):
+        b = ProgramBuilder()
+        b.klass("A", fields=["f", "g"], static_fields=["s"])
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("x", "A")
+        p = b.build(entry="Main.main/0")
+        assert p.classes["A"].fields == ("f", "g")
+        assert p.classes["A"].static_fields == ("s",)
+
+    def test_auto_class_on_method(self):
+        b = ProgramBuilder()
+        with b.method("Implicit", "main", [], static=True) as m:
+            m.ret()
+        p = b.build(entry="Implicit.main/0")
+        assert "Implicit" in p.classes
+
+    def test_interface_helper(self):
+        b = ProgramBuilder()
+        b.interface("I")
+        with b.method("Main", "main", [], static=True) as m:
+            m.ret()
+        p = b.build(entry="Main.main/0")
+        assert p.hierarchy["I"].is_interface
+
+    def test_entry_required(self):
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.ret()
+        with pytest.raises(ProgramError, match="entry point"):
+            b.build()
+
+    def test_multiple_entries(self):
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.ret()
+        with b.method("Main", "alt", [], static=True) as m:
+            m.ret()
+        b.entry("Main.main/0")
+        p = b.build(entry="Main.alt/0")
+        assert p.entry_points == ["Main.main/0", "Main.alt/0"]
+
+
+class TestInstructionEmission:
+    def build_single(self, emit):
+        b = ProgramBuilder()
+        b.klass("A", fields=["f"], static_fields=["s"])
+        with b.method("A", "helper", ["p"]) as m:
+            m.ret("p")
+        with b.method("A", "shelper", ["p"], static=True) as m:
+            m.ret("p")
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("x", "A")
+            m.alloc("y", "A")
+            emit(m)
+        p = b.build(entry="Main.main/0")
+        return p.method("Main.main/0").instructions
+
+    def test_alloc(self):
+        instrs = self.build_single(lambda m: None)
+        assert isinstance(instrs[0], Alloc)
+        assert instrs[0].class_name == "A"
+
+    def test_move(self):
+        instrs = self.build_single(lambda m: m.move("z", "x"))
+        assert instrs[-1] == Move("z", "x")
+
+    def test_load_store(self):
+        instrs = self.build_single(
+            lambda m: m.store("x", "f", "y").load("z", "x", "f")
+        )
+        assert instrs[-2] == Store("x", "f", "y")
+        assert instrs[-1] == Load("z", "x", "f")
+
+    def test_static_load_store(self):
+        instrs = self.build_single(
+            lambda m: m.static_store("A", "s", "x").static_load("z", "A", "s")
+        )
+        assert instrs[-2] == StaticStore("A", "s", "x")
+        assert instrs[-1] == StaticLoad("z", "A", "s")
+
+    def test_cast(self):
+        instrs = self.build_single(lambda m: m.cast("z", "x", "A"))
+        assert instrs[-1] == Cast("z", "x", "A")
+
+    def test_vcall_builds_signature(self):
+        instrs = self.build_single(lambda m: m.vcall("x", "helper", ["y"], target="z"))
+        call = instrs[-1]
+        assert isinstance(call, VirtualCall)
+        assert call.sig == "helper/1"
+        assert call.base == "x"
+        assert call.target == "z"
+        assert call.invo  # assigned at freeze
+
+    def test_scall(self):
+        instrs = self.build_single(lambda m: m.scall("A", "shelper", ["y"]))
+        call = instrs[-1]
+        assert isinstance(call, StaticCall)
+        assert call.class_name == "A"
+        assert call.target is None
+
+    def test_special_call(self):
+        instrs = self.build_single(
+            lambda m: m.special_call("x", "A", "helper", ["y"], target="z")
+        )
+        call = instrs[-1]
+        assert isinstance(call, SpecialCall)
+        assert call.base == "x"
+        assert call.class_name == "A"
+
+    def test_array_sugar(self):
+        instrs = self.build_single(
+            lambda m: m.array_store("x", "y").array_load("z", "x")
+        )
+        assert instrs[-2] == Store("x", "<arr>", "y")
+        assert instrs[-1] == Load("z", "x", "<arr>")
+
+    def test_ret(self):
+        instrs = self.build_single(lambda m: m.ret("x"))
+        assert instrs[-1] == Return("x")
+
+    def test_bare_ret(self):
+        instrs = self.build_single(lambda m: m.ret())
+        assert instrs[-1] == Return(None)
+
+
+class TestValidationIntegration:
+    def test_build_validates_by_default(self):
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("x", "Ghost")
+        with pytest.raises(ValidationError):
+            b.build(entry="Main.main/0")
+
+    def test_validation_can_be_skipped(self):
+        b = ProgramBuilder()
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("x", "Ghost")
+        # The unknown alloc type is only caught by validate_program; with
+        # validation off, building succeeds.
+        p = b.build(entry="Main.main/0", validate=False)
+        assert p.frozen
+
+    def test_method_body_discarded_on_exception(self):
+        b = ProgramBuilder()
+        try:
+            with b.method("Main", "broken", [], static=True) as m:
+                m.alloc("x", "A")
+                raise RuntimeError("abort body")
+        except RuntimeError:
+            pass
+        with b.method("Main", "main", [], static=True) as m:
+            m.ret()
+        p = b.build(entry="Main.main/0")
+        assert "broken/0" not in p.classes["Main"].methods

@@ -1,0 +1,70 @@
+"""Tests for instruction dataclasses: def/use sets and immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    Cast,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    VirtualCall,
+)
+
+
+@pytest.mark.parametrize(
+    "instr,defined,used",
+    [
+        (Alloc("x", "A"), {"x"}, set()),
+        (Move("x", "y"), {"x"}, {"y"}),
+        (Load("x", "b", "f"), {"x"}, {"b"}),
+        (Store("b", "f", "x"), set(), {"b", "x"}),
+        (StaticLoad("x", "C", "s"), {"x"}, set()),
+        (StaticStore("C", "s", "x"), set(), {"x"}),
+        (Cast("x", "y", "T"), {"x"}, {"y"}),
+        (Return("x"), set(), {"x"}),
+        (Return(None), set(), set()),
+        (
+            VirtualCall(target="r", args=("a", "b"), base="x", sig="m/2"),
+            {"r"},
+            {"x", "a", "b"},
+        ),
+        (
+            VirtualCall(target=None, args=(), base="x", sig="m/0"),
+            set(),
+            {"x"},
+        ),
+        (
+            StaticCall(target="r", args=("a",), class_name="C", sig="m/1"),
+            {"r"},
+            {"a"},
+        ),
+        (
+            SpecialCall(target=None, args=("a",), base="x", class_name="C", sig="m/1"),
+            set(),
+            {"x", "a"},
+        ),
+    ],
+)
+def test_def_use(instr, defined, used):
+    assert set(instr.defined_vars()) == defined
+    assert set(instr.used_vars()) == used
+
+
+def test_instructions_are_frozen():
+    instr = Move("x", "y")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        instr.target = "z"
+
+
+def test_invo_not_part_of_equality():
+    a = VirtualCall(target=None, args=(), invo="site1", base="x", sig="m/0")
+    b = VirtualCall(target=None, args=(), invo="site2", base="x", sig="m/0")
+    assert a == b

@@ -1,0 +1,80 @@
+"""Tests for the textual IR printer."""
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+    dump_program,
+    format_instruction,
+)
+
+
+@pytest.mark.parametrize(
+    "instr,expected",
+    [
+        (Alloc("x", "A"), "x = new A"),
+        (Move("x", "y"), "x = y"),
+        (Load("x", "b", "f"), "x = b.f"),
+        (Store("b", "f", "x"), "b.f = x"),
+        (StaticLoad("x", "C", "s"), "x = C::s"),
+        (StaticStore("C", "s", "x"), "C::s = x"),
+        (Cast("x", "y", "T"), "x = (T) y"),
+        (Return("x"), "return x"),
+        (Return(None), "return"),
+        (Throw("e"), "throw e"),
+        (Catch("h", "IOExc"), "catch (IOExc) h"),
+        (ConstString("s", "hi"), 's = "hi"'),
+        (
+            VirtualCall(target="r", args=("a", "b"), base="x", sig="m/2"),
+            "r = x.m/2(a, b)",
+        ),
+        (
+            VirtualCall(target=None, args=(), base="x", sig="m/0"),
+            "x.m/0()",
+        ),
+        (
+            StaticCall(target="r", args=("a",), class_name="C", sig="m/1"),
+            "r = C::m/1(a)",
+        ),
+        (
+            SpecialCall(target=None, args=(), base="x", class_name="C", sig="m/0"),
+            "x.<C::m/0>()",
+        ),
+    ],
+)
+def test_format_instruction(instr, expected):
+    assert format_instruction(instr) == expected
+
+
+def test_dump_program_structure(tiny_program):
+    text = dump_program(tiny_program)
+    assert "class A extends java.lang.Object {" in text
+    assert "  field f" in text
+    assert "class Main" in text
+    assert "// entry points: Main.main/0" in text
+    assert "r1 = a.id/1(b)" in text
+
+
+def test_dump_mentions_modifiers(kitchen_sink_program):
+    text = dump_program(kitchen_sink_program)
+    assert "abstract class Animal" in text
+    assert "implements Speaker" in text
+    assert "interface" not in text.split("Speaker")[0]  # Speaker has no members
+    assert "static field shared" in text
+
+
+def test_dump_is_deterministic(tiny_program):
+    assert dump_program(tiny_program) == dump_program(tiny_program)

@@ -1,0 +1,162 @@
+"""Tests for the type hierarchy: subtyping, validation, dispatch order."""
+
+import pytest
+
+from repro.ir.types import OBJECT, ClassType, TypeError_, TypeHierarchy
+
+
+def make_hierarchy(*types: ClassType) -> TypeHierarchy:
+    h = TypeHierarchy()
+    for t in types:
+        h.add(t)
+    h.freeze()
+    return h
+
+
+class TestConstruction:
+    def test_root_exists_by_default(self):
+        h = TypeHierarchy()
+        assert OBJECT in h
+        assert h[OBJECT].superclass is None
+
+    def test_duplicate_type_rejected(self):
+        h = TypeHierarchy()
+        h.add(ClassType("A"))
+        with pytest.raises(TypeError_, match="duplicate"):
+            h.add(ClassType("A"))
+
+    def test_self_superclass_rejected(self):
+        with pytest.raises(TypeError_, match="own superclass"):
+            ClassType("A", superclass="A")
+
+    def test_unknown_superclass_rejected_at_freeze(self):
+        h = TypeHierarchy()
+        h.add(ClassType("A", superclass="Ghost"))
+        with pytest.raises(TypeError_, match="unknown supertype"):
+            h.freeze()
+
+    def test_unknown_interface_rejected_at_freeze(self):
+        h = TypeHierarchy()
+        h.add(ClassType("A", interfaces=("Ghost",)))
+        with pytest.raises(TypeError_, match="unknown supertype"):
+            h.freeze()
+
+    def test_inheritance_cycle_detected(self):
+        h = TypeHierarchy()
+        h.add(ClassType("A", superclass="B"))
+        h.add(ClassType("B", superclass="A"))
+        with pytest.raises(TypeError_, match="cycle"):
+            h.freeze()
+
+    def test_interface_cycle_detected(self):
+        h = TypeHierarchy()
+        h.add(ClassType("I", interfaces=("J",), is_interface=True))
+        h.add(ClassType("J", interfaces=("I",), is_interface=True))
+        with pytest.raises(TypeError_, match="cycle"):
+            h.freeze()
+
+    def test_add_after_freeze_rejected(self):
+        h = TypeHierarchy()
+        h.freeze()
+        with pytest.raises(TypeError_, match="frozen"):
+            h.add(ClassType("A"))
+
+    def test_freeze_is_idempotent(self):
+        h = TypeHierarchy()
+        h.freeze()
+        h.freeze()
+        assert h.frozen
+
+    def test_query_before_freeze_rejected(self):
+        h = TypeHierarchy()
+        h.add(ClassType("A"))
+        with pytest.raises(TypeError_, match="frozen"):
+            h.is_subtype("A", OBJECT)
+
+
+class TestSubtyping:
+    def test_reflexive(self):
+        h = make_hierarchy(ClassType("A"))
+        assert h.is_subtype("A", "A")
+
+    def test_direct_superclass(self):
+        h = make_hierarchy(ClassType("A"), ClassType("B", superclass="A"))
+        assert h.is_subtype("B", "A")
+        assert not h.is_subtype("A", "B")
+
+    def test_transitive_chain(self):
+        h = make_hierarchy(
+            ClassType("A"),
+            ClassType("B", superclass="A"),
+            ClassType("C", superclass="B"),
+        )
+        assert h.is_subtype("C", "A")
+        assert h.is_subtype("C", OBJECT)
+
+    def test_interfaces_contribute_to_subtyping(self):
+        h = make_hierarchy(
+            ClassType("I", is_interface=True),
+            ClassType("A", interfaces=("I",)),
+        )
+        assert h.is_subtype("A", "I")
+        assert not h.is_subtype("I", "A")
+
+    def test_interface_inheritance(self):
+        h = make_hierarchy(
+            ClassType("I", is_interface=True),
+            ClassType("J", interfaces=("I",), is_interface=True),
+            ClassType("A", interfaces=("J",)),
+        )
+        assert h.is_subtype("A", "I")
+
+    def test_siblings_unrelated(self):
+        h = make_hierarchy(
+            ClassType("A"),
+            ClassType("B", superclass="A"),
+            ClassType("C", superclass="A"),
+        )
+        assert not h.is_subtype("B", "C")
+        assert not h.is_subtype("C", "B")
+
+    def test_everything_subtypes_object(self):
+        h = make_hierarchy(
+            ClassType("I", is_interface=True), ClassType("A", interfaces=("I",))
+        )
+        for name in ("I", "A", OBJECT, "java.lang.String"):
+            assert h.is_subtype(name, OBJECT)
+
+    def test_unknown_type_raises(self):
+        h = make_hierarchy(ClassType("A"))
+        with pytest.raises(TypeError_, match="unknown type"):
+            h.is_subtype("Ghost", "A")
+
+    def test_supertypes_include_self(self):
+        h = make_hierarchy(ClassType("A"), ClassType("B", superclass="A"))
+        assert h.supertypes("B") == {"B", "A", OBJECT}
+
+    def test_subtypes_include_self(self):
+        h = make_hierarchy(ClassType("A"), ClassType("B", superclass="A"))
+        assert h.subtypes("A") == {"A", "B"}
+        assert h.subtypes(OBJECT) == {OBJECT, "java.lang.String", "A", "B"}
+
+
+class TestSuperclassChain:
+    def test_chain_order_is_dispatch_order(self):
+        h = make_hierarchy(
+            ClassType("A"),
+            ClassType("B", superclass="A"),
+            ClassType("C", superclass="B"),
+        )
+        assert [t.name for t in h.superclass_chain("C")] == ["C", "B", "A", OBJECT]
+
+    def test_chain_skips_interfaces(self):
+        h = make_hierarchy(
+            ClassType("I", is_interface=True),
+            ClassType("A", interfaces=("I",)),
+        )
+        assert [t.name for t in h.superclass_chain("A")] == ["A", OBJECT]
+
+    def test_len_and_iter(self):
+        h = make_hierarchy(ClassType("A"))
+        assert len(h) == 3  # A + the implicit Object and String
+        assert {t.name for t in h} == {"A", OBJECT, "java.lang.String"}

@@ -1,0 +1,122 @@
+"""Tests for IR validation: each rejection class."""
+
+import pytest
+
+from repro.ir import ProgramBuilder, ValidationError
+
+
+def expect_invalid(build_body, match: str, setup=None):
+    b = ProgramBuilder()
+    if setup:
+        setup(b)
+    with b.method("Main", "main", [], static=True) as m:
+        build_body(m)
+    with pytest.raises(ValidationError, match=match):
+        b.build(entry="Main.main/0")
+
+
+def test_alloc_unknown_type():
+    expect_invalid(lambda m: m.alloc("x", "Ghost"), "unknown type")
+
+
+def test_alloc_interface():
+    expect_invalid(
+        lambda m: m.alloc("x", "I"),
+        "non-concrete",
+        setup=lambda b: b.interface("I"),
+    )
+
+
+def test_alloc_abstract_class():
+    expect_invalid(
+        lambda m: m.alloc("x", "A"),
+        "non-concrete",
+        setup=lambda b: b.klass("A", abstract=True),
+    )
+
+
+def test_cast_unknown_type():
+    expect_invalid(
+        lambda m: m.alloc("x", "java.lang.Object").cast("y", "x", "Ghost"),
+        "unknown type",
+    )
+
+
+def test_static_call_unresolvable():
+    expect_invalid(
+        lambda m: m.scall("A", "ghost", []),
+        "unresolvable",
+        setup=lambda b: b.klass("A"),
+    )
+
+
+def test_static_call_to_instance_method():
+    def setup(b):
+        b.klass("A")
+        with b.method("A", "run", []) as m:
+            m.ret()
+
+    expect_invalid(lambda m: m.scall("A", "run", []), "instance method", setup=setup)
+
+
+def test_special_call_to_static_method():
+    def setup(b):
+        b.klass("A")
+        with b.method("A", "run", [], static=True) as m:
+            m.ret()
+
+    expect_invalid(
+        lambda m: m.alloc("x", "A").special_call("x", "A", "run", []),
+        "static method",
+        setup=setup,
+    )
+
+
+def test_static_field_on_unknown_class():
+    expect_invalid(
+        lambda m: m.alloc("x", "java.lang.Object").static_store("Ghost", "s", "x"),
+        "unknown class",
+    )
+
+
+def test_unknown_static_field():
+    expect_invalid(
+        lambda m: m.alloc("x", "A").static_store("A", "ghost", "x"),
+        "unknown static field",
+        setup=lambda b: b.klass("A"),
+    )
+
+
+def test_undeclared_instance_field():
+    expect_invalid(
+        lambda m: m.alloc("x", "A").load("y", "x", "ghost"),
+        "not declared",
+        setup=lambda b: b.klass("A"),
+    )
+
+
+def test_array_field_always_allowed():
+    b = ProgramBuilder()
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("x", "java.lang.Object")
+        m.array_store("x", "x")
+    b.build(entry="Main.main/0")  # no error
+
+
+def test_non_static_entry_rejected():
+    b = ProgramBuilder()
+    b.klass("A")
+    with b.method("A", "run", []) as m:
+        m.ret()
+    with pytest.raises(ValidationError, match="must be static"):
+        b.build(entry="A.run/0")
+
+
+def test_all_problems_reported_together():
+    b = ProgramBuilder()
+    with b.method("Main", "main", [], static=True) as m:
+        m.alloc("x", "Ghost1")
+        m.alloc("y", "Ghost2")
+    with pytest.raises(ValidationError) as exc_info:
+        b.build(entry="Main.main/0")
+    assert len(exc_info.value.problems) == 2

@@ -1,0 +1,107 @@
+"""Tests for the pruning baseline: relevance, pruning, and the
+query-answer equivalence with the whole-program precise analysis."""
+
+import pytest
+
+from repro import analyze, encode_program
+from repro.baselines import (
+    build_pruned_program,
+    keep_set,
+    prune_and_analyze,
+    relevant_variables,
+)
+from repro.clients.precision import casts_that_may_fail
+from tests.conftest import build_box_program
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_box_program(boxes=4)
+    facts = encode_program(program)
+    insens = analyze(program, "insens", facts=facts)
+    return program, facts, insens
+
+
+class TestRelevance:
+    def test_focus_var_is_relevant(self, setup):
+        _, facts, insens = setup
+        relevant = relevant_variables(facts, insens, {"Main.main/0/g0"})
+        assert "Main.main/0/g0" in relevant
+
+    def test_backward_flow_through_calls_and_fields(self, setup):
+        _, facts, insens = setup
+        relevant = relevant_variables(facts, insens, {"Main.main/0/g0"})
+        # g0 = box0.get(); get returns this.v; v was stored from set(x);
+        # x came from item allocations in main.
+        assert "Box.get/0/r" in relevant
+        assert "Box.set/1/x" in relevant
+        assert "Main.main/0/item0" in relevant
+        # all boxes alias through the shared Box class insensitively, so
+        # every item may be relevant -- over-keeping is the safe direction
+        assert "Main.main/0/item1" in relevant
+
+    def test_unrelated_method_not_kept(self):
+        from repro import ProgramBuilder
+
+        b = ProgramBuilder()
+        with b.method("Island", "alone", [], static=True) as m:
+            m.alloc("x", "java.lang.Object")
+        with b.method("Used", "id", ["p"], static=True) as m:
+            m.ret("p")
+        with b.method("Main", "main", [], static=True) as m:
+            m.alloc("a", "java.lang.Object")
+            m.scall("Used", "id", ["a"], target="r")
+            m.scall("Island", "alone", [])
+        program = b.build(entry="Main.main/0")
+        facts = encode_program(program)
+        insens = analyze(program, "insens", facts=facts)
+        keep = keep_set(facts, insens, {"Main.main/0/r"})
+        assert "Used.id/1" in keep
+        assert "Main.main/0" in keep
+        assert "Island.alone/0" not in keep
+
+
+class TestPrunedProgram:
+    def test_pruned_bodies_emptied(self, setup):
+        program, facts, insens = setup
+        keep = {"Main.main/0"}
+        pruned = build_pruned_program(program, keep)
+        assert pruned.count_methods() == program.count_methods()
+        assert len(pruned.method("Main.main/0").instructions) > 0
+        assert len(pruned.method("Box.get/0").instructions) == 0
+
+    def test_hierarchy_preserved(self, setup):
+        program, _, _ = setup
+        pruned = build_pruned_program(program, set())
+        assert pruned.hierarchy.is_subtype("Item0", "Item")
+
+    def test_entry_points_preserved(self, setup):
+        program, _, _ = setup
+        pruned = build_pruned_program(program, set())
+        assert pruned.entry_points == program.entry_points
+
+
+class TestEndToEnd:
+    def test_query_answer_matches_whole_program(self, setup):
+        """On a single-cast query, the pruned precise analysis gives the
+        same verdict as the whole-program precise analysis."""
+        program, facts, insens = setup
+        outcome = prune_and_analyze(
+            program, {"Main.main/0/g0"}, analysis="2objH",
+            facts=facts, insens=insens,
+        )
+        assert not outcome.timed_out
+        # verdict on the queried cast: same points-to set in both
+        full = analyze(program, "2objH", facts=facts)
+        assert "Main.main/0/c0" not in casts_that_may_fail(full, facts)
+        assert outcome.result.points_to("Main.main/0/g0") == full.points_to(
+            "Main.main/0/g0"
+        )
+
+    def test_summary(self, setup):
+        program, facts, insens = setup
+        outcome = prune_and_analyze(
+            program, {"Main.main/0/g0"}, facts=facts, insens=insens
+        )
+        assert "methods" in outcome.summary()
+        assert 0 < outcome.kept_fraction <= 1

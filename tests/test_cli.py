@@ -1,0 +1,162 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+class Exc { }
+class Box {
+    field v;
+    method set(x) { this.v = x; }
+    method get()  { r = this.v; return r; }
+}
+class Main {
+    static method main() {
+        b = new Box();
+        i = new Exc();
+        b.set(i);
+        g = b.get();
+        c = (Exc) g;
+        throw i;
+    }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_basic_run(self, source_file, capsys):
+        assert main(["analyze", source_file, "--analysis", "insens"]) == 0
+        out = capsys.readouterr().out
+        assert "program:" in out and "stats:" in out
+
+    def test_show_points_to(self, source_file, capsys):
+        main(["analyze", source_file, "--show", "Main.main/0/g"])
+        out = capsys.readouterr().out
+        assert "pts(Main.main/0/g) = ['Main.main/0/new Exc/1']" in out
+
+    def test_show_missing_var_prints_empty(self, source_file, capsys):
+        main(["analyze", source_file, "--show", "Main.main/0/nope"])
+        assert "pts(Main.main/0/nope) = {}" in capsys.readouterr().out
+
+    def test_reports(self, source_file, capsys):
+        main(
+            [
+                "analyze",
+                source_file,
+                "--precision",
+                "--devirt",
+                "--exceptions",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "precision:" in out
+        assert "devirtualization:" in out
+        assert "exceptions: escaping 1" in out
+
+    def test_dump(self, source_file, capsys):
+        main(["analyze", source_file, "--dump", "--analysis", "insens"])
+        assert "g = b.get/0()" in capsys.readouterr().out
+
+    def test_introspective(self, source_file, capsys):
+        assert (
+            main(["analyze", source_file, "--introspective", "A"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "2objH-IntroA" in out and "not refined" in out
+
+    def test_heuristic_constants_override(self, source_file, capsys):
+        main(
+            [
+                "analyze",
+                source_file,
+                "--introspective",
+                "B",
+                "--heuristic-constants",
+                "5,7",
+            ]
+        )
+        assert "P=5, Q=7" in capsys.readouterr().out
+
+    def test_budget_timeout_exit_code(self, source_file, capsys):
+        assert main(["analyze", source_file, "--budget", "2"]) == 3
+        assert "TIMEOUT" in capsys.readouterr().out
+
+
+class TestSaveFlags:
+    def test_save_facts_and_solution(self, source_file, capsys, tmp_path):
+        facts_dir = tmp_path / "facts"
+        sol_dir = tmp_path / "solution"
+        rc = main(
+            [
+                "analyze",
+                source_file,
+                "--analysis",
+                "insens",
+                "--save-facts",
+                str(facts_dir),
+                "--save-solution",
+                str(sol_dir),
+            ]
+        )
+        assert rc == 0
+        assert (facts_dir / "ALLOC.facts").exists()
+        assert (sol_dir / "VARPOINTSTO.csv").exists()
+        out = capsys.readouterr().out
+        assert ".facts files" in out and "relation files" in out
+
+
+class TestBench:
+    def test_known_benchmark(self, capsys):
+        assert main(["bench", "antlr", "--analysis", "insens"]) == 0
+        out = capsys.readouterr().out
+        assert "spec: antlr" in out and "stats:" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().out
+
+    def test_introspective_timeout_exit_code(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "hsqldb",
+                "--analysis",
+                "2objH",
+                "--budget",
+                "150000",
+            ]
+        )
+        assert rc == 3
+
+    def test_introspective_rescues(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "hsqldb",
+                "--analysis",
+                "2objH",
+                "--introspective",
+                "B",
+                "--heuristic-constants",
+                "150,250",
+                "--budget",
+                "150000",
+            ]
+        )
+        assert rc == 0
+
+
+class TestList:
+    def test_benchmarks_listed(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("antlr", "jython", "hsqldb"):
+            assert name in out

@@ -1,0 +1,68 @@
+"""Tests for shared utilities: interning and the stopwatch."""
+
+import time
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import Interner, Stopwatch
+
+
+class TestInterner:
+    def test_intern_assigns_dense_ids(self):
+        interner = Interner()
+        ids = [interner.intern(v) for v in ("a", "b", "c", "a")]
+        assert ids == [0, 1, 2, 0]
+        assert len(interner) == 3
+
+    def test_value_roundtrip(self):
+        interner = Interner()
+        idx = interner.intern(("tuple", 1))
+        assert interner.value(idx) == ("tuple", 1)
+
+    def test_get_requires_known_value(self):
+        interner = Interner()
+        interner.intern("known")
+        assert interner.get("known") == 0
+        try:
+            interner.get("unknown")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_contains(self):
+        interner = Interner()
+        interner.intern("x")
+        assert "x" in interner
+        assert "y" not in interner
+
+    def test_values_in_insertion_order(self):
+        interner = Interner()
+        for v in ("c", "a", "b"):
+            interner.intern(v)
+        assert interner.values() == ["c", "a", "b"]
+
+    @given(st.lists(st.text(max_size=8), max_size=60))
+    def test_roundtrip_property(self, values):
+        interner = Interner()
+        ids = [interner.intern(v) for v in values]
+        for v, idx in zip(values, ids):
+            assert interner.value(idx) == v
+            assert interner.intern(v) == idx
+        assert len(interner) == len(set(values))
+
+
+class TestStopwatch:
+    def test_elapsed_monotonic(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        time.sleep(0.01)
+        second = watch.elapsed()
+        assert 0 <= first <= second
+
+    def test_restart(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        watch.restart()
+        assert watch.elapsed() < 0.01
