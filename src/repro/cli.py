@@ -8,6 +8,8 @@ Subcommands:
 * ``repro bench NAME`` — run an analysis on a built-in DaCapo-analog
   benchmark;
 * ``repro benchmarks`` — list the built-in benchmarks;
+* ``repro serve`` — run the analysis service (HTTP JSON API with a job
+  queue, worker pool, and content-addressed result cache);
 * ``repro experiments ...`` — the figure reproductions (also available as
   ``repro-experiments``).
 
@@ -16,6 +18,7 @@ Examples::
     repro analyze app.mj --analysis 2objH --show Main.main/0/result
     repro analyze app.mj --analysis 2objH --introspective B --budget 100000
     repro bench hsqldb --analysis 2objH --introspective A
+    repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from .contexts.policies import ANALYSIS_NAMES
 from .facts.encoder import FactBase, encode_program
 from .frontend import parse_source
 from .harness.experiments import main as experiments_main
-from .introspection import HeuristicA, HeuristicB, run_introspective
+from .introspection import heuristic_from_spec, run_introspective
 from .ir.printer import dump_program
 from .ir.program import Program
 
@@ -100,15 +103,7 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_heuristic(label: str, constants: Optional[str]):
-    if label == "A":
-        if constants:
-            k, l, m = (int(x) for x in constants.split(","))
-            return HeuristicA(K=k, L=l, M=m)
-        return HeuristicA()
-    if constants:
-        p, q = (int(x) for x in constants.split(","))
-        return HeuristicB(P=p, Q=q)
-    return HeuristicB()
+    return heuristic_from_spec(label, constants)
 
 
 def _run_and_report(program: Program, args: argparse.Namespace) -> int:
@@ -118,11 +113,16 @@ def _run_and_report(program: Program, args: argparse.Namespace) -> int:
 
         written = save_facts(facts, args.save_facts)
         print(f"wrote {len(written)} .facts files to {args.save_facts}")
-    try:
-        if args.introspective:
+    if args.introspective:
+        try:
             heuristic = _make_heuristic(
                 args.introspective, args.heuristic_constants
             )
+        except ValueError as exc:
+            print(f"error: --heuristic-constants: {exc}", file=sys.stderr)
+            return 2
+    try:
+        if args.introspective:
             outcome = run_introspective(
                 program,
                 args.analysis,
@@ -172,7 +172,12 @@ def _run_and_report(program: Program, args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    source = Path(args.file).read_text()
+    try:
+        source = Path(args.file).read_text()
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        print(f"error: cannot read {args.file}: {reason}", file=sys.stderr)
+        return 2
     program = parse_source(source)
     if args.dump:
         print(dump_program(program))
@@ -194,6 +199,19 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     for name in benchmark_names():
         print(f"{name:10s} {DACAPO_SPECS[name].describe()}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.api import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_capacity=args.cache_size,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -218,6 +236,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     p_list = sub.add_parser("benchmarks", help="list built-in benchmarks")
     p_list.set_defaults(func=_cmd_benchmarks)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis service (HTTP JSON API)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (0 = solve inline in the dispatcher)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk result-cache tier under DIR",
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="in-memory result-cache capacity (entries); default 128",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser(
         "experiments", help="reproduce the paper's figures (repro-experiments)"

@@ -16,6 +16,7 @@ method ids, signature tokens, type and field names).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -120,6 +121,27 @@ class FactBase:
 
     def count_tuples(self) -> int:
         return sum(len(v) for v in self.as_relation_dict().values())
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the input relations (hex string).
+
+        The digest is *content-addressed*: it depends only on the set of
+        tuples in each relation, not on insertion order, so two encodings
+        of the same program — or of two textually different sources that
+        lower to identical facts — share a digest.  Any added, removed, or
+        altered tuple changes it.  This is the cache key used by
+        :mod:`repro.service.cache`.
+        """
+        h = hashlib.sha256()
+        for name, tuples in sorted(self.as_relation_dict().items()):
+            h.update(name.encode())
+            h.update(b"\x00")
+            # Fields never contain the separators (\x1f/\x1e): entity ids
+            # are printable identifiers, indices are integers.
+            for row in sorted("\x1f".join(str(f) for f in t) for t in tuples):
+                h.update(row.encode())
+                h.update(b"\x1e")
+        return h.hexdigest()
 
 
 def encode_program(program: Program) -> FactBase:

@@ -1,0 +1,107 @@
+"""Run harness experiments through the analysis service.
+
+Gives the experiment harness an *optional* service-backed execution path:
+instead of solving in-process, :func:`run_via_service` submits a job to a
+running ``repro serve`` instance (or an ephemeral one from
+:func:`repro.service.api.local_service`), waits for it, and folds the JSON
+payload back into the harness's :class:`~repro.harness.runner.RunOutcome`.
+Repeated figure runs over the same benchmark matrix then exercise the
+content-addressed cache — the second sweep is answered without a single
+solve, which is the serving story the ROADMAP asks for::
+
+    from repro.harness.service_runner import run_matrix_via_service
+    from repro.service import ServiceClient, local_service
+
+    with local_service(workers=2) as url:
+        client = ServiceClient(url)
+        outcomes = run_matrix_via_service(
+            client, ["antlr", "luindex"], ["insens", "2objH"]
+        )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.results import AnalysisStats
+from ..clients.precision import PrecisionReport
+from ..service.client import ServiceClient
+from .runner import EXPERIMENT_BUDGET, EXPERIMENT_TIME_LIMIT, RunOutcome
+
+__all__ = ["outcome_from_payload", "run_matrix_via_service", "run_via_service"]
+
+
+def outcome_from_payload(
+    benchmark: str, payload: Dict[str, Any]
+) -> RunOutcome:
+    """Rebuild a :class:`RunOutcome` from a service result payload."""
+    stats = (
+        AnalysisStats(**payload["stats"]) if payload.get("stats") else None
+    )
+    precision = (
+        PrecisionReport(**payload["precision"])
+        if payload.get("precision")
+        else None
+    )
+    return RunOutcome(
+        benchmark=benchmark,
+        analysis=payload.get("analysis", "?"),
+        seconds=payload.get("solve_seconds", 0.0),
+        timed_out=payload.get("state") == "timeout",
+        stats=stats,
+        precision=precision,
+    )
+
+
+def run_via_service(
+    client: ServiceClient,
+    benchmark: str,
+    analysis: str = "2objH",
+    introspective: Optional[str] = None,
+    heuristic_constants: Optional[str] = None,
+    max_tuples: int = EXPERIMENT_BUDGET,
+    max_seconds: float = EXPERIMENT_TIME_LIMIT,
+    priority: int = 0,
+    timeout: float = 300.0,
+) -> RunOutcome:
+    """Service-backed analog of :func:`repro.harness.runner.run_analysis`."""
+    job_id = client.submit(
+        benchmark=benchmark,
+        analysis=analysis,
+        introspective=introspective,
+        heuristic_constants=heuristic_constants,
+        max_tuples=max_tuples,
+        max_seconds=max_seconds,
+        priority=priority,
+    )
+    snapshot = client.wait(job_id, timeout=timeout)
+    if snapshot["state"] not in ("done", "timeout"):
+        raise RuntimeError(
+            f"service job {job_id} for {benchmark}/{analysis} ended "
+            f"{snapshot['state']}: {snapshot.get('error')}"
+        )
+    payload = client.result(job_id)["result"]
+    return outcome_from_payload(benchmark, payload)
+
+
+def run_matrix_via_service(
+    client: ServiceClient,
+    benchmarks: Sequence[str],
+    analyses: Sequence[str],
+    max_tuples: int = EXPERIMENT_BUDGET,
+    max_seconds: float = EXPERIMENT_TIME_LIMIT,
+) -> List[RunOutcome]:
+    """Run a benchmark x analysis sweep through the service, in order."""
+    outcomes: List[RunOutcome] = []
+    for benchmark in benchmarks:
+        for analysis in analyses:
+            outcomes.append(
+                run_via_service(
+                    client,
+                    benchmark,
+                    analysis,
+                    max_tuples=max_tuples,
+                    max_seconds=max_seconds,
+                )
+            )
+    return outcomes

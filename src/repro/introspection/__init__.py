@@ -9,6 +9,7 @@ from .heuristics import (
     HeuristicB,
     RefineEverything,
     call_site_universe,
+    heuristic_from_spec,
     object_universe,
     string_exclusion_decision,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "call_site_universe",
     "compute_metrics",
     "compute_metrics_datalog",
+    "heuristic_from_spec",
     "object_universe",
     "string_exclusion_decision",
     "run_introspective",

@@ -48,7 +48,43 @@ __all__ = [
     "RefineEverything",
     "call_site_universe",
     "object_universe",
+    "heuristic_from_spec",
 ]
+
+#: Constant names per heuristic label, for error messages and validation.
+_CONSTANT_NAMES = {"A": ("K", "L", "M"), "B": ("P", "Q")}
+
+
+def heuristic_from_spec(label: str, constants: "str | None" = None) -> "Heuristic":
+    """Build Heuristic A or B from a label and an optional constants string.
+
+    ``constants`` is the CLI/service ``--heuristic-constants`` syntax:
+    comma-separated integers, three (``K,L,M``) for A and two (``P,Q``)
+    for B.  Raises :class:`ValueError` with a usage-style message on an
+    unknown label, wrong arity, or non-integer constants.
+    """
+    if label not in _CONSTANT_NAMES:
+        raise ValueError(
+            f"unknown heuristic {label!r}: expected 'A' or 'B'"
+        )
+    names = _CONSTANT_NAMES[label]
+    values: Dict[str, int] = {}
+    if constants is not None:
+        parts = [p.strip() for p in constants.split(",")]
+        usage = ",".join(names)
+        if len(parts) != len(names):
+            raise ValueError(
+                f"heuristic {label} takes {len(names)} constants ({usage}); "
+                f"got {len(parts)} in {constants!r}"
+            )
+        try:
+            values = {n: int(p) for n, p in zip(names, parts)}
+        except ValueError:
+            raise ValueError(
+                f"heuristic constants must be integers ({usage}); "
+                f"got {constants!r}"
+            ) from None
+    return HeuristicA(**values) if label == "A" else HeuristicB(**values)
 
 
 def call_site_universe(result: AnalysisResult) -> FrozenSet[Tuple[str, str]]:

@@ -1,0 +1,471 @@
+"""Analysis-as-a-service: the service core and its HTTP JSON API.
+
+:class:`AnalysisService` ties the pieces together: a priority
+:class:`~repro.service.jobs.JobQueue`, a
+:class:`~repro.service.workers.WorkerPool`, a content-addressed
+:class:`~repro.service.cache.ResultCache`, and a telemetry
+:class:`~repro.service.telemetry.Registry`.  A single dispatcher thread
+pops jobs as worker slots free up, computes the content key (building the
+program and encoding its facts — cheap relative to a solve), answers from
+the cache when possible, and otherwise ships the job to the pool.
+
+The HTTP layer is a stdlib :class:`~http.server.ThreadingHTTPServer`
+speaking JSON, mirroring the submit/poll shape of builder-style services:
+
+========================  ======  =========================================
+``POST /jobs``            202     submit a job (benchmark or inline source)
+``GET /jobs``             200     list job snapshots
+``GET /jobs/{id}``        200     one job's status snapshot
+``GET /jobs/{id}/result`` 200     terminal result payload (409 while
+                                  queued/running)
+``DELETE /jobs/{id}``     200     cancel a queued job (409 otherwise)
+``GET /healthz``          200     liveness + quick stats
+``GET /metrics``          200     Prometheus text format
+========================  ======  =========================================
+
+``serve()`` is the blocking entry point behind ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import re
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .cache import ResultCache, cache_key
+from .jobs import Job, JobQueue, JobSpec, JobState
+from .telemetry import Registry
+from .workers import WorkerPool
+
+__all__ = [
+    "AnalysisService",
+    "create_server",
+    "local_service",
+    "serve",
+    "start_server",
+]
+
+
+class AnalysisService:
+    """Queue + worker pool + cache + telemetry behind one submit() call."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_capacity: int = 128,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.telemetry = Registry()
+        t = self.telemetry
+        self._m_submitted = t.counter(
+            "repro_service_jobs_submitted_total", "Jobs accepted for execution."
+        )
+        self._m_jobs = t.counter(
+            "repro_service_jobs_total", "Jobs finished, by terminal state."
+        )
+        self._m_cache_hits = t.counter(
+            "repro_service_cache_hits_total", "Result-cache hits, by tier."
+        )
+        self._m_cache_misses = t.counter(
+            "repro_service_cache_misses_total", "Result-cache misses."
+        )
+        self._m_pass1 = t.counter(
+            "repro_service_pass1_reuse_total",
+            "Introspective jobs that reused a cached insensitive first pass.",
+        )
+        self._m_depth = t.gauge(
+            "repro_service_queue_depth", "Jobs currently queued."
+        )
+        self._m_running = t.gauge(
+            "repro_service_jobs_running", "Jobs currently executing."
+        )
+        self._m_workers = t.gauge(
+            "repro_service_workers", "Configured worker-process count."
+        )
+        self._m_solve = t.histogram(
+            "repro_service_solve_seconds", "Job execution wall time (seconds)."
+        )
+
+        self.queue = JobQueue()
+        self.pool = WorkerPool(workers)
+        self.cache = ResultCache(
+            capacity=cache_capacity,
+            cache_dir=cache_dir,
+            hits=self._m_cache_hits,
+            misses=self._m_cache_misses,
+        )
+        self._m_workers.set(workers)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(self.pool.slots)
+        self._stop = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Public API (used by the HTTP layer and directly by tests/harness)
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        job = Job(spec=spec)
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        self.queue.put(job)
+        self._m_submitted.inc()
+        self._m_depth.set(self.queue.depth())
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> Tuple[Job, ...]:
+        with self._jobs_lock:
+            return tuple(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        job = self.job(job_id)
+        if job is None:
+            return False
+        if self.queue.cancel(job):
+            self._m_jobs.inc(state=JobState.CANCELLED)
+            self._m_depth.set(self.queue.depth())
+            return True
+        return False
+
+    def start(self) -> None:
+        if self._dispatcher is not None:
+            return
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def stop(self, wait: bool = True) -> None:
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+            self._dispatcher = None
+        self.pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._slots.acquire(timeout=0.1):
+                continue
+            job = self.queue.pop(timeout=0.1)
+            self._m_depth.set(self.queue.depth())
+            if job is None:
+                self._slots.release()
+                continue
+            try:
+                self._process(job)
+            except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                self._finalize(
+                    job,
+                    {
+                        "state": JobState.ERROR,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                    store_key=None,
+                )
+
+    def _process(self, job: Job) -> None:
+        if job.cancel_requested:
+            self._finalize(job, {"state": JobState.CANCELLED}, store_key=None)
+            return
+        job.started_at = time.time()
+        spec_payload = job.spec.to_payload()
+        try:
+            # Build + encode here (milliseconds) to learn the content key;
+            # the solve (the expensive part) only happens on a cache miss.
+            from .workers import _build_program  # local import: same logic
+            from ..facts.encoder import encode_program
+
+            program = _build_program(job.spec)
+            digest = encode_program(program).digest()
+        except Exception as exc:  # noqa: BLE001 - bad source/benchmark
+            self._finalize(
+                job,
+                {
+                    "state": JobState.ERROR,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+                store_key=None,
+            )
+            return
+        key = cache_key(digest, job.spec)
+        cached = self.cache.get(key)
+        if cached is not None:
+            cached["cached"] = True
+            self._finalize(job, cached, store_key=None)
+            return
+        job.state = JobState.RUNNING
+        self._m_running.inc()
+        future = self.pool.submit(spec_payload)
+        future.add_done_callback(
+            lambda f, j=job, k=key: self._on_done(j, k, f)
+        )
+
+    def _on_done(self, job: Job, key: str, future: "Future[Dict[str, Any]]") -> None:
+        try:
+            payload = future.result()
+        except CancelledError:
+            payload = {"state": JobState.CANCELLED}
+        except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+            payload = {
+                "state": JobState.ERROR,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        self._m_running.dec()
+        self._finalize(job, payload, store_key=key)
+
+    def _finalize(
+        self,
+        job: Job,
+        payload: Dict[str, Any],
+        store_key: Optional[str],
+    ) -> None:
+        state = payload.get("state", JobState.ERROR)
+        job.result = payload
+        job.error = payload.get("error")
+        job.cached = bool(payload.get("cached", False))
+        job.state = state
+        job.finished_at = time.time()
+        self._m_jobs.inc(state=state)
+        if "solve_seconds" in payload:
+            self._m_solve.observe(payload["solve_seconds"])
+        if payload.get("pass1_reused"):
+            self._m_pass1.inc()
+        if store_key is not None and state in (JobState.DONE, JobState.TIMEOUT):
+            self.cache.put(store_key, payload)
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Introspection for /healthz
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth(),
+            "jobs": len(self.jobs()),
+            "cache_entries": len(self.cache),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
+_RESULT_PATH = re.compile(r"^/jobs/([0-9a-f]+)/result$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    # -- helpers -------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw)
+
+    # -- methods -------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/jobs":
+            self._send_json(404, {"error": f"no such route: POST {self.path}"})
+            return
+        try:
+            spec = JobSpec.from_payload(self._read_json())
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        job = self.service.submit(spec)
+        self._send_json(
+            202,
+            {
+                "id": job.id,
+                "state": job.state,
+                "status_url": f"/jobs/{job.id}",
+                "result_url": f"/jobs/{job.id}/result",
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, self.service.health())
+            return
+        if self.path == "/metrics":
+            self._send_text(200, self.service.telemetry.render())
+            return
+        if self.path == "/jobs":
+            self._send_json(
+                200, {"jobs": [j.snapshot() for j in self.service.jobs()]}
+            )
+            return
+        m = _JOB_PATH.match(self.path)
+        if m:
+            job = self.service.job(m.group(1))
+            if job is None:
+                self._send_json(404, {"error": f"no such job: {m.group(1)}"})
+            else:
+                self._send_json(200, job.snapshot())
+            return
+        m = _RESULT_PATH.match(self.path)
+        if m:
+            job = self.service.job(m.group(1))
+            if job is None:
+                self._send_json(404, {"error": f"no such job: {m.group(1)}"})
+            elif not job.terminal:
+                self._send_json(
+                    409,
+                    {"id": job.id, "state": job.state,
+                     "error": "job is not finished; poll the status URL"},
+                )
+            else:
+                self._send_json(
+                    200,
+                    {"id": job.id, "state": job.state, "cached": job.cached,
+                     "result": job.result},
+                )
+            return
+        self._send_json(404, {"error": f"no such route: GET {self.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        m = _JOB_PATH.match(self.path)
+        if not m:
+            self._send_json(404, {"error": f"no such route: DELETE {self.path}"})
+            return
+        job = self.service.job(m.group(1))
+        if job is None:
+            self._send_json(404, {"error": f"no such job: {m.group(1)}"})
+            return
+        if self.service.cancel(job.id):
+            self._send_json(200, {"id": job.id, "state": job.state})
+        else:
+            self._send_json(
+                409,
+                {"id": job.id, "state": job.state,
+                 "error": "only queued jobs can be cancelled"},
+            )
+
+
+def create_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind an HTTP server to ``service`` (``port=0`` picks a free port)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def start_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start ``service`` and a server thread; returns (server, thread)."""
+    service.start()
+    server = create_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+@contextlib.contextmanager
+def local_service(
+    workers: int = 0,
+    cache_capacity: int = 128,
+    cache_dir: Optional[str] = None,
+) -> Iterator[str]:
+    """Context manager: an ephemeral service; yields its base URL.
+
+    Used by the harness (`run through the service`), the test suite, and
+    CI smoke checks.  ``workers=0`` runs solves inline in the dispatcher
+    thread — no process pool — which is the cheapest way to exercise the
+    cache path.
+    """
+    service = AnalysisService(
+        workers=workers, cache_capacity=cache_capacity, cache_dir=cache_dir
+    )
+    server, _thread = start_server(service)
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 2,
+    cache_capacity: int = 128,
+    cache_dir: Optional[str] = None,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    service = AnalysisService(
+        workers=workers, cache_capacity=cache_capacity, cache_dir=cache_dir
+    )
+    service.start()
+    server = create_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{bound_host}:{bound_port} "
+        f"(workers={workers}, cache={cache_capacity}"
+        + (f", cache-dir={cache_dir}" if cache_dir else "")
+        + ")"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.stop()
+    return 0

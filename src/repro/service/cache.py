@@ -1,0 +1,141 @@
+"""Content-addressed result cache for the analysis service.
+
+Results are keyed by a SHA-256 digest over the *content* of a request:
+
+* the :meth:`~repro.facts.encoder.FactBase.digest` of the encoded fact
+  base (so two textually different sources lowering to the same facts
+  share cache entries, and any fact change invalidates them);
+* the analysis name, the introspective heuristic (label plus *normalized*
+  constants), and the budgets.
+
+Two tiers: an in-memory LRU (fast, per-process) and an optional disk tier
+(JSON files under ``cache_dir``, surviving restarts and shareable between
+service instances).  Disk hits are promoted into memory.  Both ``done``
+and ``timeout`` results are cacheable — a budget trip is deterministic
+for a given (facts, analysis, budget) triple, so replaying it would only
+burn a worker to reach the same answer.
+
+The *first-pass* cache for introspective jobs lives in the worker
+processes (see :mod:`repro.service.workers`): pass-1 results hold interned
+solver state and are deliberately never serialized across the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..introspection.heuristics import heuristic_from_spec
+from .jobs import JobSpec
+from .telemetry import Counter
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(facts_digest: str, spec: JobSpec) -> str:
+    """Content-addressed cache key for one (fact base, configuration)."""
+    heuristic = None
+    if spec.introspective is not None:
+        # Normalize via the constructed heuristic so "5,7" and " 5 , 7 "
+        # (and the explicit defaults) key identically.
+        heuristic = heuristic_from_spec(
+            spec.introspective, spec.heuristic_constants
+        ).describe()
+    material = json.dumps(
+        {
+            "facts": facts_digest,
+            "analysis": spec.analysis,
+            "heuristic": heuristic,
+            "max_tuples": spec.max_tuples,
+            "max_seconds": spec.max_seconds,
+            "show": sorted(spec.show),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """LRU memory tier over an optional JSON-file disk tier."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        hits: Optional[Counter] = None,
+        misses: Optional[Counter] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = hits
+        self._misses = misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                if self._hits is not None:
+                    self._hits.inc(tier="memory")
+                return dict(payload)
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                payload = None
+            if payload is not None:
+                self._store_memory(key, payload)
+                if self._hits is not None:
+                    self._hits.inc(tier="disk")
+                return dict(payload)
+        if self._misses is not None:
+            self._misses.inc()
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        self._store_memory(key, payload)
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(self.cache_dir), suffix=".tmp"
+                )
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk tier is best-effort; memory tier already holds it
+
+    def _store_memory(self, key: str, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._memory[key] = dict(payload)
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()

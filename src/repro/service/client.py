@@ -1,0 +1,120 @@
+"""A tiny stdlib HTTP client for the analysis service.
+
+Wraps the submit → poll → fetch-result loop so callers (the experiment
+harness, tests, CI smoke checks, user scripts) never hand-roll HTTP::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    job_id = client.submit(benchmark="hsqldb", analysis="2objH",
+                           introspective="B", max_tuples=150_000)
+    status = client.wait(job_id, timeout=120)
+    payload = client.result(job_id)["result"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service (status + decoded body)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, request_timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.request_timeout) as resp:
+                raw = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                payload = {"error": str(exc)}
+            raise ServiceError(exc.code, payload) from None
+        if ctype.startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode()
+
+    # ------------------------------------------------------------------
+    def submit(self, **spec: Any) -> str:
+        """Submit a job; returns its id.  Kwargs mirror ``JobSpec``."""
+        return self._request("POST", "/jobs", spec)["id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] not in ("queued", "running"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        return self._request("GET", "/metrics")
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        """Sum of all samples of one metric (labels collapsed)."""
+        total = default
+        seen = False
+        for line in self.metrics().splitlines():
+            if line.startswith("#"):
+                continue
+            head, _, value = line.rpartition(" ")
+            metric = head.split("{", 1)[0]
+            if metric == name:
+                total = (0.0 if not seen else total) + float(value)
+                seen = True
+        return total

@@ -1,0 +1,208 @@
+"""Service telemetry: counters, gauges, and latency histograms.
+
+A minimal, thread-safe, stdlib-only metrics registry rendering the
+Prometheus text exposition format (the ``GET /metrics`` payload).  Three
+instrument kinds cover the service's needs:
+
+* :class:`Counter` — monotonically increasing totals, optionally split by
+  labels (``jobs_total{state="done"}``);
+* :class:`Gauge` — point-in-time values (queue depth, running jobs);
+* :class:`Histogram` — cumulative-bucket latency distributions
+  (solve wall time).
+
+Instruments are created through a :class:`Registry` so ``render`` can emit
+them all in registration order with ``# HELP`` / ``# TYPE`` headers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry", "SOLVE_SECONDS_BUCKETS"]
+
+#: Default latency buckets (seconds) for solve-time histograms.
+SOLVE_SECONDS_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+
+    def samples(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines.extend(self.samples())
+        return "\n".join(lines)
+
+
+class Counter(_Instrument):
+    """Monotonic counter with optional labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _labelkey(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_labelkey(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over all label combinations."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            return [f"{self.name} 0"]
+        return [
+            f"{self.name}{_render_labels(key)} {_fmt(v)}" for key, v in items
+        ]
+
+
+class Gauge(_Instrument):
+    """Point-in-time value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value())}"]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = SOLVE_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total, n = self._sum, self._count
+        lines = []
+        cumulative = 0
+        for bound, c in zip(self.buckets, counts):
+            cumulative += c
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {n}')
+        lines.append(f"{self.name}_sum {_fmt(round(total, 6))}")
+        lines.append(f"{self.name}_count {n}")
+        return lines
+
+
+class Registry:
+    """Ordered collection of instruments; one per service."""
+
+    def __init__(self) -> None:
+        self._instruments: List[_Instrument] = []
+        self._lock = threading.Lock()
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            if any(i.name == instrument.name for i in self._instruments):
+                raise ValueError(f"duplicate metric name {instrument.name!r}")
+            self._instruments.append(instrument)
+        return instrument
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter(name, help_text))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._register(Gauge(name, help_text))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, buckets or SOLVE_SECONDS_BUCKETS)
+        )
+
+    def render(self) -> str:
+        with self._lock:
+            instruments = list(self._instruments)
+        return "\n".join(i.render() for i in instruments) + "\n"

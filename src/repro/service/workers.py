@@ -1,0 +1,200 @@
+"""Worker-pool execution of analysis jobs.
+
+:func:`execute_job` is the unit of work: a module-level function taking a
+JSON-able job-spec payload and returning a JSON-able result payload, so it
+can cross a :class:`~concurrent.futures.ProcessPoolExecutor` boundary.
+All failure modes are folded into the payload — a tuple-budget or
+wall-clock trip becomes ``state="timeout"`` and any other exception
+``state="error"`` — so a misbehaving *job* never takes down its worker
+process, only a crashed interpreter would.
+
+Each worker process keeps a small per-process cache of context-insensitive
+first-pass results keyed by the fact-base digest: the paper's introspective
+pipeline runs the cheap insensitive pass, computes metrics, then re-runs
+refined — and the insensitive pass (plus its facts) is identical for every
+introspective job on the same program, so subsequent jobs reuse it
+(``pass1_reused`` in the payload; surfaced as
+``repro_service_pass1_reuse_total`` in ``/metrics``).
+
+:class:`WorkerPool` wraps the executor with a configurable worker count
+and graceful shutdown; ``workers=0`` selects an inline (same-process)
+mode used by tests and by very small deployments.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import asdict
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis import AnalysisResult, BudgetExceeded, analyze
+from ..benchgen.dacapo import DACAPO_SPECS, benchmark_names, build_benchmark
+from ..clients.precision import measure_precision
+from ..contexts.policies import InsensitivePolicy
+from ..facts.encoder import FactBase, encode_program
+from ..frontend import parse_source
+from ..introspection.driver import run_introspective
+from ..introspection.heuristics import heuristic_from_spec
+from ..ir.program import Program
+from ..utils import Stopwatch
+from .jobs import JobSpec, JobState
+
+__all__ = ["WorkerPool", "execute_job"]
+
+#: Per-process LRU of insensitive pass-1 results, keyed by facts digest.
+_PASS1_CACHE: "OrderedDict[str, AnalysisResult]" = OrderedDict()
+_PASS1_LIMIT = 4
+
+
+def _build_program(spec: JobSpec) -> Program:
+    if spec.benchmark is not None:
+        if spec.benchmark not in DACAPO_SPECS:
+            raise ValueError(
+                f"unknown benchmark {spec.benchmark!r}; "
+                f"try one of: {', '.join(benchmark_names())}"
+            )
+        return build_benchmark(spec.benchmark)
+    assert spec.source is not None
+    return parse_source(spec.source)
+
+
+def _pass1(
+    program: Program,
+    facts: FactBase,
+    digest: str,
+    spec: JobSpec,
+) -> Tuple[AnalysisResult, bool]:
+    """Insensitive first pass, reused across jobs on the same program."""
+    cached = _PASS1_CACHE.get(digest)
+    if cached is not None:
+        _PASS1_CACHE.move_to_end(digest)
+        return cached, True
+    result = analyze(
+        program,
+        InsensitivePolicy(),
+        facts=facts,
+        max_tuples=spec.max_tuples,
+        max_seconds=spec.max_seconds,
+    )
+    _PASS1_CACHE[digest] = result
+    while len(_PASS1_CACHE) > _PASS1_LIMIT:
+        _PASS1_CACHE.popitem(last=False)
+    return result, False
+
+
+def execute_job(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job to a terminal payload (never raises)."""
+    watch = Stopwatch()
+    try:
+        spec = JobSpec.from_payload(spec_payload)
+        program = _build_program(spec)
+        facts = encode_program(program)
+        digest = facts.digest()
+        payload: Dict[str, Any] = {
+            "state": JobState.DONE,
+            "error": None,
+            "analysis": spec.analysis,
+            "benchmark": spec.benchmark,
+            "program": program.summary(),
+            "facts_digest": digest,
+            "facts_tuples": facts.count_tuples(),
+            "pass1_reused": False,
+            "stats": None,
+            "precision": None,
+            "refinement": None,
+            "heuristic": None,
+            "points_to": None,
+        }
+        result: Optional[AnalysisResult] = None
+        if spec.introspective is not None:
+            heuristic = heuristic_from_spec(
+                spec.introspective, spec.heuristic_constants
+            )
+            pass1, reused = _pass1(program, facts, digest, spec)
+            outcome = run_introspective(
+                program,
+                spec.analysis,
+                heuristic,
+                facts=facts,
+                pass1=pass1,
+                max_tuples=spec.max_tuples,
+                max_seconds=spec.max_seconds,
+            )
+            stats = outcome.refinement_stats
+            payload.update(
+                analysis=outcome.name,
+                heuristic=heuristic.describe(),
+                pass1_reused=reused,
+                refinement={
+                    "total_call_sites": stats.total_call_sites,
+                    "excluded_call_sites": stats.excluded_call_sites,
+                    "total_objects": stats.total_objects,
+                    "excluded_objects": stats.excluded_objects,
+                    "call_site_percent": stats.call_site_percent,
+                    "object_percent": stats.object_percent,
+                },
+            )
+            if outcome.timed_out:
+                payload["state"] = JobState.TIMEOUT
+            else:
+                result = outcome.result
+        else:
+            try:
+                result = analyze(
+                    program,
+                    spec.analysis,
+                    facts=facts,
+                    max_tuples=spec.max_tuples,
+                    max_seconds=spec.max_seconds,
+                )
+            except BudgetExceeded as exc:
+                payload["state"] = JobState.TIMEOUT
+                payload["error"] = str(exc)
+        if result is not None:
+            if spec.introspective is None:
+                payload["analysis"] = result.analysis_name
+            payload["stats"] = asdict(result.stats())
+            payload["precision"] = asdict(measure_precision(result, facts))
+            if spec.show:
+                payload["points_to"] = {
+                    var: sorted(result.points_to(var)) for var in spec.show
+                }
+        payload["solve_seconds"] = watch.elapsed()
+        return payload
+    except Exception as exc:  # noqa: BLE001 - folded into the payload
+        return {
+            "state": JobState.ERROR,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "solve_seconds": watch.elapsed(),
+        }
+
+
+class WorkerPool:
+    """Process pool running :func:`execute_job`; ``workers=0`` is inline."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor(max_workers=workers) if workers else None
+        )
+
+    @property
+    def slots(self) -> int:
+        """Concurrent job capacity (inline mode serializes on 1 slot)."""
+        return self.workers or 1
+
+    def submit(self, spec_payload: Dict[str, Any]) -> "Future[Dict[str, Any]]":
+        if self._executor is not None:
+            return self._executor.submit(execute_job, spec_payload)
+        future: "Future[Dict[str, Any]]" = Future()
+        future.set_result(execute_job(spec_payload))
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)

@@ -1,0 +1,87 @@
+"""The content-addressed fact-base digest (the service's cache key)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import encode_program
+from repro.frontend import parse_source
+from tests.conftest import build_box_program, build_tiny_program
+
+SOURCE = """
+class Box {
+    field v;
+    method set(x) { this.v = x; }
+    method get()  { r = this.v; return r; }
+}
+class Main {
+    static method main() {
+        b = new Box();
+        i = new Box();
+        b.set(i);
+        g = b.get();
+    }
+}
+"""
+
+
+class TestDigestStability:
+    def test_hex_sha256_shape(self):
+        digest = encode_program(build_tiny_program()).digest()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_deterministic_across_encodings(self):
+        program = build_tiny_program()
+        assert encode_program(program).digest() == encode_program(program).digest()
+
+    def test_deterministic_across_parses(self):
+        a = encode_program(parse_source(SOURCE)).digest()
+        b = encode_program(parse_source(SOURCE)).digest()
+        assert a == b
+
+    def test_invariant_under_insertion_order(self):
+        """Shuffling every relation's tuple list leaves the digest alone."""
+        facts = encode_program(build_tiny_program())
+        before = facts.digest()
+        rng = random.Random(7)
+        for name in (
+            "alloc", "move", "load", "store", "vcall", "scall",
+            "formalarg", "actualarg", "subtype", "lookup", "varinmeth",
+        ):
+            rng.shuffle(getattr(facts, name))
+        assert facts.digest() == before
+
+
+class TestDigestSensitivity:
+    def test_changes_when_a_tuple_changes(self):
+        facts = encode_program(build_tiny_program())
+        before = facts.digest()
+        var, heap, meth = facts.alloc[0]
+        facts.alloc[0] = (var, heap + "'", meth)
+        assert facts.digest() != before
+
+    def test_changes_when_a_tuple_is_added(self):
+        facts = encode_program(build_tiny_program())
+        before = facts.digest()
+        facts.move.append(("Main.main/0/x", "Main.main/0/y"))
+        assert facts.digest() != before
+
+    def test_changes_when_a_tuple_is_removed(self):
+        facts = encode_program(build_tiny_program())
+        before = facts.digest()
+        facts.subtype.pop()
+        assert facts.digest() != before
+
+    def test_different_programs_differ(self):
+        tiny = encode_program(build_tiny_program()).digest()
+        boxes = encode_program(build_box_program()).digest()
+        assert tiny != boxes
+
+    @pytest.mark.parametrize("boxes", [2, 3])
+    def test_program_size_matters(self, boxes):
+        small = encode_program(build_box_program(boxes)).digest()
+        larger = encode_program(build_box_program(boxes + 1)).digest()
+        assert small != larger

@@ -1,0 +1,120 @@
+"""The content-addressed result cache: keying, LRU tier, disk tier."""
+
+from __future__ import annotations
+
+from repro import encode_program
+from repro.service.cache import ResultCache, cache_key
+from repro.service.jobs import JobSpec
+from repro.service.telemetry import Registry
+from tests.conftest import build_tiny_program
+
+DIGEST = "ab" * 32
+
+
+def spec(**kwargs):
+    kwargs.setdefault("benchmark", "antlr")
+    kwargs.setdefault("analysis", "insens")
+    return JobSpec(**kwargs)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key(DIGEST, spec()) == cache_key(DIGEST, spec())
+
+    def test_depends_on_facts_digest(self):
+        real = encode_program(build_tiny_program()).digest()
+        assert cache_key(real, spec()) != cache_key(DIGEST, spec())
+
+    def test_depends_on_analysis_and_budget(self):
+        base = cache_key(DIGEST, spec())
+        assert cache_key(DIGEST, spec(analysis="2objH")) != base
+        assert cache_key(DIGEST, spec(max_tuples=10)) != base
+        assert cache_key(DIGEST, spec(max_seconds=1.0)) != base
+
+    def test_depends_on_heuristic(self):
+        a = cache_key(DIGEST, spec(introspective="A"))
+        b = cache_key(DIGEST, spec(introspective="B"))
+        assert a != b
+        assert cache_key(
+            DIGEST, spec(introspective="A", heuristic_constants="1,2,3")
+        ) != a
+
+    def test_constants_are_normalized(self):
+        """Whitespace and explicit defaults key identically."""
+        assert cache_key(
+            DIGEST, spec(introspective="B", heuristic_constants="5,7")
+        ) == cache_key(
+            DIGEST, spec(introspective="B", heuristic_constants=" 5 , 7 ")
+        )
+        assert cache_key(DIGEST, spec(introspective="A")) == cache_key(
+            DIGEST, spec(introspective="A", heuristic_constants="100,100,200")
+        )
+
+    def test_priority_is_not_part_of_the_key(self):
+        assert cache_key(DIGEST, spec(priority=9)) == cache_key(DIGEST, spec())
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", {"state": "done"})
+        assert cache.get("k") == {"state": "done"}
+
+    def test_returned_payload_is_a_copy(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"state": "done"})
+        cache.get("k")["state"] = "mutated"
+        assert cache.get("k")["state"] == "done"
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self):
+        reg = Registry()
+        hits = reg.counter("hits", "h")
+        misses = reg.counter("misses", "m")
+        cache = ResultCache(capacity=2, hits=hits, misses=misses)
+        cache.get("nope")
+        cache.put("k", {})
+        cache.get("k")
+        assert misses.total() == 1
+        assert hits.value(tier="memory") == 1
+
+
+class TestDiskTier:
+    def test_survives_a_new_instance(self, tmp_path):
+        first = ResultCache(capacity=2, cache_dir=str(tmp_path))
+        first.put("deadbeef", {"state": "done", "answer": 42})
+        fresh = ResultCache(capacity=2, cache_dir=str(tmp_path))
+        assert fresh.get("deadbeef") == {"state": "done", "answer": 42}
+
+    def test_disk_hit_counts_and_promotes(self, tmp_path):
+        reg = Registry()
+        hits = reg.counter("hits", "h")
+        seeded = ResultCache(capacity=2, cache_dir=str(tmp_path))
+        seeded.put("k", {"v": 1})
+        fresh = ResultCache(capacity=2, cache_dir=str(tmp_path), hits=hits)
+        fresh.get("k")
+        fresh.get("k")
+        assert hits.value(tier="disk") == 1
+        assert hits.value(tier="memory") == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=2, cache_dir=str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_no_disk_dir_means_memory_only(self, tmp_path):
+        cache = ResultCache(capacity=1)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a; nothing on disk to recover
+        assert cache.get("a") is None

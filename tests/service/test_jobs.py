@@ -1,0 +1,155 @@
+"""Job model, spec validation, and the priority queue."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.jobs import Job, JobQueue, JobSpec, JobState, TERMINAL_STATES
+
+
+def spec(**kwargs):
+    kwargs.setdefault("benchmark", "antlr")
+    kwargs.setdefault("analysis", "insens")
+    return JobSpec(**kwargs)
+
+
+class TestJobSpecValidation:
+    def test_benchmark_or_source_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobSpec()
+
+    def test_benchmark_and_source_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobSpec(benchmark="antlr", source="class X { }")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            JobSpec(benchmark="nope")
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            spec(analysis="definitely-not-an-analysis")
+
+    def test_bad_heuristic_label_rejected(self):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            spec(introspective="C")
+
+    def test_bad_heuristic_constants_rejected(self):
+        with pytest.raises(ValueError, match="3 constants"):
+            spec(introspective="A", heuristic_constants="1,2")
+        with pytest.raises(ValueError, match="integers"):
+            spec(introspective="B", heuristic_constants="x,y")
+
+    def test_constants_without_introspective_rejected(self):
+        with pytest.raises(ValueError, match="requires 'introspective'"):
+            spec(heuristic_constants="1,2,3")
+
+    def test_nonpositive_budgets_rejected(self):
+        with pytest.raises(ValueError, match="max_tuples"):
+            spec(max_tuples=0)
+        with pytest.raises(ValueError, match="max_seconds"):
+            spec(max_seconds=-1.0)
+
+    def test_from_payload_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown job fields"):
+            JobSpec.from_payload({"benchmark": "antlr", "bogus": 1})
+
+    def test_from_payload_rejects_bad_types(self):
+        with pytest.raises(ValueError, match="must be a string"):
+            JobSpec.from_payload({"benchmark": 42})
+        with pytest.raises(ValueError, match="must be an integer"):
+            JobSpec.from_payload({"benchmark": "antlr", "max_tuples": "10"})
+        with pytest.raises(ValueError, match="'show' must be a list"):
+            JobSpec.from_payload({"benchmark": "antlr", "show": 7})
+
+    def test_payload_roundtrip(self):
+        s = spec(
+            introspective="A",
+            heuristic_constants="4,5,6",
+            max_tuples=1000,
+            priority=3,
+            show=("Main.main/0/x",),
+        )
+        assert JobSpec.from_payload(s.to_payload()) == s
+
+
+class TestJobLifecycle:
+    def test_snapshot_shape(self):
+        job = Job(spec=spec())
+        snap = job.snapshot()
+        assert snap["state"] == JobState.QUEUED
+        assert snap["spec"]["benchmark"] == "antlr"
+        assert not job.terminal
+
+    def test_terminal_states(self):
+        assert TERMINAL_STATES == {
+            JobState.DONE, JobState.TIMEOUT, JobState.ERROR, JobState.CANCELLED
+        }
+
+
+class TestJobQueue:
+    def test_priority_order(self):
+        q = JobQueue()
+        low = Job(spec=spec(priority=0))
+        high = Job(spec=spec(priority=10))
+        mid = Job(spec=spec(priority=5))
+        for j in (low, high, mid):
+            q.put(j)
+        assert [q.pop(0.1) for _ in range(3)] == [high, mid, low]
+
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        first, second = Job(spec=spec()), Job(spec=spec())
+        q.put(first)
+        q.put(second)
+        assert q.pop(0.1) is first
+        assert q.pop(0.1) is second
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_cancel_queued_job_is_skipped(self):
+        q = JobQueue()
+        a, b = Job(spec=spec()), Job(spec=spec())
+        q.put(a)
+        q.put(b)
+        assert q.cancel(a)
+        assert a.state == JobState.CANCELLED
+        assert a.finished_at is not None
+        assert q.pop(0.1) is b
+
+    def test_cancel_is_not_idempotent_once_terminal(self):
+        q = JobQueue()
+        a = Job(spec=spec())
+        q.put(a)
+        assert q.cancel(a)
+        assert not q.cancel(a)
+
+    def test_cancel_running_job_refused(self):
+        q = JobQueue()
+        a = Job(spec=spec())
+        q.put(a)
+        popped = q.pop(0.1)
+        popped.state = JobState.RUNNING
+        assert not q.cancel(popped)
+
+    def test_depth_ignores_cancelled(self):
+        q = JobQueue()
+        a, b = Job(spec=spec()), Job(spec=spec())
+        q.put(a)
+        q.put(b)
+        assert q.depth() == 2
+        q.cancel(a)
+        assert q.depth() == 1
+
+    def test_put_wakes_blocked_pop(self):
+        q = JobQueue()
+        job = Job(spec=spec())
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pop(timeout=5.0)))
+        t.start()
+        q.put(job)
+        t.join(timeout=5.0)
+        assert got == [job]

@@ -1,0 +1,77 @@
+"""Counters, gauges, histograms, and the /metrics rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.telemetry import Registry
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Registry().counter("jobs_total", "Jobs.")
+        c.inc(state="done")
+        c.inc(state="done")
+        c.inc(state="error")
+        assert c.value(state="done") == 2
+        assert c.value(state="error") == 1
+        assert c.total() == 3
+
+    def test_render_with_and_without_labels(self):
+        reg = Registry()
+        c = reg.counter("hits_total", "Hits.")
+        text = reg.render()
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 0" in text
+        c.inc(tier="memory")
+        assert 'hits_total{tier="memory"} 1' in reg.render()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Registry().gauge("depth", "Depth.")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3
+
+    def test_render(self):
+        reg = Registry()
+        reg.gauge("depth", "Depth.").set(7)
+        assert "depth 7" in reg.render()
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        reg = Registry()
+        h = reg.histogram("lat", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = reg.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        assert h.count == 5
+
+    def test_boundary_lands_in_its_bucket(self):
+        h = Registry().histogram("lat", "L.", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert 'lat_bucket{le="1"} 1' in h.render()
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        reg = Registry()
+        reg.counter("x", "X.")
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.gauge("x", "X again.")
+
+    def test_render_order_and_help(self):
+        reg = Registry()
+        reg.counter("first_total", "First.")
+        reg.gauge("second", "Second.")
+        text = reg.render()
+        assert text.index("first_total") < text.index("second")
+        assert "# HELP first_total First." in text

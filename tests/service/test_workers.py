@@ -1,0 +1,130 @@
+"""The worker execution function and pass-1 reuse (inline, no processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import JobSpec, JobState
+from repro.service.workers import _PASS1_CACHE, WorkerPool, execute_job
+
+BAD_SOURCE = "class { this is not the surface language"
+
+
+def payload(**kwargs):
+    kwargs.setdefault("benchmark", "antlr")
+    kwargs.setdefault("analysis", "insens")
+    return JobSpec(**kwargs).to_payload()
+
+
+@pytest.fixture(autouse=True)
+def clean_pass1_cache():
+    _PASS1_CACHE.clear()
+    yield
+    _PASS1_CACHE.clear()
+
+
+class TestExecuteJob:
+    def test_done_payload(self):
+        out = execute_job(payload(show=["?missing"]))
+        assert out["state"] == JobState.DONE
+        assert out["analysis"] == "insens"
+        assert out["stats"]["tuple_count"] > 0
+        assert out["precision"]["reachable_methods"] > 0
+        assert out["points_to"] == {"?missing": []}
+        assert len(out["facts_digest"]) == 64
+        assert out["solve_seconds"] >= 0
+
+    def test_inline_source(self):
+        out = execute_job(
+            JobSpec(
+                source="""
+                class Main { static method main() { x = new Main(); } }
+                """,
+                analysis="insens",
+                show=("Main.main/0/x",),
+            ).to_payload()
+        )
+        assert out["state"] == JobState.DONE
+        assert out["points_to"]["Main.main/0/x"] == ["Main.main/0/new Main/0"]
+
+    def test_budget_trip_is_timeout_not_raise(self):
+        out = execute_job(payload(analysis="2objH", max_tuples=10))
+        assert out["state"] == JobState.TIMEOUT
+        assert out["stats"] is None
+        assert "tuple budget" in out["error"]
+
+    def test_parse_error_is_error_state(self):
+        out = execute_job({"source": BAD_SOURCE, "analysis": "insens"})
+        assert out["state"] == JobState.ERROR
+        assert out["error"]
+        assert "traceback" in out
+
+    def test_introspective_done_with_refinement(self):
+        out = execute_job(payload(analysis="2objH", introspective="A"))
+        assert out["state"] == JobState.DONE
+        assert out["analysis"] == "2objH-IntroA"
+        assert out["heuristic"].startswith("Heuristic A")
+        assert out["refinement"]["total_call_sites"] > 0
+        assert out["stats"] is not None
+
+    def test_introspective_second_pass_timeout(self):
+        # Budget large enough for the insensitive pass 1 on hsqldb but far
+        # too small for unrefined-everywhere pass 2 with RefineEverything
+        # analog: use a heuristic that refines everything (huge constants).
+        out = execute_job(
+            payload(
+                benchmark="hsqldb",
+                analysis="2objH",
+                introspective="B",
+                heuristic_constants="1000000,1000000",
+                max_tuples=150_000,
+            )
+        )
+        assert out["state"] == JobState.TIMEOUT
+        assert out["refinement"] is not None
+
+
+class TestPass1Reuse:
+    def test_reused_across_introspective_jobs_on_same_program(self):
+        first = execute_job(payload(analysis="2objH", introspective="A"))
+        second = execute_job(payload(analysis="2objH", introspective="B"))
+        assert first["pass1_reused"] is False
+        assert second["pass1_reused"] is True
+        assert first["facts_digest"] == second["facts_digest"]
+
+    def test_not_reused_across_programs(self):
+        execute_job(payload(analysis="2objH", introspective="A"))
+        other = execute_job(
+            payload(benchmark="lusearch", analysis="2objH", introspective="A")
+        )
+        assert other["pass1_reused"] is False
+
+    def test_cache_is_bounded(self):
+        from repro.service import workers
+
+        for i in range(workers._PASS1_LIMIT + 2):
+            source = (
+                "class Main { static method main() { "
+                + " ".join(f"x{j} = new Main();" for j in range(i + 1))
+                + " } }"
+            )
+            execute_job(
+                JobSpec(
+                    source=source, analysis="2objH", introspective="A"
+                ).to_payload()
+            )
+        assert len(_PASS1_CACHE) <= workers._PASS1_LIMIT
+
+
+class TestWorkerPool:
+    def test_inline_pool_runs_synchronously(self):
+        pool = WorkerPool(workers=0)
+        future = pool.submit(payload())
+        assert future.done()
+        assert future.result()["state"] == JobState.DONE
+        assert pool.slots == 1
+        pool.shutdown()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=-1)

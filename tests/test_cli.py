@@ -89,6 +89,63 @@ class TestAnalyze:
         assert main(["analyze", source_file, "--budget", "2"]) == 3
         assert "TIMEOUT" in capsys.readouterr().out
 
+    def test_missing_file_exits_2_with_one_line_error(self, capsys):
+        assert main(["analyze", "/no/such/file.mj"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read /no/such/file.mj")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_directory_as_file_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+
+class TestHeuristicConstantsValidation:
+    def test_wrong_arity_for_a(self, source_file, capsys):
+        rc = main(
+            [
+                "analyze",
+                source_file,
+                "--introspective",
+                "A",
+                "--heuristic-constants",
+                "1,2",
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--heuristic-constants" in err
+        assert "K,L,M" in err
+
+    def test_non_integer_constants_for_b(self, source_file, capsys):
+        rc = main(
+            [
+                "analyze",
+                source_file,
+                "--introspective",
+                "B",
+                "--heuristic-constants",
+                "x,y",
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "integers" in err and "P,Q" in err
+
+    def test_valid_constants_still_work(self, source_file, capsys):
+        rc = main(
+            [
+                "analyze",
+                source_file,
+                "--introspective",
+                "A",
+                "--heuristic-constants",
+                " 4 , 5 , 6 ",
+            ]
+        )
+        assert rc == 0
+        assert "K=4, L=5, M=6" in capsys.readouterr().out
+
 
 class TestSaveFlags:
     def test_save_facts_and_solution(self, source_file, capsys, tmp_path):
