@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Standalone driver for the solver engine benchmark.
+
+Equivalent to ``repro bench`` (without a benchmark name) but runnable
+directly from a checkout::
+
+    python benchmarks/bench_solver.py --suite medium --repeat 3
+    python benchmarks/bench_solver.py --quick   # CI smoke: small suite x1
+
+Runs the packed solver (:mod:`repro.analysis.solver`) against the frozen
+pre-optimization baseline (:mod:`repro.analysis.reference_solver`) over a
+generated benchmark suite and writes ``BENCH_solver.json`` in the
+``repro-bench-solver/1`` schema documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.bench import run_suite, suite_names, write_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        default="medium",
+        choices=suite_names(),
+        help="benchmark suite (default: medium)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="solves per (benchmark, flavor, engine) cell; best is kept",
+    )
+    parser.add_argument(
+        "--flavors",
+        default="2objH,2typeH,2callH",
+        help="comma-separated context flavors",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_solver.json",
+        metavar="FILE",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small suite, single repeat",
+    )
+    args = parser.parse_args(argv)
+    suite, repeat = args.suite, args.repeat
+    if args.quick:
+        suite, repeat = "small", 1
+    flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
+    report = run_suite(
+        suite=suite, flavors=flavors, repeat=repeat, progress=print
+    )
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,7 @@ class AnalysisResult:
         """Projection: variable -> set of heap allocation sites."""
         if self._var_proj is None:
             raw = self.raw
+            pair_heap = raw.pair_heap
             proj: Dict[str, Set[str]] = {}
             for (var_i, _ctx), node in raw.var_nodes.items():
                 pts = raw.pts[node]
@@ -77,8 +78,8 @@ class AnalysisResult:
                     continue
                 var = raw.vars.value(var_i)
                 bucket = proj.setdefault(var, set())
-                for heap_i, _hctx in pts:
-                    bucket.add(raw.heaps.value(heap_i))
+                for pid in pts:
+                    bucket.add(raw.heaps.value(pair_heap[pid]))
             self._var_proj = proj
         return self._var_proj
 
@@ -87,6 +88,7 @@ class AnalysisResult:
         """Projection: (base heap, field) -> set of heap allocation sites."""
         if self._fld_proj is None:
             raw = self.raw
+            pair_heap = raw.pair_heap
             proj: Dict[Tuple[str, str], Set[str]] = {}
             for (base_i, _hctx, fld_i), node in raw.fld_nodes.items():
                 pts = raw.pts[node]
@@ -94,8 +96,8 @@ class AnalysisResult:
                     continue
                 key = (raw.heaps.value(base_i), raw.flds.value(fld_i))
                 bucket = proj.setdefault(key, set())
-                for heap_i, _h in pts:
-                    bucket.add(raw.heaps.value(heap_i))
+                for pid in pts:
+                    bucket.add(raw.heaps.value(pair_heap[pid]))
             self._fld_proj = proj
         return self._fld_proj
 
@@ -143,7 +145,7 @@ class AnalysisResult:
         for (var_i, ctx), node in raw.var_nodes.items():
             var = raw.vars.value(var_i)
             ctx_v = raw.ctxs.value(ctx)
-            for heap_i, hctx in raw.pts[node]:
+            for heap_i, hctx in raw.iter_pts(node):
                 yield var, ctx_v, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
 
     def iter_fld_points_to(self) -> Iterator[Tuple[str, tuple, str, str, tuple]]:
@@ -153,7 +155,7 @@ class AnalysisResult:
             base = raw.heaps.value(base_i)
             bh_v = raw.hctxs.value(bhctx)
             fld = raw.flds.value(fld_i)
-            for heap_i, hctx in raw.pts[node]:
+            for heap_i, hctx in raw.iter_pts(node):
                 yield base, bh_v, fld, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
 
     def iter_call_graph(self) -> Iterator[Tuple[str, tuple, str, tuple]]:
@@ -180,7 +182,7 @@ class AnalysisResult:
         for (meth_i, ctx), node in raw.throw_nodes.items():
             meth = raw.meths.value(meth_i)
             ctx_v = raw.ctxs.value(ctx)
-            for heap_i, hctx in raw.pts[node]:
+            for heap_i, hctx in raw.iter_pts(node):
                 yield meth, ctx_v, raw.heaps.value(heap_i), raw.hctxs.value(hctx)
 
     @property

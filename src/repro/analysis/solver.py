@@ -20,6 +20,42 @@ graph, the standard formulation of context-sensitive Andersen-style analysis:
   virtual/special calls (the paper's MERGE rule, constructing callee
   contexts on the fly).
 
+Packed representation
+---------------------
+
+Points-to sets do not hold ``(heap, hctx)`` tuple pairs.  Every distinct
+pair is *packed* into a single small integer — a dense **pair id** minted in
+allocation order — and all propagation state (``_pts``, pending deltas,
+cast-filter sets) is plain ``set[int]``.  This buys three things:
+
+* **cheap hashing** — CPython hashes a small int as its own value, so set
+  membership, ``difference`` and ``update`` run several times faster than
+  on tuples (which hash-combine their elements on every probe);
+* **dense, collision-free tables** — pair ids are consecutive integers, so
+  ``hash(pid) & mask`` spreads perfectly across a set's table.  (The
+  obvious alternative, ``heap << 32 | hctx``, is *slower* than tuples in
+  CPython: the table index is taken from the low hash bits, which for a
+  shifted key are just the hctx id, so probes collide pathologically);
+* **bulk set ops** — propagation is ``new = delta - pts; pts |= new`` and
+  cast filtering is ``delta & allowed_pairs``, all in C, replacing the
+  per-tuple comprehensions of the old representation (kept verbatim in
+  :mod:`repro.analysis.reference_solver` as the benchmark baseline).
+
+Unpacking is two list indexes (``pair_heap[pid]``, ``pair_hctx[pid]``); only
+call resolution and the final snapshot consumers ever need it.
+
+Cast filters are indexed, not scanned: ``_allowed_pairs`` materializes, per
+cast type, the set of pair ids whose heap's type is in the target's
+subtype closure (``Program.hierarchy.subtypes`` — precomputed at freeze
+time).  The per-type sets are maintained *incrementally*: registering a new
+heap type or minting a new pair updates every cached filter, so a filter
+created before a heap appears can never go stale (the old implementation
+froze the filter at first use and silently dropped later heaps).
+
+Consumers are stored in per-kind tables (loads, stores, virtual calls,
+special calls, throws) so the inner loop dispatches without string-tag
+comparison or variable-width tuple unpacking.
+
 Everything is interned to dense integers; contexts live in two
 :class:`~repro.contexts.abstractions.ContextTable` instances, and the policy
 constructor functions are memoized (they are pure).
@@ -34,7 +70,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..contexts.abstractions import ContextTable
 from ..contexts.policies import ContextPolicy
@@ -49,6 +94,11 @@ _NONE = -1
 
 #: How many tuple insertions between wall-clock checks.
 _CLOCK_CHECK_PERIOD = 4096
+
+#: Shift used to build the (collision-free, *interning-only*) key that maps
+#: a (heap, hctx) pair to its dense pair id.  The shifted key never enters a
+#: points-to set — see the module docstring for why that would be slow.
+_PAIR_KEY_SHIFT = 32
 
 
 class BudgetExceeded(Exception):
@@ -89,8 +139,11 @@ class _MethodBody:
 class RawSolution:
     """Interned analysis output; wrapped by ``results.AnalysisResult``.
 
-    ``var_pts`` maps node id -> set of (heap, hctx) for variable nodes only;
-    ``var_nodes`` recovers the (var, ctx) key of each node.
+    ``pts`` maps node id -> set of *pair ids*; a pair id ``p`` packs one
+    distinct ``(heap, hctx)`` pair, recovered as
+    ``(pair_heap[p], pair_hctx[p])`` (or via :meth:`pair` /
+    :meth:`iter_pts`).  ``var_nodes`` recovers the (var, ctx) key of each
+    variable node.
     """
 
     vars: Interner
@@ -105,13 +158,26 @@ class RawSolution:
     static_nodes: Dict[int, int]
     throw_nodes: Dict[Tuple[int, int], int]
     static_flds: Interner
-    pts: List[Set[Tuple[int, int]]]
+    pts: List[Set[int]]
+    pair_heap: List[int]
+    pair_hctx: List[int]
     reachable: Set[Tuple[int, int]]
     call_graph: Set[Tuple[int, int, int, int]]
-    vcall_dispatches: Dict[Tuple[int, int], Set[int]]
-    # (invo, _) unused; keyed by invo -> resolved target methods (insens proj)
+    vcall_dispatches: Dict[int, Set[int]]
+    #: keyed by bare invocation-site id -> resolved target method ids
+    #: (the context-insensitive projection of virtual-dispatch outcomes).
     tuple_count: int
     seconds: float
+
+    def pair(self, pid: int) -> Tuple[int, int]:
+        """Unpack a packed pair id to its ``(heap, hctx)`` id pair."""
+        return self.pair_heap[pid], self.pair_hctx[pid]
+
+    def iter_pts(self, node: int) -> Iterator[Tuple[int, int]]:
+        """Iterate a node's points-to set as ``(heap, hctx)`` id pairs."""
+        ph, pc = self.pair_heap, self.pair_hctx
+        for pid in self.pts[node]:
+            yield ph[pid], pc[pid]
 
 
 class PointsToSolver:
@@ -143,29 +209,73 @@ class PointsToSolver:
         self.ctxs = ContextTable()
         self.hctxs = ContextTable()
 
+        # Packed (heap, hctx) pair table -----------------------------------
+        self._pair_ids: Dict[int, int] = {}
+        self._pair_heap: List[int] = []
+        self._pair_hctx: List[int] = []
+        self._pairs_by_heap: Dict[int, List[int]] = {}
+        # Heap type per pair id (None for typeless heaps), filled at mint
+        # time: all heap types are registered during fact compilation, so
+        # the value is fixed for the pair's lifetime.  Lets the dispatch
+        # loop index a list instead of chasing two dicts per receiver.
+        self._pair_heap_type: List[Optional[int]] = []
+
         # Graph state ---------------------------------------------------------
-        self._pts: List[Set[Tuple[int, int]]] = []
-        self._out_edges: List[List[Tuple[int, int]]] = []  # (dst, filter_type|_NONE)
-        self._consumers: List[List[tuple]] = []
-        self._edge_seen: Set[Tuple[int, int, int]] = set()
-        self._var_nodes: Dict[Tuple[int, int], int] = {}
-        self._fld_nodes: Dict[Tuple[int, int, int], int] = {}
+        # Adjacency is sparse: most nodes have no out-edges, so edges live
+        # in node-keyed dicts rather than per-node list slots.  Node tables
+        # are nested int-keyed dicts (ctx -> var -> node, fld -> pair ->
+        # node): int keys hash as themselves, avoiding a tuple allocation
+        # and hash-combine on every lookup in the hot construction path.
+        self._pts: List[Set[int]] = []
+        self._out_plain: Dict[int, List[int]] = {}  # src -> unfiltered dsts
+        self._out_filtered: Dict[int, List[Tuple[int, int]]] = {}
+        self._edge_seen: Set[int] = set()  # src << 32 | dst (plain edges)
+        self._filtered_edge_seen: Set[Tuple[int, int, int]] = set()
+        self._var_nodes: Dict[int, Dict[int, int]] = {}  # ctx -> var -> node
+        self._fld_nodes: Dict[int, Dict[int, int]] = {}  # fld -> pair -> node
         self._static_nodes: Dict[int, int] = {}
-        self._throw_nodes: Dict[Tuple[int, int], int] = {}
+        self._throw_nodes: Dict[int, int] = {}  # meth << 32 | ctx -> node
+
+        # Per-kind consumer tables, keyed by node.
+        self._load_cons: Dict[int, List[Tuple[int, int]]] = {}
+        self._store_cons: Dict[int, List[Tuple[int, int]]] = {}
+        self._vcall_cons: Dict[
+            int, List[Tuple[int, int, int, int, int, Tuple[int, ...]]]
+        ] = {}
+        self._special_cons: Dict[
+            int, List[Tuple[int, int, int, int, int, Tuple[int, ...]]]
+        ] = {}
+        self._throw_cons: Dict[int, List[Tuple[int, int]]] = {}
 
         self._worklist: Deque[int] = deque()
-        self._pending: Dict[int, Set[Tuple[int, int]]] = {}
+        self._pending: Dict[int, Set[int]] = {}
 
-        self._reachable: Set[Tuple[int, int]] = set()
+        self._reachable: Set[int] = set()  # meth << 32 | ctx
         self._call_graph: Set[Tuple[int, int, int, int]] = set()
         self._vcall_targets: Dict[int, Set[int]] = {}
 
         # Caches ---------------------------------------------------------
-        self._record_cache: Dict[Tuple[int, int], int] = {}
-        self._merge_cache: Dict[Tuple[int, int, int, int], int] = {}
+        # The merge cache is keyed per receiver pair id unless the policy
+        # declares its MERGE receiver-independent (call-site flavors), in
+        # which case one entry per (invo, callee, caller ctx) suffices —
+        # megamorphic sites then pay one policy call instead of one per
+        # receiver object.
+        self._record_cache: Dict[Tuple[int, int], int] = {}  # -> pair id
+        self._merge_cache: Dict[object, int] = {}
+        self._site_merge: bool = not policy.merge_uses_receiver
         self._merge_static_cache: Dict[Tuple[int, int], int] = {}
-        self._filter_cache: Dict[int, FrozenSet[int]] = {}
-        self._dispatch_cache: Dict[Tuple[int, int], int] = {}
+        self._dispatch_cache: Dict[int, int] = {}  # heap type << 32 | sig
+
+        # Cast-filter index: per cast type, the subtype-name closure, the
+        # allowed heap ids, and the allowed pair ids.  All three are kept
+        # up to date incrementally by _register_heap_type and _pair;
+        # _heap_filters inverts the index (heap -> cast types allowing it)
+        # so minting a pair updates exactly the filters that need it.
+        self._filter_closures: Dict[int, FrozenSet[str]] = {}
+        self._filter_heaps: Dict[int, Set[int]] = {}
+        self._filter_pairs: Dict[int, Set[int]] = {}
+        self._heap_filters: Dict[int, List[int]] = {}
+        self._heaps_by_typename: Dict[str, List[int]] = {}
 
         self._tuple_count = 0
         self._ops_since_clock = 0
@@ -283,7 +393,79 @@ class PointsToSolver:
             self._bodies[self.meths.intern(meth)] = mb
 
         for heap, typ in f.heaptype:
-            self._heap_type[self.heaps.get(heap)] = self.types.intern(typ)
+            # intern (not get): a heap may appear in a heaptype fact without
+            # any alloc fact (e.g. a hand-built or file-loaded fact base).
+            self._register_heap_type(
+                self.heaps.intern(heap), self.types.intern(typ)
+            )
+
+    # ------------------------------------------------------------------
+    # Packed pair ids and the heap-type / cast-filter index
+    # ------------------------------------------------------------------
+    def _pair(self, heap: int, hctx: int) -> int:
+        """Dense id of the (heap, hctx) pair, minting one if new."""
+        key = heap << _PAIR_KEY_SHIFT | hctx
+        pid = self._pair_ids.get(key)
+        if pid is None:
+            pid = len(self._pair_heap)
+            self._pair_ids[key] = pid
+            self._pair_heap.append(heap)
+            self._pair_hctx.append(hctx)
+            self._pair_heap_type.append(self._heap_type.get(heap))
+            of_heap = self._pairs_by_heap.get(heap)
+            if of_heap is None:
+                self._pairs_by_heap[heap] = [pid]
+            else:
+                of_heap.append(pid)
+            allowing = self._heap_filters.get(heap)
+            if allowing:
+                filter_pairs = self._filter_pairs
+                for type_i in allowing:
+                    filter_pairs[type_i].add(pid)
+        return pid
+
+    def _admit_heap_to_filter(self, type_i: int, heap: int) -> None:
+        """Make ``heap`` (and its existing pairs) visible to one filter."""
+        self._filter_heaps[type_i].add(heap)
+        self._heap_filters.setdefault(heap, []).append(type_i)
+        of_heap = self._pairs_by_heap.get(heap)
+        if of_heap:
+            self._filter_pairs[type_i].update(of_heap)
+
+    def _register_heap_type(self, heap: int, type_i: int) -> None:
+        """Record a heap's type and fold it into every cached cast filter."""
+        self._heap_type[heap] = type_i
+        pht = self._pair_heap_type
+        for pid in self._pairs_by_heap.get(heap, ()):
+            pht[pid] = type_i
+        tname = self.types.value(type_i)
+        self._heaps_by_typename.setdefault(tname, []).append(heap)
+        for t_i, closure in self._filter_closures.items():
+            if tname in closure:
+                self._admit_heap_to_filter(t_i, heap)
+
+    def _allowed_pairs(self, type_i: int) -> Set[int]:
+        """Pair ids whose heap's type is a subtype of cast type ``type_i``.
+
+        Built once per cast type from the hierarchy's precomputed subtype
+        closure, then maintained incrementally — never rescanned.
+        """
+        pairs = self._filter_pairs.get(type_i)
+        if pairs is None:
+            hierarchy = self.program.hierarchy
+            target = self.types.value(type_i)
+            closure = (
+                hierarchy.subtypes(target)
+                if target in hierarchy
+                else frozenset()
+            )
+            self._filter_closures[type_i] = frozenset(closure)
+            self._filter_heaps[type_i] = set()
+            pairs = self._filter_pairs[type_i] = set()
+            for tname in closure:
+                for heap in self._heaps_by_typename.get(tname, ()):
+                    self._admit_heap_to_filter(type_i, heap)
+        return pairs
 
     # ------------------------------------------------------------------
     # Node management
@@ -291,24 +473,34 @@ class PointsToSolver:
     def _new_node(self) -> int:
         node = len(self._pts)
         self._pts.append(set())
-        self._out_edges.append([])
-        self._consumers.append([])
         return node
+
+    def _vmap(self, ctx: int) -> Dict[int, int]:
+        vmap = self._var_nodes.get(ctx)
+        if vmap is None:
+            vmap = self._var_nodes[ctx] = {}
+        return vmap
 
     def _vnode(self, var: int, ctx: int) -> int:
-        key = (var, ctx)
-        node = self._var_nodes.get(key)
+        vmap = self._var_nodes.get(ctx)
+        if vmap is None:
+            vmap = self._var_nodes[ctx] = {}
+        node = vmap.get(var)
         if node is None:
-            node = self._new_node()
-            self._var_nodes[key] = node
+            node = len(self._pts)
+            self._pts.append(set())
+            vmap[var] = node
         return node
 
-    def _fnode(self, heap: int, hctx: int, fld: int) -> int:
-        key = (heap, hctx, fld)
-        node = self._fld_nodes.get(key)
+    def _fnode(self, pid: int, fld: int) -> int:
+        fmap = self._fld_nodes.get(fld)
+        if fmap is None:
+            fmap = self._fld_nodes[fld] = {}
+        node = fmap.get(pid)
         if node is None:
-            node = self._new_node()
-            self._fld_nodes[key] = node
+            node = len(self._pts)
+            self._pts.append(set())
+            fmap[pid] = node
         return node
 
     def _snode(self, sfld: int) -> int:
@@ -321,7 +513,7 @@ class PointsToSolver:
     def _tnode(self, meth: int, ctx: int) -> int:
         """The node holding exceptions escaping (meth, ctx) — the
         THROWPOINTSTO relation."""
-        key = (meth, ctx)
+        key = meth << 32 | ctx
         node = self._throw_nodes.get(key)
         if node is None:
             node = self._new_node()
@@ -331,19 +523,53 @@ class PointsToSolver:
     # ------------------------------------------------------------------
     # Propagation primitives
     # ------------------------------------------------------------------
-    def _add_pts(self, node: int, tuples) -> None:
+    def _add_pts(self, node: int, pids: Set[int]) -> None:
+        """Bulk-insert a set of pair ids into a node's points-to set."""
         pts = self._pts[node]
-        new = {t for t in tuples if t not in pts}
+        new = pids - pts
         if not new:
             return
-        pts.update(new)
+        pts |= new
         self._charge(len(new))
         pending = self._pending.get(node)
         if pending is None:
-            self._pending[node] = set(new)
+            self._pending[node] = new
             self._worklist.append(node)
         else:
-            pending.update(new)
+            pending |= new
+
+    def _add_pts1(self, node: int, pid: int) -> None:
+        """Single-pair fast path (allocations, this-binding, catches)."""
+        pts = self._pts[node]
+        if pid in pts:
+            return
+        pts.add(pid)
+        # _charge(1), inlined: this path runs once per derived singleton.
+        self._tuple_count += 1
+        if self.max_tuples is not None and self._tuple_count > self.max_tuples:
+            raise BudgetExceeded(
+                "tuple budget exceeded",
+                self._tuple_count,
+                self._stopwatch.elapsed(),
+            )
+        self._ops_since_clock += 1
+        if self._ops_since_clock >= _CLOCK_CHECK_PERIOD:
+            self._ops_since_clock = 0
+            if (
+                self.max_seconds is not None
+                and self._stopwatch.elapsed() > self.max_seconds
+            ):
+                raise BudgetExceeded(
+                    "time budget exceeded",
+                    self._tuple_count,
+                    self._stopwatch.elapsed(),
+                )
+        pending = self._pending.get(node)
+        if pending is None:
+            self._pending[node] = {pid}
+            self._worklist.append(node)
+        else:
+            pending.add(pid)
 
     def _charge(self, n: int) -> None:
         self._tuple_count += n
@@ -365,57 +591,113 @@ class PointsToSolver:
                 )
 
     def _add_edge(self, src: int, dst: int, filter_type: int = _NONE) -> None:
-        key = (src, dst, filter_type)
-        if key in self._edge_seen:
-            return
-        self._edge_seen.add(key)
-        self._out_edges[src].append((dst, filter_type))
-        current = self._pts[src]
-        if current:
-            if filter_type == _NONE:
-                self._add_pts(dst, set(current))
+        if filter_type == _NONE:
+            # Packed dedup key: node ids are dense, so the low (dst) bits
+            # spread well across the set table.
+            key = src << 32 | dst
+            if key in self._edge_seen:
+                return
+            self._edge_seen.add(key)
+            out = self._out_plain.get(src)
+            if out is None:
+                self._out_plain[src] = [dst]
             else:
-                allowed = self._allowed_heaps(filter_type)
-                self._add_pts(dst, {t for t in current if t[0] in allowed})
+                out.append(dst)
+            current = self._pts[src]
+            if current:
+                self._add_pts(dst, current)
+        else:
+            fkey = (src, dst, filter_type)
+            if fkey in self._filtered_edge_seen:
+                return
+            self._filtered_edge_seen.add(fkey)
+            out = self._out_filtered.get(src)
+            if out is None:
+                self._out_filtered[src] = [(dst, filter_type)]
+            else:
+                out.append((dst, filter_type))
+            current = self._pts[src]
+            if current:
+                filtered = current & self._allowed_pairs(filter_type)
+                if filtered:
+                    self._add_pts(dst, filtered)
 
-    def _register_consumer(self, node: int, consumer: tuple) -> None:
-        self._consumers[node].append(consumer)
+    # ------------------------------------------------------------------
+    # Consumer registration (replaying the current set on attach)
+    # ------------------------------------------------------------------
+    def _register_load(self, node: int, fld: int, to_node: int) -> None:
+        self._load_cons.setdefault(node, []).append((fld, to_node))
         current = self._pts[node]
         if current:
-            self._dispatch_consumer(consumer, set(current))
+            for pid in list(current):
+                self._add_edge(self._fnode(pid, fld), to_node)
 
-    def _allowed_heaps(self, type_i: int) -> FrozenSet[int]:
-        allowed = self._filter_cache.get(type_i)
-        if allowed is None:
-            hierarchy = self.program.hierarchy
-            target = self.types.value(type_i)
-            ok: Set[int] = set()
-            for heap_i, ht_i in self._heap_type.items():
-                if hierarchy.is_subtype(self.types.value(ht_i), target):
-                    ok.add(heap_i)
-            allowed = frozenset(ok)
-            self._filter_cache[type_i] = allowed
-        return allowed
+    def _register_store(self, node: int, fld: int, from_node: int) -> None:
+        self._store_cons.setdefault(node, []).append((fld, from_node))
+        current = self._pts[node]
+        if current:
+            for pid in list(current):
+                self._add_edge(from_node, self._fnode(pid, fld))
+
+    def _register_vcall(
+        self,
+        node: int,
+        consumer: Tuple[int, int, int, int, int, Tuple[int, ...]],
+    ) -> None:
+        self._vcall_cons.setdefault(node, []).append(consumer)
+        current = self._pts[node]
+        if current:
+            sig, invo, ctx, in_meth, lhs, args = consumer
+            for pid in list(current):
+                self._dispatch_vcall(pid, sig, invo, ctx, in_meth, lhs, args)
+
+    def _register_special(
+        self,
+        node: int,
+        consumer: Tuple[int, int, int, int, int, Tuple[int, ...]],
+    ) -> None:
+        self._special_cons.setdefault(node, []).append(consumer)
+        current = self._pts[node]
+        if current:
+            callee, invo, ctx, in_meth, lhs, args = consumer
+            for pid in list(current):
+                self._resolve_receiver_call(
+                    pid, invo, ctx, in_meth, callee, lhs, args
+                )
+
+    def _register_throw(self, node: int, meth: int, ctx: int) -> None:
+        self._throw_cons.setdefault(node, []).append((meth, ctx))
+        current = self._pts[node]
+        if current:
+            for pid in list(current):
+                self._raise_in(meth, ctx, pid)
 
     # ------------------------------------------------------------------
     # Context constructor memoization
     # ------------------------------------------------------------------
     def _record(self, heap: int, ctx: int) -> int:
+        """Pair id of the allocation (heap, RECORD(heap, ctx))."""
         key = (heap, ctx)
-        hctx = self._record_cache.get(key)
-        if hctx is None:
+        pid = self._record_cache.get(key)
+        if pid is None:
             value = self.policy.record(self.heaps.value(heap), self.ctxs.value(ctx))
-            hctx = self.hctxs.intern(value)
-            self._record_cache[key] = hctx
-        return hctx
+            pid = self._pair(heap, self.hctxs.intern(value))
+            self._record_cache[key] = pid
+        return pid
 
-    def _merge(self, heap: int, hctx: int, invo: int, meth: int, ctx: int) -> int:
-        key = (heap, hctx, invo, ctx)
+    def _merge(self, pid: int, invo: int, meth: int, ctx: int) -> int:
+        if self._site_merge:
+            # Receiver-independent MERGE: one entry per call site, callee
+            # and caller context (packed key; meth matters because the
+            # introspective policy refines per (invo, meth)).
+            key: object = (invo << 32 | meth) << 32 | ctx
+        else:
+            key = (pid, invo, ctx)
         callee = self._merge_cache.get(key)
         if callee is None:
             value = self.policy.merge(
-                self.heaps.value(heap),
-                self.hctxs.value(hctx),
+                self.heaps.value(self._pair_heap[pid]),
+                self.hctxs.value(self._pair_hctx[pid]),
                 self.invos.value(invo),
                 self.meths.value(meth),
                 self.ctxs.value(ctx),
@@ -439,7 +721,7 @@ class PointsToSolver:
     # Reachability / call linking
     # ------------------------------------------------------------------
     def _make_reachable(self, meth: int, ctx: int) -> None:
-        key = (meth, ctx)
+        key = meth << 32 | ctx
         if key in self._reachable:
             return
         self._reachable.add(key)
@@ -448,31 +730,43 @@ class PointsToSolver:
         if mb is None:
             return
 
-        vnode = self._vnode
+        # All variables in this body share ``ctx``: resolve nodes through
+        # the per-context var map once, with int (not tuple) keys.
+        vmap = self._vmap(ctx)
+        pts = self._pts
+        vmap_get = vmap.get
+
+        def vnode(var: int) -> int:
+            node = vmap_get(var)
+            if node is None:
+                node = len(pts)
+                pts.append(set())
+                vmap[var] = node
+            return node
+
         for var, heap in mb.allocs:
-            hctx = self._record(heap, ctx)
-            self._add_pts(vnode(var, ctx), ((heap, hctx),))
+            self._add_pts1(vnode(var), self._record(heap, ctx))
         for frm, to in mb.moves:
-            self._add_edge(vnode(frm, ctx), vnode(to, ctx))
+            self._add_edge(vnode(frm), vnode(to))
         for frm, to, typ in mb.casts:
-            self._add_edge(vnode(frm, ctx), vnode(to, ctx), typ)
+            self._add_edge(vnode(frm), vnode(to), typ)
         for to, base, fld in mb.loads:
-            self._register_consumer(vnode(base, ctx), ("L", fld, vnode(to, ctx)))
+            self._register_load(vnode(base), fld, vnode(to))
         for base, fld, frm in mb.stores:
-            self._register_consumer(vnode(base, ctx), ("S", fld, vnode(frm, ctx)))
+            self._register_store(vnode(base), fld, vnode(frm))
         for to, sfld in mb.staticloads:
-            self._add_edge(self._snode(sfld), vnode(to, ctx))
+            self._add_edge(self._snode(sfld), vnode(to))
         for sfld, frm in mb.staticstores:
-            self._add_edge(vnode(frm, ctx), self._snode(sfld))
+            self._add_edge(vnode(frm), self._snode(sfld))
         for var in mb.throws:
-            self._register_consumer(vnode(var, ctx), ("T", meth, ctx))
+            self._register_throw(vnode(var), meth, ctx)
         for base, sig, invo, lhs, args in mb.vcalls:
-            self._register_consumer(
-                vnode(base, ctx), ("C", sig, invo, ctx, meth, lhs, args)
+            self._register_vcall(
+                vnode(base), (sig, invo, ctx, meth, lhs, args)
             )
         for base, callee, invo, lhs, args in mb.specialcalls:
-            self._register_consumer(
-                vnode(base, ctx), ("D", callee, invo, ctx, meth, lhs, args)
+            self._register_special(
+                vnode(base), (callee, invo, ctx, meth, lhs, args)
             )
         for callee, invo, lhs, args in mb.scalls:
             callee_ctx = self._merge_static(invo, callee, ctx)
@@ -493,34 +787,56 @@ class PointsToSolver:
             return
         self._call_graph.add(edge)
         self._charge(1)
-        self._make_reachable(callee, callee_ctx)
+        if callee << 32 | callee_ctx not in self._reachable:
+            self._make_reachable(callee, callee_ctx)
         mb = self._bodies[callee]
-        vnode = self._vnode
-        for actual, formal in zip(args, mb.formals):
-            self._add_edge(vnode(actual, caller_ctx), vnode(formal, callee_ctx))
-        if lhs != _NONE:
-            for ret in mb.returns:
-                self._add_edge(vnode(ret, callee_ctx), vnode(lhs, caller_ctx))
+        if args or (lhs != _NONE and mb.returns):
+            # Parameter/return binding: resolve caller- and callee-side
+            # var maps once, then look vars up with bare int keys.
+            cmap = self._vmap(caller_ctx)
+            emap = self._vmap(callee_ctx)
+            pts = self._pts
+            for actual, formal in zip(args, mb.formals):
+                src = cmap.get(actual)
+                if src is None:
+                    src = cmap[actual] = len(pts)
+                    pts.append(set())
+                dst = emap.get(formal)
+                if dst is None:
+                    dst = emap[formal] = len(pts)
+                    pts.append(set())
+                self._add_edge(src, dst)
+            if lhs != _NONE:
+                dst = cmap.get(lhs)
+                if dst is None:
+                    dst = cmap[lhs] = len(pts)
+                    pts.append(set())
+                for ret in mb.returns:
+                    src = emap.get(ret)
+                    if src is None:
+                        src = emap[ret] = len(pts)
+                        pts.append(set())
+                    self._add_edge(src, dst)
         # Exceptions escaping the callee are (re-)raised in the caller.
-        self._register_consumer(
-            self._tnode(callee, callee_ctx), ("R", caller_meth, caller_ctx)
+        self._register_throw(
+            self._tnode(callee, callee_ctx), caller_meth, caller_ctx
         )
 
-    def _raise_in(self, meth: int, ctx: int, heap: int, hctx: int) -> None:
+    def _raise_in(self, meth: int, ctx: int, pid: int) -> None:
         """An exception object is raised in (meth, ctx): bind it to every
         type-matching catch clause, or let it escape via the throw node."""
         mb = self._bodies.get(meth)
         caught = False
         if mb is not None:
             for catch_type, catch_var in mb.catches:
-                if heap in self._allowed_heaps(catch_type):
-                    self._add_pts(self._vnode(catch_var, ctx), ((heap, hctx),))
+                if pid in self._allowed_pairs(catch_type):
+                    self._add_pts1(self._vnode(catch_var, ctx), pid)
                     caught = True
         if not caught:
-            self._add_pts(self._tnode(meth, ctx), ((heap, hctx),))
+            self._add_pts1(self._tnode(meth, ctx), pid)
 
     def _dispatch(self, heap_type: int, sig: int) -> int:
-        key = (heap_type, sig)
+        key = heap_type << 32 | sig
         target = self._dispatch_cache.get(key)
         if target is None:
             meth = self.program.lookup(
@@ -531,47 +847,29 @@ class PointsToSolver:
         return target
 
     # ------------------------------------------------------------------
-    # Consumer dispatch
+    # Call resolution
     # ------------------------------------------------------------------
-    def _dispatch_consumer(self, consumer: tuple, delta: Set[Tuple[int, int]]) -> None:
-        kind = consumer[0]
-        if kind == "L":
-            _, fld, to_node = consumer
-            for heap, hctx in delta:
-                self._add_edge(self._fnode(heap, hctx, fld), to_node)
-        elif kind == "S":
-            _, fld, from_node = consumer
-            for heap, hctx in delta:
-                self._add_edge(from_node, self._fnode(heap, hctx, fld))
-        elif kind == "C":
-            _, sig, invo, ctx, in_meth, lhs, args = consumer
-            for heap, hctx in delta:
-                heap_type = self._heap_type.get(heap)
-                if heap_type is None:
-                    continue
-                callee = self._dispatch(heap_type, sig)
-                if callee == _NONE:
-                    continue
-                self._resolve_receiver_call(
-                    heap, hctx, invo, ctx, in_meth, callee, lhs, args
-                )
-        elif kind == "D":
-            _, callee, invo, ctx, in_meth, lhs, args = consumer
-            for heap, hctx in delta:
-                self._resolve_receiver_call(
-                    heap, hctx, invo, ctx, in_meth, callee, lhs, args
-                )
-        elif kind == "T" or kind == "R":
-            _, meth, ctx = consumer
-            for heap, hctx in delta:
-                self._raise_in(meth, ctx, heap, hctx)
-        else:  # pragma: no cover - exhaustive
-            raise AssertionError(f"unknown consumer kind {kind!r}")
+    def _dispatch_vcall(
+        self,
+        pid: int,
+        sig: int,
+        invo: int,
+        ctx: int,
+        in_meth: int,
+        lhs: int,
+        args: Tuple[int, ...],
+    ) -> None:
+        heap_type = self._pair_heap_type[pid]
+        if heap_type is None:
+            return
+        callee = self._dispatch(heap_type, sig)
+        if callee == _NONE:
+            return
+        self._resolve_receiver_call(pid, invo, ctx, in_meth, callee, lhs, args)
 
     def _resolve_receiver_call(
         self,
-        heap: int,
-        hctx: int,
+        pid: int,
         invo: int,
         caller_ctx: int,
         caller_meth: int,
@@ -579,14 +877,24 @@ class PointsToSolver:
         lhs: int,
         args: Tuple[int, ...],
     ) -> None:
-        callee_ctx = self._merge(heap, hctx, invo, callee, caller_ctx)
-        self._vcall_targets.setdefault(invo, set()).add(callee)
+        if self._site_merge:
+            mkey: object = (invo << 32 | callee) << 32 | caller_ctx
+        else:
+            mkey = (pid, invo, caller_ctx)
+        callee_ctx = self._merge_cache.get(mkey)
+        if callee_ctx is None:
+            callee_ctx = self._merge(pid, invo, callee, caller_ctx)
+        targets = self._vcall_targets.get(invo)
+        if targets is None:
+            self._vcall_targets[invo] = {callee}
+        else:
+            targets.add(callee)
         self._link_call(
             invo, caller_ctx, caller_meth, callee, callee_ctx, lhs, args
         )
         mb = self._bodies[callee]
         if mb.this != _NONE:
-            self._add_pts(self._vnode(mb.this, callee_ctx), ((heap, hctx),))
+            self._add_pts1(self._vnode(mb.this, callee_ctx), pid)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -599,27 +907,137 @@ class PointsToSolver:
             self._make_reachable(self.meths.intern(ep), ctx0)
 
         worklist = self._worklist
+        push = worklist.append
         pending = self._pending
-        pts_filter_none = _NONE
+        pending_get = pending.get
+        pending_pop = pending.pop
+        pts_list = self._pts
+        out_plain = self._out_plain
+        out_filtered = self._out_filtered
+        load_cons = self._load_cons
+        store_cons = self._store_cons
+        vcall_cons = self._vcall_cons
+        special_cons = self._special_cons
+        throw_cons = self._throw_cons
+        add_pts = self._add_pts
+        add_edge = self._add_edge
+        edge_seen = self._edge_seen
+        fld_nodes = self._fld_nodes
+        allowed_pairs = self._allowed_pairs
+        dispatch_cache_get = self._dispatch_cache.get
+        pair_heap_type = self._pair_heap_type
+        max_tuples = self.max_tuples
+        max_seconds = self.max_seconds
+        elapsed = self._stopwatch.elapsed
         while worklist:
             node = worklist.popleft()
-            delta = pending.pop(node, None)
+            delta = pending_pop(node, None)
             if not delta:
                 continue
-            for dst, filt in self._out_edges[node]:
-                if filt == pts_filter_none:
-                    self._add_pts(dst, delta)
-                else:
-                    allowed = self._allowed_heaps(filt)
-                    filtered = {t for t in delta if t[0] in allowed}
+            out = out_plain.get(node)
+            if out:
+                # _add_pts and _charge, inlined: this edge walk is the
+                # single hottest path in the solver.
+                for dst in out:
+                    pts = pts_list[dst]
+                    new = delta - pts
+                    if new:
+                        pts |= new
+                        n = len(new)
+                        self._tuple_count += n
+                        if (
+                            max_tuples is not None
+                            and self._tuple_count > max_tuples
+                        ):
+                            raise BudgetExceeded(
+                                "tuple budget exceeded",
+                                self._tuple_count,
+                                elapsed(),
+                            )
+                        self._ops_since_clock += n
+                        if self._ops_since_clock >= _CLOCK_CHECK_PERIOD:
+                            self._ops_since_clock = 0
+                            if (
+                                max_seconds is not None
+                                and elapsed() > max_seconds
+                            ):
+                                raise BudgetExceeded(
+                                    "time budget exceeded",
+                                    self._tuple_count,
+                                    elapsed(),
+                                )
+                        p = pending_get(dst)
+                        if p is None:
+                            pending[dst] = new
+                            push(dst)
+                        else:
+                            p |= new
+            fedges = out_filtered.get(node)
+            if fedges:
+                for dst, type_i in fedges:
+                    filtered = delta & allowed_pairs(type_i)
                     if filtered:
-                        self._add_pts(dst, filtered)
-            for consumer in self._consumers[node]:
-                self._dispatch_consumer(consumer, delta)
+                        add_pts(dst, filtered)
+            cons = load_cons.get(node)
+            if cons:
+                for fld, to_node in cons:
+                    fmap = fld_nodes.get(fld)
+                    if fmap is None:
+                        fmap = fld_nodes[fld] = {}
+                    for pid in delta:
+                        fn = fmap.get(pid)
+                        if fn is None:
+                            fn = fmap[pid] = len(pts_list)
+                            pts_list.append(set())
+                            add_edge(fn, to_node)
+                        elif fn << 32 | to_node not in edge_seen:
+                            add_edge(fn, to_node)
+            cons = store_cons.get(node)
+            if cons:
+                for fld, from_node in cons:
+                    fmap = fld_nodes.get(fld)
+                    if fmap is None:
+                        fmap = fld_nodes[fld] = {}
+                    for pid in delta:
+                        fn = fmap.get(pid)
+                        if fn is None:
+                            fn = fmap[pid] = len(pts_list)
+                            pts_list.append(set())
+                            add_edge(from_node, fn)
+                        elif from_node << 32 | fn not in edge_seen:
+                            add_edge(from_node, fn)
+            cons = vcall_cons.get(node)
+            if cons:
+                for sig, invo, ctx, in_meth, lhs, args in cons:
+                    for pid in delta:
+                        ht = pair_heap_type[pid]
+                        if ht is None:
+                            continue
+                        callee = dispatch_cache_get(ht << 32 | sig)
+                        if callee is None:
+                            callee = self._dispatch(ht, sig)
+                        if callee == _NONE:
+                            continue
+                        self._resolve_receiver_call(
+                            pid, invo, ctx, in_meth, callee, lhs, args
+                        )
+            cons = special_cons.get(node)
+            if cons:
+                for callee, invo, ctx, in_meth, lhs, args in cons:
+                    for pid in delta:
+                        self._resolve_receiver_call(
+                            pid, invo, ctx, in_meth, callee, lhs, args
+                        )
+            cons = throw_cons.get(node)
+            if cons:
+                for meth, ctx in cons:
+                    for pid in delta:
+                        self._raise_in(meth, ctx, pid)
 
         return self._snapshot()
 
     def _snapshot(self) -> RawSolution:
+        ph, pc = self._pair_heap, self._pair_hctx
         return RawSolution(
             vars=self.vars,
             heaps=self.heaps,
@@ -628,13 +1046,28 @@ class PointsToSolver:
             flds=self.flds,
             ctxs=self.ctxs,
             hctxs=self.hctxs,
-            var_nodes=self._var_nodes,
-            fld_nodes=self._fld_nodes,
+            var_nodes={
+                (var, ctx): node
+                for ctx, vmap in self._var_nodes.items()
+                for var, node in vmap.items()
+            },
+            fld_nodes={
+                (ph[pid], pc[pid], fld): node
+                for fld, fmap in self._fld_nodes.items()
+                for pid, node in fmap.items()
+            },
             static_nodes=self._static_nodes,
-            throw_nodes=self._throw_nodes,
+            throw_nodes={
+                (key >> 32, key & 0xFFFFFFFF): node
+                for key, node in self._throw_nodes.items()
+            },
             static_flds=self.static_flds,
             pts=self._pts,
-            reachable=self._reachable,
+            pair_heap=ph,
+            pair_hctx=pc,
+            reachable={
+                (key >> 32, key & 0xFFFFFFFF) for key in self._reachable
+            },
             call_graph=self._call_graph,
             vcall_dispatches={k: set(v) for k, v in self._vcall_targets.items()},
             tuple_count=self._tuple_count,

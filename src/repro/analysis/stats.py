@@ -81,13 +81,13 @@ def explain_costs(result: AnalysisResult, facts: FactBase) -> CostReport:
             tuple_counts[meth] = tuple_counts.get(meth, 0) + size
 
     heap_ctx_counts: Dict[str, int] = {}
-    seen_pairs = set()
+    seen_pairs: set = set()
     for pts in raw.pts:
-        for heap_i, hctx in pts:
-            if (heap_i, hctx) not in seen_pairs:
-                seen_pairs.add((heap_i, hctx))
-                heap = raw.heaps.value(heap_i)
-                heap_ctx_counts[heap] = heap_ctx_counts.get(heap, 0) + 1
+        seen_pairs |= pts
+    pair_heap = raw.pair_heap
+    for pid in seen_pairs:
+        heap = raw.heaps.value(pair_heap[pid])
+        heap_ctx_counts[heap] = heap_ctx_counts.get(heap, 0) + 1
 
     histogram: Dict[int, int] = {}
     for n in ctx_counts.values():

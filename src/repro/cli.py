@@ -7,6 +7,9 @@ Subcommands:
   requested points-to sets;
 * ``repro bench NAME`` — run an analysis on a built-in DaCapo-analog
   benchmark;
+* ``repro bench`` (no name) — benchmark the packed solver against the
+  frozen reference engine over a generated suite and write
+  ``BENCH_solver.json`` (see ``docs/performance.md``);
 * ``repro benchmarks`` — list the built-in benchmarks;
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
   queue, worker pool, and content-addressed result cache);
@@ -18,6 +21,8 @@ Examples::
     repro analyze app.mj --analysis 2objH --show Main.main/0/result
     repro analyze app.mj --analysis 2objH --introspective B --budget 100000
     repro bench hsqldb --analysis 2objH --introspective A
+    repro bench --suite medium --repeat 3 --output BENCH_solver.json
+    repro bench --quick
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
 """
 
@@ -186,6 +191,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name is None:
+        return _cmd_bench_suite(args)
     if args.name not in DACAPO_SPECS:
         print(f"unknown benchmark {args.name!r}; try: {', '.join(benchmark_names())}")
         return 2
@@ -193,6 +200,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     program = build_benchmark(args.name)
     print(f"program: {program.summary()}")
     return _run_and_report(program, args)
+
+
+def _cmd_bench_suite(args: argparse.Namespace) -> int:
+    """Packed-vs-reference engine benchmark (``repro bench`` without a
+    benchmark name); writes the ``repro-bench-solver/1`` JSON report."""
+    from .harness.bench import run_suite, write_report
+
+    suite = args.suite
+    repeat = args.repeat
+    if args.quick:
+        suite = "small"
+        repeat = 1
+    flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
+    try:
+        report = run_suite(
+            suite=suite, flavors=flavors, repeat=repeat, progress=print
+        )
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
@@ -229,9 +259,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_analysis_options(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
-    p_bench = sub.add_parser("bench", help="analyze a built-in benchmark")
-    p_bench.add_argument("name", help="benchmark name (see `repro benchmarks`)")
+    p_bench = sub.add_parser(
+        "bench",
+        help="analyze a built-in benchmark, or (without a name) "
+        "benchmark the solver engines",
+    )
+    p_bench.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="benchmark name (see `repro benchmarks`); omit to run the "
+        "packed-vs-reference solver benchmark",
+    )
     _add_analysis_options(p_bench)
+    p_bench.add_argument(
+        "--suite",
+        default="medium",
+        help="engine-benchmark suite: tiny, small, or medium (default)",
+    )
+    p_bench.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="solves per (benchmark, flavor, engine) cell; best is kept",
+    )
+    p_bench.add_argument(
+        "--flavors",
+        default="2objH,2typeH,2callH",
+        help="comma-separated context flavors to benchmark",
+    )
+    p_bench.add_argument(
+        "--output",
+        default="BENCH_solver.json",
+        metavar="FILE",
+        help="where to write the JSON report",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small suite, single repeat",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("benchmarks", help="list built-in benchmarks")

@@ -100,6 +100,10 @@ class IntrospectivePolicy(ContextPolicy):
         self.cheap = cheap if cheap is not None else InsensitivePolicy()
         self.decision = decision
         self.name = f"{refined.name}-intro"
+        # The dispatched merge reads the receiver only if a side does.
+        self.merge_uses_receiver = (
+            self.refined.merge_uses_receiver or self.cheap.merge_uses_receiver
+        )
 
     # -- constructor dispatch -------------------------------------------
     def record(self, heap: str, ctx: ContextValue) -> ContextValue:

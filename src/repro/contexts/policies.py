@@ -71,6 +71,12 @@ class ContextPolicy(ABC):
     #: Human-readable analysis name, e.g. ``"2objH"``.
     name: str = "abstract"
 
+    #: Whether :meth:`merge` reads its ``heap``/``hctx`` arguments.  When
+    #: False (call-site-sensitivity, insensitivity) a solver may compute
+    #: the callee context once per (invo, caller ctx) instead of once per
+    #: receiver object — a pure memoization hint, never a semantic change.
+    merge_uses_receiver: bool = True
+
     @abstractmethod
     def record(self, heap: str, ctx: ContextValue) -> ContextValue:
         """RECORD: heap context for an object allocated under ``ctx``."""
@@ -108,6 +114,7 @@ class InsensitivePolicy(ContextPolicy):
     """Context-insensitive analysis: every constructor returns ``★``."""
 
     name = "insens"
+    merge_uses_receiver = False
 
     def record(self, heap: str, ctx: ContextValue) -> ContextValue:
         return EMPTY
@@ -130,6 +137,8 @@ class InsensitivePolicy(ContextPolicy):
 
 class CallSiteSensitivePolicy(ContextPolicy):
     """k-call-site-sensitivity (kCFA) with an hk-deep context-sensitive heap."""
+
+    merge_uses_receiver = False
 
     def __init__(self, k: int = 2, heap_k: int = 1) -> None:
         if k < 1 or heap_k < 0:

@@ -1,0 +1,307 @@
+"""Solver benchmark harness: the packed engine vs the frozen baseline.
+
+This is the measurement side of the packed-representation work in
+:mod:`repro.analysis.solver`.  It runs a suite of generated benchmark
+programs (:mod:`repro.benchgen`) across the three main context flavors
+under two engines:
+
+* ``reference`` — :mod:`repro.analysis.reference_solver`, a frozen
+  snapshot of the pre-optimization solver (tuple-pair points-to sets,
+  scan-based cast filters, string-tag consumer dispatch);
+* ``packed`` — the current :mod:`repro.analysis.solver` (dense pair ids,
+  incremental cast-filter index, per-kind consumers).
+
+Each (benchmark, flavor) cell is solved ``repeat`` times per engine,
+interleaved so slow machine drift hits both engines alike, and the best
+time is kept.  Both wall-clock (``seconds``) and process CPU time
+(``cpu_seconds``) are recorded; the ``speedups`` table is computed from
+CPU time because the solver is single-threaded pure compute, and CPU
+time is robust against other processes sharing the machine (CI runners,
+laptops), where wall-clock can swing by tens of percent.  The harness
+*asserts* that both engines derive exactly the same number of tuples —
+a run that diverges is a correctness bug, not a benchmark result.
+
+The report is written as ``BENCH_solver.json`` with the schema documented
+in ``docs/performance.md`` (``repro-bench-solver/1``).  ``peak_rss_kb``
+is ``ru_maxrss`` after the cell ran; being a process-lifetime high-water
+mark it only ever grows, so treat it as "memory needed to get this far",
+not a per-cell delta.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # POSIX only; peak RSS is reported as None elsewhere.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+from ..analysis.reference_solver import reference_solve
+from ..analysis.solver import solve as packed_solve
+from ..benchgen.generator import generate
+from ..benchgen.spec import BenchmarkSpec, HubSpec
+from ..contexts.policies import policy_by_name
+from ..facts.encoder import encode_program
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_FLAVORS",
+    "ENGINES",
+    "suite_names",
+    "suite_specs",
+    "run_suite",
+    "write_report",
+]
+
+BENCH_SCHEMA = "repro-bench-solver/1"
+DEFAULT_FLAVORS: Tuple[str, ...] = ("2objH", "2typeH", "2callH")
+ENGINES: Tuple[str, ...] = ("reference", "packed")
+
+#: Benchmark suites.  All programs are pathology-hub workloads — the
+#: paper's explosion structure and the solver's dominant cost — sized so
+#: every flavor terminates without a budget.  ``tiny`` is for unit tests,
+#: ``small`` for CI smoke runs (`repro bench --quick`), ``medium`` for
+#: the committed BENCH_solver.json trajectory.
+_SUITES: Dict[str, Tuple[BenchmarkSpec, ...]] = {
+    "tiny": (
+        BenchmarkSpec(
+            name="micro",
+            util_classes=4,
+            util_methods_per_class=3,
+            strategy_clusters=(3,),
+            box_groups=(3,),
+            sink_groups=(3,),
+            hubs=(HubSpec(readers=6, elements=5, chain=3),),
+        ),
+    ),
+    "small": (
+        BenchmarkSpec(
+            name="minihub",
+            util_classes=10,
+            util_methods_per_class=4,
+            hubs=(
+                HubSpec(
+                    readers=20,
+                    elements=16,
+                    payloads_per_element=3,
+                    chain=5,
+                ),
+            ),
+        ),
+        BenchmarkSpec(
+            name="typedhub",
+            util_classes=10,
+            util_methods_per_class=4,
+            hubs=(
+                HubSpec(
+                    readers=16,
+                    elements=12,
+                    payloads_per_element=3,
+                    chain=5,
+                    distinct_reader_classes=True,
+                ),
+            ),
+        ),
+    ),
+    "medium": (
+        BenchmarkSpec(
+            name="megahub",
+            util_classes=24,
+            util_methods_per_class=8,
+            hubs=(
+                HubSpec(
+                    readers=70,
+                    elements=60,
+                    payloads_per_element=30,
+                    chain=12,
+                    reader_call_sites=2,
+                    distinct_reader_classes=True,
+                ),
+            ),
+        ),
+        BenchmarkSpec(
+            name="mixedhubs",
+            util_classes=24,
+            util_methods_per_class=8,
+            hubs=(
+                HubSpec(
+                    readers=60,
+                    elements=48,
+                    payloads_per_element=30,
+                    chain=12,
+                    reader_call_sites=2,
+                    distinct_reader_classes=True,
+                ),
+                HubSpec(
+                    readers=40,
+                    elements=30,
+                    payloads_per_element=24,
+                    chain=10,
+                    reader_call_sites=2,
+                ),
+            ),
+        ),
+        BenchmarkSpec(
+            name="wrappers",
+            util_classes=24,
+            util_methods_per_class=8,
+            hubs=(
+                HubSpec(
+                    readers=50,
+                    elements=40,
+                    payloads_per_element=24,
+                    chain=10,
+                    reader_call_sites=2,
+                    distinct_reader_classes=True,
+                    wrapper_depth=3,
+                ),
+            ),
+        ),
+    ),
+}
+
+_ENGINE_SOLVERS = {"reference": reference_solve, "packed": packed_solve}
+
+
+def suite_names() -> List[str]:
+    return sorted(_SUITES)
+
+
+def suite_specs(suite: str) -> Tuple[BenchmarkSpec, ...]:
+    try:
+        return _SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; try one of: {', '.join(suite_names())}"
+        ) from None
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KB (ru_maxrss; None where unsupported)."""
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def run_suite(
+    suite: str = "medium",
+    flavors: Sequence[str] = DEFAULT_FLAVORS,
+    repeat: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark both engines over a suite; return the report dict.
+
+    Raises ``RuntimeError`` if the engines disagree on any cell's derived
+    tuple count (they implement the same analysis; disagreement means a
+    bug, and the timing numbers would be meaningless).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    specs = suite_specs(suite)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    for spec in specs:
+        program = generate(spec)
+        facts = encode_program(program)
+        say(f"{spec.name}: {program.summary()}")
+        for flavor in flavors:
+            policy = policy_by_name(
+                flavor, alloc_class_of=facts.alloc_class_of
+            )
+            best_wall: Dict[str, float] = {}
+            best_cpu: Dict[str, float] = {}
+            tuples: Dict[str, int] = {}
+            for _ in range(repeat):
+                # Interleave engines so machine drift hits both equally;
+                # collect the previous run's garbage and pause the cyclic
+                # GC during each timed solve so neither engine is billed
+                # for the other's leftovers.
+                for engine in ENGINES:
+                    solve = _ENGINE_SOLVERS[engine]
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        w0 = time.perf_counter()
+                        c0 = time.process_time()
+                        raw = solve(program, policy, facts=facts)
+                        cpu = time.process_time() - c0
+                        wall = time.perf_counter() - w0
+                    finally:
+                        gc.enable()
+                    if wall < best_wall.get(engine, math.inf):
+                        best_wall[engine] = wall
+                    if cpu < best_cpu.get(engine, math.inf):
+                        best_cpu[engine] = cpu
+                    tuples[engine] = raw.tuple_count
+                    raw = None
+            if tuples["packed"] != tuples["reference"]:
+                raise RuntimeError(
+                    f"engine disagreement on {spec.name}/{flavor}: "
+                    f"packed={tuples['packed']} "
+                    f"reference={tuples['reference']} tuples"
+                )
+            for engine in ENGINES:
+                seconds = best_wall[engine]
+                cpu_seconds = best_cpu[engine]
+                entries.append(
+                    {
+                        "benchmark": spec.name,
+                        "flavor": flavor,
+                        "engine": engine,
+                        "seconds": round(seconds, 6),
+                        "cpu_seconds": round(cpu_seconds, 6),
+                        "tuples": tuples[engine],
+                        "tuples_per_second": round(
+                            tuples[engine] / cpu_seconds
+                        )
+                        if cpu_seconds > 0
+                        else None,
+                        "peak_rss_kb": _peak_rss_kb(),
+                    }
+                )
+            cell = f"{spec.name}/{flavor}"
+            speedup = best_cpu["reference"] / best_cpu["packed"]
+            speedups[cell] = round(speedup, 3)
+            say(
+                f"  {flavor:7s} tuples={tuples['packed']:>9d} "
+                f"reference={best_cpu['reference']:.3f}s "
+                f"packed={best_cpu['packed']:.3f}s  {speedup:.2f}x"
+            )
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    say(f"geomean speedup: {geomean:.2f}x")
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "flavors": list(flavors),
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engines": list(ENGINES),
+        "entries": entries,
+        "speedups": speedups,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -90,6 +90,18 @@ class AnalysisService:
         self._m_solve = t.histogram(
             "repro_service_solve_seconds", "Job execution wall time (seconds)."
         )
+        self._m_solver_seconds = t.summary(
+            "repro_service_solver_seconds",
+            "Solver wall time per job (seconds), excluding build/encode.",
+        )
+        self._m_solver_tuples = t.summary(
+            "repro_service_solver_tuples",
+            "Tuples derived by the solver per job.",
+        )
+        self._m_solver_tps = t.gauge(
+            "repro_service_solver_tuples_per_second",
+            "Solver throughput of the most recent uncached job.",
+        )
 
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
@@ -242,6 +254,16 @@ class AnalysisService:
         self._m_jobs.inc(state=state)
         if "solve_seconds" in payload:
             self._m_solve.observe(payload["solve_seconds"])
+        # Solver throughput: only jobs that actually ran a solve (cache
+        # hits replay a payload without doing solver work).
+        stats = payload.get("stats")
+        if stats and not job.cached:
+            seconds = stats.get("seconds") or 0.0
+            tuples = stats.get("tuple_count") or 0
+            self._m_solver_seconds.observe(seconds)
+            self._m_solver_tuples.observe(tuples)
+            if seconds > 0:
+                self._m_solver_tps.set(round(tuples / seconds, 3))
         if payload.get("pass1_reused"):
             self._m_pass1.inc()
         if store_key is not None and state in (JobState.DONE, JobState.TIMEOUT):

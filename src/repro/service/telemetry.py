@@ -8,7 +8,12 @@ instrument kinds cover the service's needs:
   labels (``jobs_total{state="done"}``);
 * :class:`Gauge` — point-in-time values (queue depth, running jobs);
 * :class:`Histogram` — cumulative-bucket latency distributions
-  (solve wall time).
+  (solve wall time);
+* :class:`Summary` — quantile-free sum/count pairs for quantities whose
+  distribution buckets are not known up front (solver seconds, solver
+  tuples).  ``rate(x_sum) / rate(x_count)`` gives the per-job mean, and
+  the solver throughput in tuples/sec is
+  ``rate(solver_tuples_sum) / rate(solver_seconds_sum)``.
 
 Instruments are created through a :class:`Registry` so ``render`` can emit
 them all in registration order with ``# HELP`` / ``# TYPE`` headers.
@@ -20,7 +25,14 @@ import bisect
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "Registry", "SOLVE_SECONDS_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Summary",
+    "Registry",
+    "SOLVE_SECONDS_BUCKETS",
+]
 
 #: Default latency buckets (seconds) for solve-time histograms.
 SOLVE_SECONDS_BUCKETS = (
@@ -172,6 +184,45 @@ class Histogram(_Instrument):
         return lines
 
 
+class Summary(_Instrument):
+    """Quantile-free Prometheus summary: ``_sum`` and ``_count`` only.
+
+    The right instrument when per-event magnitudes vary too widely for
+    fixed histogram buckets (derived-tuple counts span orders of
+    magnitude between a toy program and a pathology hub).
+    """
+
+    kind = "summary"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            total, n = self._sum, self._count
+        return [
+            f"{self.name}_sum {_fmt(round(total, 6))}",
+            f"{self.name}_count {n}",
+        ]
+
+
 class Registry:
     """Ordered collection of instruments; one per service."""
 
@@ -201,6 +252,9 @@ class Registry:
         return self._register(  # type: ignore[return-value]
             Histogram(name, help_text, buckets or SOLVE_SECONDS_BUCKETS)
         )
+
+    def summary(self, name: str, help_text: str) -> Summary:
+        return self._register(Summary(name, help_text))  # type: ignore[return-value]
 
     def render(self) -> str:
         with self._lock:

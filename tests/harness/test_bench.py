@@ -1,0 +1,133 @@
+"""Tests for the solver benchmark harness (packed vs reference engines)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reference_solver import reference_solve
+from repro.analysis.solver import solve as packed_solve
+from repro.benchgen.generator import generate
+from repro.contexts.policies import policy_by_name
+from repro.facts.encoder import encode_program
+from repro.harness.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_FLAVORS,
+    ENGINES,
+    run_suite,
+    suite_names,
+    suite_specs,
+    write_report,
+)
+
+
+class TestSuiteRegistry:
+    def test_known_suites(self):
+        assert {"tiny", "small", "medium"} <= set(suite_names())
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_specs("nope")
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            run_suite("tiny", repeat=0)
+
+
+class TestRunSuite:
+    def test_tiny_suite_report_shape(self):
+        messages = []
+        report = run_suite(
+            "tiny", repeat=1, progress=messages.append
+        )
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["suite"] == "tiny"
+        assert report["flavors"] == list(DEFAULT_FLAVORS)
+        assert report["engines"] == list(ENGINES)
+        specs = suite_specs("tiny")
+        expected = len(specs) * len(DEFAULT_FLAVORS) * len(ENGINES)
+        assert len(report["entries"]) == expected
+        for entry in report["entries"]:
+            assert entry["engine"] in ENGINES
+            assert entry["seconds"] >= 0
+            assert entry["cpu_seconds"] >= 0
+            assert entry["tuples"] > 0
+        # One speedup cell per (benchmark, flavor); geomean over them.
+        assert len(report["speedups"]) == len(specs) * len(DEFAULT_FLAVORS)
+        assert report["geomean_speedup"] > 0
+        assert any("geomean" in m for m in messages)
+
+    def test_engines_agree_on_tuples_per_cell(self):
+        report = run_suite("tiny", flavors=("2objH",), repeat=1)
+        by_cell = {}
+        for entry in report["entries"]:
+            cell = (entry["benchmark"], entry["flavor"])
+            by_cell.setdefault(cell, set()).add(entry["tuples"])
+        assert all(len(counts) == 1 for counts in by_cell.values())
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = run_suite("tiny", flavors=("2objH",), repeat=1)
+        path = tmp_path / "BENCH_solver.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(report)
+        )
+
+
+class TestEngineEquivalence:
+    """The packed solver is a representation change, not a semantic one:
+    both engines must derive identical points-to sets at string level."""
+
+    @pytest.mark.parametrize("flavor", DEFAULT_FLAVORS)
+    def test_string_level_points_to_identical(self, flavor):
+        (spec,) = suite_specs("tiny")
+        program = generate(spec)
+        facts = encode_program(program)
+        policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+        packed = packed_solve(program, policy, facts=facts)
+        reference = reference_solve(program, policy, facts=facts)
+        assert packed.tuple_count == reference.tuple_count
+
+        def var_pts_packed(raw):
+            out = {}
+            for (var_i, ctx_i), node in raw.var_nodes.items():
+                key = (raw.vars.value(var_i), raw.ctxs.value(ctx_i))
+                out[key] = {
+                    (raw.heaps.value(h), raw.hctxs.value(hc))
+                    for h, hc in raw.iter_pts(node)
+                }
+            return out
+
+        def var_pts_reference(raw):
+            out = {}
+            for (var_i, ctx_i), node in raw.var_nodes.items():
+                key = (raw.vars.value(var_i), raw.ctxs.value(ctx_i))
+                out[key] = {
+                    (raw.heaps.value(h), raw.hctxs.value(hc))
+                    for h, hc in raw.pts[node]
+                }
+            return out
+
+        assert var_pts_packed(packed) == var_pts_reference(reference)
+
+        def call_graph(raw):
+            return {
+                (
+                    raw.invos.value(invo),
+                    raw.ctxs.value(cctx),
+                    raw.meths.value(meth),
+                    raw.ctxs.value(mctx),
+                )
+                for invo, cctx, meth, mctx in raw.call_graph
+            }
+
+        assert call_graph(packed) == call_graph(reference)
+
+        def reachable(raw):
+            return {
+                (raw.meths.value(m), raw.ctxs.value(c))
+                for m, c in raw.reachable
+            }
+
+        assert reachable(packed) == reachable(reference)

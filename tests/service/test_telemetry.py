@@ -1,6 +1,8 @@
-"""Counters, gauges, histograms, and the /metrics rendering."""
+"""Counters, gauges, histograms, summaries, and the /metrics rendering."""
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -59,6 +61,70 @@ class TestHistogram:
         h = Registry().histogram("lat", "L.", buckets=(1.0, 2.0))
         h.observe(1.0)
         assert 'lat_bucket{le="1"} 1' in h.render()
+
+
+class TestSummary:
+    def test_sum_count_and_render(self):
+        reg = Registry()
+        s = reg.summary("solver_tuples", "Tuples per job.")
+        s.observe(100)
+        s.observe(250)
+        assert s.count == 2
+        assert s.sum == 350
+        text = reg.render()
+        assert "# TYPE solver_tuples summary" in text
+        assert "solver_tuples_sum 350" in text
+        assert "solver_tuples_count 2" in text
+
+    def test_empty_summary_renders_zeroes(self):
+        reg = Registry()
+        reg.summary("s", "S.")
+        text = reg.render()
+        assert "s_sum 0" in text
+        assert "s_count 0" in text
+
+
+class TestSolverThroughputMetrics:
+    """The service records solver seconds + tuples per executed job."""
+
+    def _wait(self, job, timeout=60.0):
+        deadline = time.time() + timeout
+        while job.state in ("queued", "running"):
+            assert time.time() < deadline, "job did not finish in time"
+            time.sleep(0.02)
+        return job
+
+    def test_solver_metrics_recorded_once_per_solve(self):
+        from repro.service import AnalysisService, JobSpec
+
+        service = AnalysisService(workers=0)
+        service.start()
+        try:
+            job = self._wait(
+                service.submit(JobSpec(benchmark="antlr", analysis="insens"))
+            )
+            assert job.state == "done"
+            tuples = job.result["stats"]["tuple_count"]
+            assert service._m_solver_tuples.count == 1
+            assert service._m_solver_tuples.sum == tuples
+            assert service._m_solver_seconds.count == 1
+            assert service._m_solver_tps.value() > 0
+
+            text = service.telemetry.render()
+            assert "# TYPE repro_service_solver_seconds summary" in text
+            assert f"repro_service_solver_tuples_sum {tuples}" in text
+            assert "repro_service_solver_tuples_per_second" in text
+
+            # A cache hit replays the payload without solving: the
+            # per-solve summaries must not move.
+            again = self._wait(
+                service.submit(JobSpec(benchmark="antlr", analysis="insens"))
+            )
+            assert again.cached is True
+            assert service._m_solver_tuples.count == 1
+            assert service._m_solver_seconds.count == 1
+        finally:
+            service.stop()
 
 
 class TestRegistry:

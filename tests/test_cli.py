@@ -170,6 +170,59 @@ class TestSaveFlags:
         assert ".facts files" in out and "relation files" in out
 
 
+class TestBenchSuite:
+    """``repro bench`` with no benchmark name runs the engine comparison."""
+
+    def test_tiny_suite_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_solver.json"
+        rc = main(
+            [
+                "bench",
+                "--suite",
+                "tiny",
+                "--repeat",
+                "1",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert "geomean" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro-bench-solver/1"
+        assert report["suite"] == "tiny"
+        assert report["entries"]
+
+    def test_flavor_subset(self, tmp_path, capsys):
+        out_path = tmp_path / "b.json"
+        rc = main(
+            [
+                "bench",
+                "--suite",
+                "tiny",
+                "--repeat",
+                "1",
+                "--flavors",
+                "2objH",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        import json
+
+        assert json.loads(out_path.read_text())["flavors"] == ["2objH"]
+
+    def test_unknown_suite_is_an_error(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "--suite", "nope", "--output", str(tmp_path / "x.json")]
+        )
+        assert rc == 2
+        assert "unknown suite" in capsys.readouterr().out
+
+
 class TestBench:
     def test_known_benchmark(self, capsys):
         assert main(["bench", "antlr", "--analysis", "insens"]) == 0

@@ -63,3 +63,18 @@ class TestAnalysesDoc:
         result = namespace["result"]
         assert result.analysis_name == "2caller"
         assert "Box.get/0" in result.reachable_methods
+
+
+class TestPerformanceDoc:
+    def test_schema_example_matches_real_report(self):
+        """The BENCH_solver.json example in performance.md must have
+        exactly the keys a real harness report has."""
+        import json
+
+        from repro.harness.bench import BENCH_SCHEMA, run_suite
+
+        example = json.loads(extract_block(DOCS / "performance.md", "json"))
+        assert example["schema"] == BENCH_SCHEMA
+        report = run_suite("tiny", flavors=("2objH",), repeat=1)
+        assert set(example) == set(report)
+        assert set(example["entries"][0]) == set(report["entries"][0])
