@@ -231,6 +231,68 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, iter_corpus, replay_corpus, run_campaign
+
+    if args.replay is not None:
+        target = Path(args.replay)
+        if target.is_file():
+            paths = [str(target)]
+        elif target.is_dir():
+            paths = iter_corpus(str(target))
+        else:
+            print(f"error: no such corpus: {args.replay}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"corpus {args.replay} is empty; nothing to replay")
+            return 0
+        try:
+            results = replay_corpus(paths)
+        except ValueError as exc:
+            print(f"error: corrupt corpus entry: {exc}", file=sys.stderr)
+            return 2
+        failed = False
+        for path, violation in results:
+            if violation is None:
+                print(f"{path}: ok")
+            else:
+                failed = True
+                print(f"{path}: VIOLATION {violation}")
+        return 2 if failed else 0
+
+    flavors = tuple(f.strip() for f in args.flavors.split(",") if f.strip())
+    if not flavors:
+        print("error: --flavors must name at least one analysis", file=sys.stderr)
+        return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_iterations=args.iterations,
+        corpus_dir=args.corpus_dir,
+        flavors=flavors,
+        shrink=not args.no_shrink,
+    )
+    outcome = run_campaign(config, progress=print)
+    s = outcome.stats
+    checks = ", ".join(
+        f"{name}={count}" for name, count in sorted(s.oracle_checks.items())
+    )
+    print(
+        f"fuzzed {s.programs} programs in {s.seconds:.1f}s "
+        f"({s.invalid_mutants} invalid mutants, {s.budget_skips} budget "
+        f"skips, {s.engine_runs} engine runs)"
+    )
+    print(f"oracle checks: {checks}")
+    if outcome.ok:
+        print("no oracle violations")
+        return 0
+    for violation in outcome.violations:
+        print(f"VIOLATION: {violation}")
+    for path in outcome.corpus_paths:
+        print(f"repro written: {path}")
+    return 2
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.api import serve
 
@@ -334,6 +396,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--verbose", action="store_true", help="log each HTTP request"
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: mutate programs, cross-check engines",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign RNG seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall-clock budget (default 30)",
+    )
+    p_fuzz.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N mutants even if budget remains",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        default="tests/corpus",
+        metavar="DIR",
+        help="where shrunk counterexamples are written (default tests/corpus)",
+    )
+    p_fuzz.add_argument(
+        "--flavors",
+        default=",".join(("2objH", "2typeH", "2callH")),
+        help="comma-separated context-sensitive flavors to cross-check",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging minimization of counterexamples",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay a corpus entry or directory instead of fuzzing",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_exp = sub.add_parser(
         "experiments", help="reproduce the paper's figures (repro-experiments)"

@@ -1,0 +1,55 @@
+"""Differential fuzzing of the analysis engines.
+
+The subsystem turns the one-off engine comparisons of the test suite into
+a continuously runnable adversarial oracle (``repro fuzz``):
+
+* :mod:`~repro.fuzz.sketch` — a mutable, JSON-serializable view of a
+  frozen IR program (the substrate mutations operate on);
+* :mod:`~repro.fuzz.mutators` — seeded, typed mutations (add/duplicate/
+  swap call sites, retype heaps, insert casts/static fields/array ops…);
+* :mod:`~repro.fuzz.oracles` — the metamorphic oracle catalogue checked
+  on every mutant (engine equivalence, insensitive-projection
+  containment, introspective bracketing, digest invariance, tuple-budget
+  exactness);
+* :mod:`~repro.fuzz.runner` — the differential campaign loop: mutate,
+  run all three engines, check oracles, shrink and persist violations;
+* :mod:`~repro.fuzz.shrink` — the delta-debugging minimizer;
+* :mod:`~repro.fuzz.corpus` — the replayable regression-corpus format
+  (``repro-fuzz-corpus/1``) under ``tests/corpus/``.
+"""
+
+from .corpus import (
+    CORPUS_SCHEMA,
+    entry_filename,
+    iter_corpus,
+    load_entry,
+    make_entry,
+    validate_entry,
+    write_entry,
+)
+from .mutators import MUTATORS, mutate
+from .oracles import ORACLES, Violation
+from .runner import FuzzConfig, FuzzOutcome, replay_corpus, replay_entry, run_campaign
+from .shrink import shrink_sketch
+from .sketch import ProgramSketch
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "FuzzConfig",
+    "FuzzOutcome",
+    "MUTATORS",
+    "ORACLES",
+    "ProgramSketch",
+    "Violation",
+    "entry_filename",
+    "iter_corpus",
+    "load_entry",
+    "make_entry",
+    "mutate",
+    "replay_corpus",
+    "replay_entry",
+    "run_campaign",
+    "shrink_sketch",
+    "validate_entry",
+    "write_entry",
+]

@@ -1,0 +1,127 @@
+"""The replayable regression corpus (``repro-fuzz-corpus/1``).
+
+Every violation the fuzzer finds is shrunk and serialized into a corpus
+directory (``tests/corpus/`` in this repository) as one JSON file:
+
+* ``schema`` — the literal string ``repro-fuzz-corpus/1``;
+* ``oracle`` — which invariant was falsified (a key of
+  :data:`repro.fuzz.oracles.ORACLES`);
+* ``flavor`` — the context flavor involved, or ``null`` for
+  flavor-independent oracles;
+* ``seed`` — the campaign seed (also reused for rng-bearing replays);
+* ``description`` — free-form provenance (mutation trail);
+* ``program`` — the shrunk program as a
+  :meth:`~repro.fuzz.sketch.ProgramSketch.to_json` object.
+
+File names are content-addressed (``<oracle>-<digest12>.json``) so
+re-finding the same minimized counterexample is idempotent.  The test
+suite replays every committed entry forever after
+(``tests/fuzz/test_corpus_replay.py``), which is what turns a one-night
+fuzzing discovery into a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .oracles import ORACLES
+from .sketch import ProgramSketch, instruction_from_json
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "entry_filename",
+    "iter_corpus",
+    "load_entry",
+    "make_entry",
+    "validate_entry",
+    "write_entry",
+]
+
+CORPUS_SCHEMA = "repro-fuzz-corpus/1"
+
+
+def make_entry(
+    sketch: ProgramSketch,
+    oracle: str,
+    flavor: Optional[str] = None,
+    seed: int = 0,
+    description: str = "",
+) -> Dict[str, object]:
+    """Assemble (and validate) one corpus entry dict."""
+    entry: Dict[str, object] = {
+        "schema": CORPUS_SCHEMA,
+        "oracle": oracle,
+        "flavor": flavor,
+        "seed": seed,
+        "description": description,
+        "program": sketch.to_json(),
+    }
+    validate_entry(entry)
+    return entry
+
+
+def validate_entry(data: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed corpus entry."""
+    if not isinstance(data, dict):
+        raise ValueError("corpus entry must be a JSON object")
+    if data.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"bad schema {data.get('schema')!r}; expected {CORPUS_SCHEMA!r}"
+        )
+    oracle = data.get("oracle")
+    if oracle not in ORACLES:
+        raise ValueError(
+            f"unknown oracle {oracle!r}; known: {', '.join(sorted(ORACLES))}"
+        )
+    flavor = data.get("flavor")
+    if flavor is not None and not isinstance(flavor, str):
+        raise ValueError("flavor must be a string or null")
+    if not isinstance(data.get("seed"), int):
+        raise ValueError("seed must be an integer")
+    program = data.get("program")
+    if not isinstance(program, dict):
+        raise ValueError("program must be an object")
+    for key in ("classes", "methods", "entry_points"):
+        if not isinstance(program.get(key), list):
+            raise ValueError(f"program.{key} must be a list")
+    if not program["entry_points"]:
+        raise ValueError("program.entry_points must be non-empty")
+    for m in program["methods"]:
+        for instr in m.get("instructions", ()):
+            instruction_from_json(instr)  # raises ValueError on junk
+
+
+def entry_filename(entry: Dict[str, object]) -> str:
+    """Content-addressed file name for an entry."""
+    blob = json.dumps(entry["program"], sort_keys=True).encode()
+    digest = hashlib.sha256(blob).hexdigest()[:12]
+    return f"{entry['oracle']}-{digest}.json"
+
+
+def write_entry(entry: Dict[str, object], corpus_dir: str) -> str:
+    """Write ``entry`` into ``corpus_dir``; return the file path."""
+    validate_entry(entry)
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_filename(entry)
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def load_entry(path: str) -> Dict[str, object]:
+    """Read and validate one corpus entry."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    validate_entry(data)
+    return data
+
+
+def iter_corpus(corpus_dir: str) -> List[str]:
+    """Sorted paths of every ``*.json`` entry under ``corpus_dir``."""
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(str(p) for p in directory.glob("*.json"))

@@ -1,0 +1,428 @@
+"""Typed, seeded mutations over program sketches.
+
+Every mutator is a small function ``(rng, sketch) -> Optional[str]`` that
+edits the sketch in place and returns a one-line description, or ``None``
+when it does not apply (e.g. "swap two call sites" on a method with one
+call).  Mutations are *typed*: they know the IR's structural rules
+(:mod:`repro.ir.validate`) and aim to produce valid programs by
+construction — a fresh static field is declared before it is accessed, a
+static call targets a class that really declares the static method, an
+allocation only instantiates a concrete class.  The occasional invalid
+mutant (e.g. after a heap retype breaks nothing — retypes stay concrete)
+is caught by the builder's validation pass and discarded by the runner.
+
+The mutation grammar (see ``docs/fuzzing.md``):
+
+====================  ==================================================
+``add-vcall``         new virtual call site on an existing signature
+``add-scall``         new static call site to an existing static method
+``add-specialcall``   new statically bound receiver call
+``dup-call``          duplicate an existing call site (new site identity)
+``swap-calls``        swap two call sites (renumbers site identities)
+``retype-heap``       re-point an allocation at another concrete class
+``insert-cast``       cast an existing variable to a random type
+``static-field-ops``  declare a static field; store + load through it
+``array-ops``         array store + load through the ``<arr>`` field
+``field-ops``         instance-field store + load
+``insert-alloc``      fresh allocation site
+``insert-move``       local copy between existing variables
+``const-string``      string-constant assignment (shared global heap)
+``throw-catch``       throw an existing variable; add a catch clause
+``insert-return``     extra return of an existing variable
+``delete-instr``      remove one instruction
+====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.instructions import (
+    Alloc,
+    Cast,
+    Catch,
+    ConstString,
+    Invocation,
+    Load,
+    Move,
+    Return,
+    SpecialCall,
+    StaticCall,
+    StaticLoad,
+    StaticStore,
+    Store,
+    Throw,
+    VirtualCall,
+)
+from ..ir.program import signature
+from ..ir.types import JAVA_STRING, OBJECT
+from .sketch import MethodSketch, ProgramSketch
+
+__all__ = ["MUTATORS", "mutate"]
+
+Mutator = Callable[[random.Random, ProgramSketch], Optional[str]]
+
+#: Values used by the ``const-string`` mutator; repetition across mutants
+#: exercises the shared-constant heap (same value => same global object).
+_STRING_POOL = ("", "a", "b", "fuzz", "shared value")
+
+
+def _pick_method(
+    rng: random.Random,
+    sketch: ProgramSketch,
+    want: Optional[Callable[[MethodSketch], bool]] = None,
+) -> Optional[MethodSketch]:
+    pool = [m for m in sketch.methods if want is None or want(m)]
+    return rng.choice(pool) if pool else None
+
+
+def _pick_var(rng: random.Random, method: MethodSketch) -> Optional[str]:
+    pool = method.local_vars()
+    return rng.choice(pool) if pool else None
+
+
+def _fresh_var(method: MethodSketch) -> str:
+    taken = set(method.local_vars())
+    n = 0
+    while f"fz{n}" in taken:
+        n += 1
+    return f"fz{n}"
+
+
+def _all_types(sketch: ProgramSketch) -> List[str]:
+    return list(sketch.classes) + [OBJECT, JAVA_STRING]
+
+
+def _call_sites(sketch: ProgramSketch) -> List[Tuple[MethodSketch, int]]:
+    return [
+        (m, i)
+        for m in sketch.methods
+        for i, instr in enumerate(m.instructions)
+        if isinstance(instr, Invocation)
+    ]
+
+
+def _insert(rng: random.Random, method: MethodSketch, instr) -> None:
+    method.instructions.insert(
+        rng.randint(0, len(method.instructions)), instr
+    )
+
+
+# ----------------------------------------------------------------------
+# Call-site mutations
+# ----------------------------------------------------------------------
+
+def mut_add_vcall(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    callee = _pick_method(rng, sketch, lambda m: not m.is_static)
+    host = _pick_method(rng, sketch)
+    if callee is None or host is None:
+        return None
+    base = _pick_var(rng, host)
+    if base is None:
+        return None
+    args = [_pick_var(rng, host) for _ in callee.params]
+    target = _fresh_var(host) if rng.random() < 0.5 else None
+    _insert(
+        rng,
+        host,
+        VirtualCall(
+            target=target,
+            args=tuple(args),
+            base=base,
+            sig=signature(callee.name, len(callee.params)),
+        ),
+    )
+    return f"add-vcall {callee.name} in {host.id}"
+
+
+def mut_add_scall(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    callee = _pick_method(rng, sketch, lambda m: m.is_static)
+    host = _pick_method(rng, sketch)
+    if callee is None or host is None:
+        return None
+    args = []
+    for _ in callee.params:
+        v = _pick_var(rng, host)
+        if v is None:
+            return None
+        args.append(v)
+    target = _fresh_var(host) if rng.random() < 0.5 else None
+    _insert(
+        rng,
+        host,
+        StaticCall(
+            target=target,
+            args=tuple(args),
+            class_name=callee.class_name,
+            sig=signature(callee.name, len(callee.params)),
+        ),
+    )
+    return f"add-scall {callee.id} in {host.id}"
+
+
+def mut_add_specialcall(
+    rng: random.Random, sketch: ProgramSketch
+) -> Optional[str]:
+    callee = _pick_method(rng, sketch, lambda m: not m.is_static)
+    host = _pick_method(rng, sketch)
+    if callee is None or host is None:
+        return None
+    base = _pick_var(rng, host)
+    if base is None:
+        return None
+    args = [_pick_var(rng, host) for _ in callee.params]
+    _insert(
+        rng,
+        host,
+        SpecialCall(
+            target=_fresh_var(host) if rng.random() < 0.5 else None,
+            args=tuple(args),
+            base=base,
+            class_name=callee.class_name,
+            sig=signature(callee.name, len(callee.params)),
+        ),
+    )
+    return f"add-specialcall {callee.id} in {host.id}"
+
+
+def mut_dup_call(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    sites = _call_sites(sketch)
+    if not sites:
+        return None
+    method, idx = rng.choice(sites)
+    # The copy gets its own fresh invocation-site identity at freeze time.
+    _insert(rng, method, method.instructions[idx])
+    return f"dup-call in {method.id}"
+
+
+def mut_swap_calls(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    candidates = [
+        m
+        for m in sketch.methods
+        if sum(1 for i in m.instructions if isinstance(i, Invocation)) >= 2
+    ]
+    if not candidates:
+        return None
+    method = rng.choice(candidates)
+    idxs = [
+        i
+        for i, instr in enumerate(method.instructions)
+        if isinstance(instr, Invocation)
+    ]
+    a, b = rng.sample(idxs, 2)
+    instrs = method.instructions
+    instrs[a], instrs[b] = instrs[b], instrs[a]
+    return f"swap-calls in {method.id}"
+
+
+# ----------------------------------------------------------------------
+# Heap / type mutations
+# ----------------------------------------------------------------------
+
+def mut_retype_heap(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    concrete = sketch.concrete_classes()
+    allocs = [
+        (m, i)
+        for m in sketch.methods
+        for i, instr in enumerate(m.instructions)
+        if isinstance(instr, Alloc)
+    ]
+    if not allocs or not concrete:
+        return None
+    method, idx = rng.choice(allocs)
+    old = method.instructions[idx]
+    new_class = rng.choice(concrete)
+    method.instructions[idx] = Alloc(old.target, new_class)
+    return f"retype-heap {old.class_name}->{new_class} in {method.id}"
+
+
+def mut_insert_cast(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    src = _pick_var(rng, host)
+    if src is None:
+        return None
+    type_name = rng.choice(_all_types(sketch))
+    _insert(rng, host, Cast(_fresh_var(host), src, type_name))
+    return f"insert-cast ({type_name}) in {host.id}"
+
+
+def mut_insert_alloc(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    concrete = sketch.concrete_classes()
+    if host is None or not concrete:
+        return None
+    cls = rng.choice(concrete)
+    _insert(rng, host, Alloc(_fresh_var(host), cls))
+    return f"insert-alloc {cls} in {host.id}"
+
+
+def mut_const_string(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    value = rng.choice(_STRING_POOL)
+    _insert(rng, host, ConstString(_fresh_var(host), value))
+    return f'const-string "{value}" in {host.id}'
+
+
+# ----------------------------------------------------------------------
+# Field / array / data-flow mutations
+# ----------------------------------------------------------------------
+
+def mut_static_field_ops(
+    rng: random.Random, sketch: ProgramSketch
+) -> Optional[str]:
+    if not sketch.classes:
+        return None
+    cls = sketch.classes[rng.choice(list(sketch.classes))]
+    if cls.static_fields and rng.random() < 0.5:
+        field = rng.choice(cls.static_fields)
+    else:
+        field = f"sf{len(cls.static_fields)}"
+        cls.static_fields.append(field)
+    writer = _pick_method(rng, sketch)
+    reader = _pick_method(rng, sketch)
+    if writer is None or reader is None:
+        return None
+    src = _pick_var(rng, writer)
+    if src is None:
+        return None
+    _insert(rng, writer, StaticStore(cls.name, field, src))
+    _insert(rng, reader, StaticLoad(_fresh_var(reader), cls.name, field))
+    return f"static-field-ops {cls.name}.{field}"
+
+
+def mut_array_ops(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    base = _pick_var(rng, host)
+    src = _pick_var(rng, host)
+    if base is None or src is None:
+        return None
+    _insert(rng, host, Store(base, "<arr>", src))
+    _insert(rng, host, Load(_fresh_var(host), base, "<arr>"))
+    return f"array-ops on {base} in {host.id}"
+
+
+def mut_field_ops(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    if not sketch.classes:
+        return None
+    declared = [
+        f for c in sketch.classes.values() for f in c.fields
+    ]
+    if declared and rng.random() < 0.7:
+        field = rng.choice(declared)
+    else:
+        cls = sketch.classes[rng.choice(list(sketch.classes))]
+        field = f"ff{len(cls.fields)}"
+        cls.fields.append(field)
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    base = _pick_var(rng, host)
+    src = _pick_var(rng, host)
+    if base is None or src is None:
+        return None
+    _insert(rng, host, Store(base, field, src))
+    _insert(rng, host, Load(_fresh_var(host), base, field))
+    return f"field-ops .{field} in {host.id}"
+
+
+def mut_insert_move(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    src = _pick_var(rng, host)
+    if src is None:
+        return None
+    target = (
+        _fresh_var(host) if rng.random() < 0.5 else _pick_var(rng, host)
+    )
+    if target is None or target == "this":
+        target = _fresh_var(host)
+    _insert(rng, host, Move(target, src))
+    return f"insert-move {target}={src} in {host.id}"
+
+
+def mut_throw_catch(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    var = _pick_var(rng, host)
+    if var is None:
+        return None
+    _insert(rng, host, Throw(var))
+    catcher = _pick_method(rng, sketch)
+    assert catcher is not None
+    type_name = rng.choice(_all_types(sketch))
+    _insert(rng, catcher, Catch(_fresh_var(catcher), type_name))
+    return f"throw-catch ({type_name}) in {host.id}"
+
+
+def mut_insert_return(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    host = _pick_method(rng, sketch)
+    if host is None:
+        return None
+    var = _pick_var(rng, host)
+    if var is None:
+        return None
+    host.instructions.append(Return(var))
+    return f"insert-return {var} in {host.id}"
+
+
+def mut_delete_instr(rng: random.Random, sketch: ProgramSketch) -> Optional[str]:
+    candidates = [m for m in sketch.methods if m.instructions]
+    if not candidates:
+        return None
+    method = rng.choice(candidates)
+    idx = rng.randrange(len(method.instructions))
+    gone = method.instructions.pop(idx)
+    return f"delete-instr {type(gone).__name__} in {method.id}"
+
+
+#: The mutation grammar, keyed by the names used in corpus entries and docs.
+MUTATORS: Dict[str, Mutator] = {
+    "add-vcall": mut_add_vcall,
+    "add-scall": mut_add_scall,
+    "add-specialcall": mut_add_specialcall,
+    "dup-call": mut_dup_call,
+    "swap-calls": mut_swap_calls,
+    "retype-heap": mut_retype_heap,
+    "insert-cast": mut_insert_cast,
+    "static-field-ops": mut_static_field_ops,
+    "array-ops": mut_array_ops,
+    "field-ops": mut_field_ops,
+    "insert-alloc": mut_insert_alloc,
+    "insert-move": mut_insert_move,
+    "const-string": mut_const_string,
+    "throw-catch": mut_throw_catch,
+    "insert-return": mut_insert_return,
+    "delete-instr": mut_delete_instr,
+}
+
+
+def mutate(
+    sketch: ProgramSketch,
+    rng: random.Random,
+    count: int = 2,
+    max_attempts: int = 25,
+) -> List[str]:
+    """Apply ``count`` random mutations in place; return their descriptions.
+
+    Inapplicable mutators are re-drawn (up to ``max_attempts`` total), so
+    the result may carry fewer than ``count`` entries on tiny sketches.
+    """
+    names = sorted(MUTATORS)
+    applied: List[str] = []
+    attempts = 0
+    while len(applied) < count and attempts < max_attempts:
+        attempts += 1
+        name = rng.choice(names)
+        desc = MUTATORS[name](rng, sketch)
+        if desc is not None:
+            applied.append(desc)
+    return applied

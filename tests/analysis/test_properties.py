@@ -13,6 +13,7 @@ Two invariants are checked on every sample:
   derivation maps homomorphically onto an insensitive one).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,7 +23,11 @@ from repro.analysis.datalog_model import DatalogPointsToAnalysis
 CLASSES = ["C0", "C1", "C2", "C3"]  # chain: C3 <: C2 <: C1 <: C0
 VARS = ["v0", "v1", "v2", "v3"]
 FIELDS = ["f", "g"]
+STATIC_FIELDS = ["sf0", "sf1"]
+STRINGS = ["alpha", "beta"]
 CATCH_TYPES = CLASSES + ["java.lang.Object"]
+# (class, method) pairs where the method is *declared*, for special calls.
+SPECIAL_TARGETS = [("C0", "m0"), ("C2", "m0"), ("C0", "m1")]
 
 
 @st.composite
@@ -39,6 +44,12 @@ def instructions(draw, vars_pool, allow_this):
                 "cast",
                 "vcall",
                 "scall",
+                "specialcall",
+                "sstore",
+                "sload",
+                "astore",
+                "aload",
+                "conststr",
                 "ret",
                 "throw",
                 "catch",
@@ -61,6 +72,19 @@ def instructions(draw, vars_pool, allow_this):
         return ("vcall", v(), draw(st.sampled_from(["m0", "m1"])), v(), tgt())
     if kind == "scall":
         return ("scall", draw(st.sampled_from(["s0", "s1"])), v(), tgt())
+    if kind == "specialcall":
+        cls, meth = draw(st.sampled_from(SPECIAL_TARGETS))
+        return ("specialcall", v(), cls, meth, v(), tgt())
+    if kind == "sstore":
+        return ("sstore", draw(st.sampled_from(STATIC_FIELDS)), v())
+    if kind == "sload":
+        return ("sload", tgt(), draw(st.sampled_from(STATIC_FIELDS)))
+    if kind == "astore":
+        return ("astore", v(), v())
+    if kind == "aload":
+        return ("aload", tgt(), v())
+    if kind == "conststr":
+        return ("conststr", tgt(), draw(st.sampled_from(STRINGS)))
     if kind == "throw":
         return ("throw", v())
     if kind == "catch":
@@ -81,6 +105,7 @@ def programs(draw):
     for name in CLASSES:
         b.klass(name, super_name=prev or "java.lang.Object", fields=FIELDS)
         prev = name
+    b.klass("Util", static_fields=STATIC_FIELDS)
 
     def emit(m, instrs):
         for ins in instrs:
@@ -98,6 +123,18 @@ def programs(draw):
                 m.vcall(ins[1], ins[2], [ins[3]], target=ins[4])
             elif ins[0] == "scall":
                 m.scall("Util", ins[1], [ins[2]], target=ins[3])
+            elif ins[0] == "specialcall":
+                m.special_call(ins[1], ins[2], ins[3], [ins[4]], target=ins[5])
+            elif ins[0] == "sstore":
+                m.static_store("Util", ins[1], ins[2])
+            elif ins[0] == "sload":
+                m.static_load(ins[1], "Util", ins[2])
+            elif ins[0] == "astore":
+                m.array_store(ins[1], ins[2])
+            elif ins[0] == "aload":
+                m.array_load(ins[1], ins[2])
+            elif ins[0] == "conststr":
+                m.const_string(ins[1], ins[2])
             elif ins[0] == "throw":
                 m.throw(ins[1])
             elif ins[0] == "catch":
@@ -126,9 +163,7 @@ def solver_relations(result):
     )
 
 
-@given(programs(), st.sampled_from(["insens", "2objH", "2callH", "2typeH"]))
-@settings(max_examples=40, deadline=None)
-def test_solver_matches_datalog_model(program, flavor):
+def check_solver_matches_datalog_model(program, flavor):
     facts = encode_program(program)
     policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
     solver = analyze(program, policy, facts=facts)
@@ -142,9 +177,7 @@ def test_solver_matches_datalog_model(program, flavor):
     assert frozenset(solver.iter_throw_points_to()) == model.throw_points_to
 
 
-@given(programs(), st.sampled_from(["2objH", "2callH", "2typeH", "2objH+hybrid"]))
-@settings(max_examples=40, deadline=None)
-def test_sensitive_projection_subset_of_insensitive(program, flavor):
+def check_sensitive_projection_subset_of_insensitive(program, flavor):
     facts = encode_program(program)
     insens = analyze(program, "insens", facts=facts)
     policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
@@ -157,3 +190,29 @@ def test_sensitive_projection_subset_of_insensitive(program, flavor):
     insens_cg = insens.call_graph
     for invo, targets in sensitive.call_graph.items():
         assert targets <= insens_cg.get(invo, set()), invo
+
+
+@given(programs(), st.sampled_from(["insens", "2objH", "2callH", "2typeH"]))
+@settings(max_examples=40, deadline=None)
+def test_solver_matches_datalog_model(program, flavor):
+    check_solver_matches_datalog_model(program, flavor)
+
+
+@given(programs(), st.sampled_from(["2objH", "2callH", "2typeH", "2objH+hybrid"]))
+@settings(max_examples=40, deadline=None)
+def test_sensitive_projection_subset_of_insensitive(program, flavor):
+    check_sensitive_projection_subset_of_insensitive(program, flavor)
+
+
+@pytest.mark.slow
+@given(programs(), st.sampled_from(["insens", "2objH", "2callH", "2typeH"]))
+@settings(max_examples=150, deadline=None)
+def test_solver_matches_datalog_model_deep(program, flavor):
+    check_solver_matches_datalog_model(program, flavor)
+
+
+@pytest.mark.slow
+@given(programs(), st.sampled_from(["2objH", "2callH", "2typeH", "2objH+hybrid"]))
+@settings(max_examples=150, deadline=None)
+def test_sensitive_projection_subset_of_insensitive_deep(program, flavor):
+    check_sensitive_projection_subset_of_insensitive(program, flavor)

@@ -1,0 +1,58 @@
+"""The benchmark generator is a pure function of its spec: the same spec
+must produce byte-identical IR (printer output), across repeated calls and
+across separately constructed spec objects.  The fuzzer's base corpus, the
+bench harness, and the result cache's content-addressed keys all rely on
+this."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchgen.dacapo import DACAPO_SPECS
+from repro.benchgen.generator import generate
+from repro.benchgen.spec import BenchmarkSpec, HubSpec
+from repro.facts.encoder import encode_program
+from repro.fuzz.runner import fuzz_base_specs
+from repro.harness.bench import suite_specs
+from repro.ir.printer import dump_program
+
+SPECS = {
+    f"tiny-{spec.name}": spec for spec in suite_specs("tiny")
+}
+SPECS.update({f"fuzz-{spec.name}": spec for spec in fuzz_base_specs()})
+SPECS["dacapo-antlr"] = DACAPO_SPECS["antlr"]
+SPECS["hubbed"] = BenchmarkSpec(
+    name="hubbed",
+    seed=4,
+    util_classes=2,
+    util_methods_per_class=2,
+    hubs=(HubSpec(readers=2, elements=2, payloads_per_element=1),),
+    exception_sites=2,
+)
+
+
+@pytest.mark.parametrize("key", sorted(SPECS))
+def test_same_spec_twice_is_byte_identical(key):
+    spec = SPECS[key]
+    assert dump_program(generate(spec)) == dump_program(generate(spec))
+
+
+@pytest.mark.parametrize("key", sorted(SPECS))
+def test_equal_spec_objects_are_byte_identical(key):
+    spec = SPECS[key]
+    twin = dataclasses.replace(spec)
+    assert spec is not twin
+    assert dump_program(generate(spec)) == dump_program(generate(twin))
+
+
+def test_same_spec_has_same_fact_digest():
+    spec = SPECS["fuzz-fuzz-micro"]
+    d1 = encode_program(generate(spec)).digest()
+    d2 = encode_program(generate(spec)).digest()
+    assert d1 == d2
+
+
+def test_different_structure_differs():
+    spec = SPECS["hubbed"]
+    bigger = dataclasses.replace(spec, util_classes=spec.util_classes + 1)
+    assert dump_program(generate(spec)) != dump_program(generate(bigger))

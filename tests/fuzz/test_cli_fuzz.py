@@ -1,0 +1,118 @@
+"""`repro fuzz` exit-code contract (PR 1 conventions: 0 ok, 2 user error
+or oracle violation)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchgen.generator import generate
+from repro.cli import main
+from repro.fuzz import runner as runner_mod
+from repro.fuzz.corpus import make_entry, write_entry
+from repro.fuzz.oracles import Violation
+from repro.fuzz.runner import fuzz_base_specs
+from repro.fuzz.sketch import ProgramSketch
+
+CORPUS_DIR = str(Path(__file__).resolve().parents[1] / "corpus")
+
+
+def test_fuzz_campaign_clean_exits_zero(tmp_path, capsys):
+    rc = main(
+        [
+            "fuzz",
+            "--seed",
+            "7",
+            "--iterations",
+            "4",
+            "--budget",
+            "120",
+            "--corpus-dir",
+            str(tmp_path / "corpus"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no oracle violations" in out
+    assert "fuzzed" in out
+
+
+def test_fuzz_replay_clean_corpus_exits_zero(capsys):
+    rc = main(["fuzz", "--replay", CORPUS_DIR])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert ": ok" in out
+
+
+def test_fuzz_replay_missing_path_exits_two(tmp_path, capsys):
+    rc = main(["fuzz", "--replay", str(tmp_path / "nowhere")])
+    assert rc == 2
+    assert "no such corpus" in capsys.readouterr().err
+
+
+def test_fuzz_replay_empty_dir_exits_zero(tmp_path, capsys):
+    rc = main(["fuzz", "--replay", str(tmp_path)])
+    assert rc == 0
+    assert "nothing to replay" in capsys.readouterr().out
+
+
+def test_fuzz_replay_corrupt_entry_exits_two(tmp_path, capsys):
+    bad = tmp_path / "broken.json"
+    bad.write_text(json.dumps({"schema": "repro-fuzz-corpus/1"}))
+    rc = main(["fuzz", "--replay", str(bad)])
+    assert rc == 2
+    assert "corrupt corpus entry" in capsys.readouterr().err
+
+
+def test_fuzz_replay_violation_exits_two_and_names_path(
+    tmp_path, capsys, monkeypatch
+):
+    def always_red(facts, rng):
+        return Violation(oracle="digest-invariance", detail="injected")
+
+    monkeypatch.setattr(runner_mod, "check_digest_invariance", always_red)
+    sketch = ProgramSketch.from_program(generate(fuzz_base_specs()[0]))
+    path = write_entry(
+        make_entry(sketch, "digest-invariance", seed=1), str(tmp_path)
+    )
+    rc = main(["fuzz", "--replay", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "VIOLATION" in out
+    assert path in out
+
+
+def test_fuzz_campaign_violation_prints_repro_path(tmp_path, capsys, monkeypatch):
+    def always_red(facts, rng):
+        return Violation(oracle="digest-invariance", detail="injected")
+
+    monkeypatch.setattr(runner_mod, "check_digest_invariance", always_red)
+    rc = main(
+        [
+            "fuzz",
+            "--seed",
+            "7",
+            "--iterations",
+            "3",
+            "--budget",
+            "120",
+            "--corpus-dir",
+            str(tmp_path / "corpus"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "VIOLATION: digest-invariance" in out
+    assert "repro written: " in out
+    written = [
+        line.split("repro written: ", 1)[1]
+        for line in out.splitlines()
+        if line.startswith("repro written: ")
+    ]
+    assert len(written) == 1 and Path(written[0]).is_file()
+
+
+def test_fuzz_rejects_empty_flavors(capsys):
+    rc = main(["fuzz", "--flavors", " , ", "--iterations", "1"])
+    assert rc == 2
+    assert "--flavors" in capsys.readouterr().err

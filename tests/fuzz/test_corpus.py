@@ -1,0 +1,85 @@
+"""Corpus entry format: schema validation, content addressing, round-trip."""
+
+import json
+
+import pytest
+
+from repro.benchgen.generator import generate
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    entry_filename,
+    iter_corpus,
+    load_entry,
+    make_entry,
+    validate_entry,
+    write_entry,
+)
+from repro.fuzz.runner import fuzz_base_specs
+from repro.fuzz.sketch import ProgramSketch
+
+
+@pytest.fixture(scope="module")
+def sketch():
+    return ProgramSketch.from_program(generate(fuzz_base_specs()[0]))
+
+
+def test_make_entry_is_valid(sketch):
+    entry = make_entry(
+        sketch, "engine-equivalence", flavor="2objH", seed=9, description="x"
+    )
+    validate_entry(entry)
+    assert entry["schema"] == CORPUS_SCHEMA
+
+
+def test_filename_is_content_addressed(sketch):
+    entry = make_entry(sketch, "digest-invariance", seed=1)
+    name = entry_filename(entry)
+    assert name.startswith("digest-invariance-") and name.endswith(".json")
+    # Same program, same name; different program, different name.
+    assert entry_filename(make_entry(sketch, "digest-invariance", seed=2)) == name
+    other = sketch.clone()
+    other.methods[0].instructions.pop()
+    assert entry_filename(make_entry(other, "digest-invariance", seed=1)) != name
+
+
+def test_write_then_load_round_trip(sketch, tmp_path):
+    entry = make_entry(sketch, "insensitive-containment", flavor="2typeH")
+    path = write_entry(entry, str(tmp_path / "corpus"))
+    assert load_entry(path) == entry
+    assert iter_corpus(str(tmp_path / "corpus")) == [path]
+
+
+def test_iter_corpus_missing_dir_is_empty(tmp_path):
+    assert iter_corpus(str(tmp_path / "nope")) == []
+
+
+@pytest.mark.parametrize(
+    "mangle, message",
+    [
+        (lambda e: e.update(schema="bogus/9"), "bad schema"),
+        (lambda e: e.update(oracle="nope"), "unknown oracle"),
+        (lambda e: e.update(flavor=7), "flavor"),
+        (lambda e: e.update(seed="seven"), "seed"),
+        (lambda e: e.update(program=[]), "program"),
+        (lambda e: e["program"].update(entry_points=[]), "entry_points"),
+        (
+            lambda e: e["program"]["methods"][0]["instructions"].append(
+                {"op": "explode"}
+            ),
+            "unknown instruction",
+        ),
+    ],
+)
+def test_validate_entry_rejects_junk(sketch, mangle, message):
+    entry = make_entry(sketch, "engine-equivalence", flavor="2objH")
+    entry = json.loads(json.dumps(entry))  # deep copy
+    mangle(entry)
+    with pytest.raises(ValueError, match=message):
+        validate_entry(entry)
+
+
+def test_load_entry_rejects_corrupt_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": CORPUS_SCHEMA, "oracle": "nope"}))
+    with pytest.raises(ValueError):
+        load_entry(str(bad))

@@ -1,0 +1,37 @@
+"""Every committed regression-corpus entry must replay clean, forever.
+
+New entries written by a fuzzing campaign (locally or by the nightly CI
+job) are picked up automatically: the parametrization enumerates
+``tests/corpus/*.json`` at collection time.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import iter_corpus, load_entry, validate_entry
+from repro.fuzz.runner import replay_entry
+from repro.fuzz.sketch import ProgramSketch
+
+CORPUS_DIR = str(Path(__file__).resolve().parents[1] / "corpus")
+
+ENTRIES = iter_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The repository ships at least the two seed regression entries."""
+    assert len(ENTRIES) >= 2
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=[Path(p).stem for p in ENTRIES])
+def test_entry_is_well_formed_and_builds(path):
+    entry = load_entry(path)
+    validate_entry(entry)
+    program = ProgramSketch.from_json(entry["program"]).build()
+    assert program.entry_points
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=[Path(p).stem for p in ENTRIES])
+def test_entry_replays_clean(path):
+    violation = replay_entry(load_entry(path))
+    assert violation is None, f"{path}: {violation}"

@@ -1,0 +1,72 @@
+"""Mutators must be seeded-deterministic and (almost always) validity-
+preserving; the builder catches the rest."""
+
+import random
+
+import pytest
+
+from repro.benchgen.generator import generate
+from repro.fuzz.mutators import MUTATORS, mutate
+from repro.fuzz.runner import fuzz_base_specs
+from repro.fuzz.sketch import ProgramSketch
+from repro.ir.program import ProgramError
+from repro.ir.types import TypeError_
+from repro.ir.validate import ValidationError
+
+
+@pytest.fixture(scope="module")
+def base_sketch():
+    return ProgramSketch.from_program(generate(fuzz_base_specs()[0]))
+
+
+def try_build(sketch):
+    try:
+        sketch.build()
+        return True
+    except (ProgramError, ValidationError, TypeError_, ValueError, KeyError):
+        return False
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+def test_each_mutator_mostly_preserves_validity(name, base_sketch):
+    mutator = MUTATORS[name]
+    applied = 0
+    built = 0
+    for seed in range(12):
+        sketch = base_sketch.clone()
+        desc = mutator(random.Random(seed), sketch)
+        if desc is None:
+            continue
+        applied += 1
+        assert isinstance(desc, str) and desc
+        if try_build(sketch):
+            built += 1
+    # Every mutator must apply to the base corpus at least once, and the
+    # overwhelming majority of its mutants must still freeze.
+    assert applied > 0, f"{name} never applied"
+    assert built >= applied * 3 // 4, f"{name}: {built}/{applied} built"
+
+
+def test_mutate_returns_trail_and_edits(base_sketch):
+    sketch = base_sketch.clone()
+    trail = mutate(sketch, random.Random(42), count=3)
+    assert 1 <= len(trail) <= 3
+    assert all(isinstance(t, str) for t in trail)
+
+
+def test_mutate_is_deterministic_per_seed(base_sketch):
+    a, b = base_sketch.clone(), base_sketch.clone()
+    trail_a = mutate(a, random.Random(7), count=3)
+    trail_b = mutate(b, random.Random(7), count=3)
+    assert trail_a == trail_b
+    assert a.to_json() == b.to_json()
+
+
+def test_mutated_programs_usually_change_the_program(base_sketch):
+    changed = 0
+    for seed in range(10):
+        sketch = base_sketch.clone()
+        mutate(sketch, random.Random(seed), count=2)
+        if sketch.to_json() != base_sketch.to_json():
+            changed += 1
+    assert changed >= 8

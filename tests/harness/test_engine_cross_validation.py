@@ -1,0 +1,68 @@
+"""Packed solver vs. frozen reference solver on every bench-harness suite
+(string-level relation comparison, not just tuple counts).
+
+The tiny and small suites — the ``repro bench --quick`` scale — are
+compared on every default flavor.  The medium suite is covered under the
+``slow`` marker on the flagship flavor (its relation sets run to millions
+of tuples; see ``docs/performance.md``)."""
+
+import pytest
+
+from repro.analysis.reference_solver import reference_solve
+from repro.analysis.solver import solve
+from repro.benchgen.generator import generate
+from repro.contexts.policies import policy_by_name
+from repro.facts.encoder import encode_program
+from repro.fuzz.oracles import reference_relations, solver_relations
+from repro.harness.bench import DEFAULT_FLAVORS, suite_names, suite_specs
+
+QUICK_SPECS = [
+    (suite, spec)
+    for suite in ("tiny", "small")
+    for spec in suite_specs(suite)
+]
+FLAVORS = ("insens",) + tuple(DEFAULT_FLAVORS)
+
+_programs = {}
+
+
+def prepared(spec):
+    if spec.name not in _programs:
+        program = generate(spec)
+        _programs[spec.name] = (program, encode_program(program))
+    return _programs[spec.name]
+
+
+def assert_engines_agree(spec, flavor):
+    program, facts = prepared(spec)
+    policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+    packed = solver_relations(solve(program, policy, facts=facts))
+    reference = reference_relations(
+        reference_solve(program, policy, facts=facts)
+    )
+    for name, p, r in zip(
+        ("VARPOINTSTO", "FLDPOINTSTO", "CALLGRAPH", "REACHABLE", "THROWPOINTSTO"),
+        packed,
+        reference,
+    ):
+        assert p == r, f"{spec.name}/{flavor}: {name} differs"
+
+
+@pytest.mark.parametrize("flavor", FLAVORS)
+@pytest.mark.parametrize(
+    "suite,spec", QUICK_SPECS, ids=[f"{s}-{sp.name}" for s, sp in QUICK_SPECS]
+)
+def test_engines_agree_at_quick_scale(suite, spec, flavor):
+    assert_engines_agree(spec, flavor)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "spec", suite_specs("medium"), ids=[s.name for s in suite_specs("medium")]
+)
+def test_engines_agree_on_medium_suite(spec):
+    assert_engines_agree(spec, "2objH")
+
+
+def test_every_suite_is_covered():
+    assert set(suite_names()) == {"tiny", "small", "medium"}

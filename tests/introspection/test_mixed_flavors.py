@@ -49,8 +49,13 @@ class TestObjectPlusCallSite:
         mix must too — and it must terminate with contexts of both kinds."""
         facts = encode_program(program)
         pass1 = analyze(program, "insens", facts=facts)
+        # Deterministic half-split: even positions in sorted call-site
+        # order.  (`hash(invo) % 2` is randomized per process by
+        # PYTHONHASHSEED and made this test flaky — some splits conflate.)
+        invos = sorted(pass1.call_graph)
+        even_invos = set(invos[::2])
         decision = split_decision(
-            facts, pass1, lambda invo, meth: hash(invo) % 2 == 0
+            facts, pass1, lambda invo, meth: invo in even_invos
         )
         policy = IntrospectivePolicy(
             refined=ObjectSensitivePolicy(k=2, heap_k=1),

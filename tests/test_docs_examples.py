@@ -65,6 +65,38 @@ class TestAnalysesDoc:
         assert "Box.get/0" in result.reachable_methods
 
 
+class TestFuzzingDoc:
+    def test_corpus_example_is_a_valid_entry_that_replays_clean(self):
+        """The corpus-entry example in fuzzing.md must pass the real
+        schema validation, build into a real program, and replay green."""
+        import json
+
+        from repro.fuzz import replay_entry, validate_entry
+        from repro.fuzz.corpus import CORPUS_SCHEMA
+        from repro.fuzz.sketch import ProgramSketch
+
+        entry = json.loads(extract_block(DOCS / "fuzzing.md", "json"))
+        assert entry["schema"] == CORPUS_SCHEMA
+        validate_entry(entry)
+        program = ProgramSketch.from_json(entry["program"]).build()
+        assert program.entry_points
+        assert replay_entry(entry) is None
+
+    def test_oracle_and_mutator_catalogues_are_documented(self):
+        """Every oracle and every mutator the code knows is named in the
+        doc, and the doc names no oracle the code lacks."""
+        import re as _re
+
+        from repro.fuzz import MUTATORS, ORACLES
+
+        text = (DOCS / "fuzzing.md").read_text()
+        for name in list(ORACLES) + list(MUTATORS):
+            assert f"`{name}`" in text, f"{name} missing from fuzzing.md"
+        # the oracle table rows are single-name: they must all be real
+        table = set(_re.findall(r"^\| `([a-z-]+)` \|", text, _re.M))
+        assert set(ORACLES) <= table | set(MUTATORS)
+
+
 class TestPerformanceDoc:
     def test_schema_example_matches_real_report(self):
         """The BENCH_solver.json example in performance.md must have
