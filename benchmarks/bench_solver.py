@@ -1,16 +1,22 @@
 #!/usr/bin/env python
-"""Standalone driver for the solver engine benchmark.
+"""Standalone driver for the engine benchmarks.
 
 Equivalent to ``repro bench`` (without a benchmark name) but runnable
 directly from a checkout::
 
     python benchmarks/bench_solver.py --suite medium --repeat 3
-    python benchmarks/bench_solver.py --quick   # CI smoke: small suite x1
+    python benchmarks/bench_solver.py --quick     # CI smoke: small suite x1
+    python benchmarks/bench_solver.py --datalog   # Datalog engines instead
 
-Runs the packed solver (:mod:`repro.analysis.solver`) against the frozen
-pre-optimization baseline (:mod:`repro.analysis.reference_solver`) over a
-generated benchmark suite and writes ``BENCH_solver.json`` in the
-``repro-bench-solver/1`` schema documented in ``docs/performance.md``.
+By default runs the packed solver (:mod:`repro.analysis.solver`) against
+the frozen pre-optimization baseline
+(:mod:`repro.analysis.reference_solver`) over a generated benchmark suite
+and writes ``BENCH_solver.json`` in the ``repro-bench-solver/1`` schema
+documented in ``docs/performance.md``.  With ``--datalog``, runs the
+compiled-join-plan Datalog engine (:mod:`repro.datalog.engine`) against
+the frozen interpreter (:mod:`repro.datalog.reference_engine`) on the
+full Figure 3 model and writes ``BENCH_datalog.json``
+(``repro-bench-datalog/1``).
 """
 
 from __future__ import annotations
@@ -21,7 +27,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.harness.bench import run_suite, suite_names, write_report  # noqa: E402
+from repro.harness.bench import (  # noqa: E402
+    datalog_suite_names,
+    run_datalog_suite,
+    run_suite,
+    suite_names,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -29,7 +41,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--suite",
         default="medium",
-        choices=suite_names(),
+        choices=sorted(set(suite_names()) | set(datalog_suite_names())),
         help="benchmark suite (default: medium)",
     )
     parser.add_argument(
@@ -45,25 +57,35 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_solver.json",
+        default=None,
         metavar="FILE",
-        help="where to write the JSON report",
+        help="where to write the JSON report (default BENCH_solver.json, "
+        "or BENCH_datalog.json with --datalog)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke mode: small suite, single repeat",
     )
+    parser.add_argument(
+        "--datalog",
+        action="store_true",
+        help="benchmark the Datalog evaluators instead of the solvers",
+    )
     args = parser.parse_args(argv)
     suite, repeat = args.suite, args.repeat
     if args.quick:
         suite, repeat = "small", 1
     flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
-    report = run_suite(
+    runner = run_datalog_suite if args.datalog else run_suite
+    output = args.output
+    if output is None:
+        output = "BENCH_datalog.json" if args.datalog else "BENCH_solver.json"
+    report = runner(
         suite=suite, flavors=flavors, repeat=repeat, progress=print
     )
-    write_report(report, args.output)
-    print(f"wrote {args.output}")
+    write_report(report, output)
+    print(f"wrote {output}")
     return 0
 
 

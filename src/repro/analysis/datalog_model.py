@@ -30,7 +30,16 @@ literal Figure 3 gating for fidelity tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..contexts.policies import ContextPolicy, InsensitivePolicy
 from ..datalog.database import Database
@@ -394,6 +403,11 @@ class DatalogPointsToAnalysis:
     ``refined_policy`` the expensive one, and the exclusion sets say who
     stays cheap (complement polarity), or the refinement sets say who gets
     refined (positive polarity).
+
+    ``engine_factory`` selects the Datalog evaluator — the compiled-plan
+    :class:`~repro.datalog.engine.Engine` by default; the benchmark harness
+    passes :class:`~repro.datalog.reference_engine.ReferenceEngine` to
+    measure the frozen baseline on identical rules and facts.
     """
 
     def __init__(
@@ -408,12 +422,14 @@ class DatalogPointsToAnalysis:
         objects_to_refine: AbstractSet[str] = frozenset(),
         sites_to_refine: AbstractSet[Tuple[str, str]] = frozenset(),
         max_rows: Optional[int] = None,
+        engine_factory: Optional[Callable[..., Engine]] = None,
     ) -> None:
         self.program = program
         self.facts = facts if facts is not None else encode_program(program)
         refined = refined_policy if refined_policy is not None else default_policy
         self.rule_program = build_rules(default_policy, refined, polarity)
-        self.engine = Engine(self.rule_program, max_rows=max_rows)
+        make_engine = engine_factory if engine_factory is not None else Engine
+        self.engine = make_engine(self.rule_program, max_rows=max_rows)
         self.engine.load(self.facts.as_relation_dict())
         if polarity == "complement":
             self.engine.load(

@@ -9,7 +9,9 @@ Subcommands:
   benchmark;
 * ``repro bench`` (no name) — benchmark the packed solver against the
   frozen reference engine over a generated suite and write
-  ``BENCH_solver.json`` (see ``docs/performance.md``);
+  ``BENCH_solver.json``; with ``--datalog``, benchmark the compiled-plan
+  Datalog engine against the frozen interpreter and write
+  ``BENCH_datalog.json`` (see ``docs/performance.md``);
 * ``repro benchmarks`` — list the built-in benchmarks;
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
   queue, worker pool, and content-addressed result cache);
@@ -22,6 +24,7 @@ Examples::
     repro analyze app.mj --analysis 2objH --introspective B --budget 100000
     repro bench hsqldb --analysis 2objH --introspective A
     repro bench --suite medium --repeat 3 --output BENCH_solver.json
+    repro bench --datalog --suite medium --repeat 3
     repro bench --quick
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
 """
@@ -203,9 +206,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_suite(args: argparse.Namespace) -> int:
-    """Packed-vs-reference engine benchmark (``repro bench`` without a
-    benchmark name); writes the ``repro-bench-solver/1`` JSON report."""
-    from .harness.bench import run_suite, write_report
+    """Engine benchmark (``repro bench`` without a benchmark name):
+    packed-vs-reference solver by default, the Datalog-evaluator
+    comparison with ``--datalog``.  Writes the JSON report."""
+    from .harness.bench import run_datalog_suite, run_suite, write_report
 
     suite = args.suite
     repeat = args.repeat
@@ -213,15 +217,19 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
         suite = "small"
         repeat = 1
     flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
+    runner = run_datalog_suite if args.datalog else run_suite
+    output = args.output
+    if output is None:
+        output = "BENCH_datalog.json" if args.datalog else "BENCH_solver.json"
     try:
-        report = run_suite(
+        report = runner(
             suite=suite, flavors=flavors, repeat=repeat, progress=print
         )
     except ValueError as exc:
         print(str(exc))
         return 2
-    write_report(report, args.output)
-    print(f"wrote {args.output}")
+    write_report(report, output)
+    print(f"wrote {output}")
     return 0
 
 
@@ -271,6 +279,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir,
         flavors=flavors,
         shrink=not args.no_shrink,
+        datalog_rotate=args.datalog_rotate,
     )
     outcome = run_campaign(config, progress=print)
     s = outcome.stats
@@ -352,14 +361,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--output",
-        default="BENCH_solver.json",
+        default=None,
         metavar="FILE",
-        help="where to write the JSON report",
+        help="where to write the JSON report (default BENCH_solver.json, "
+        "or BENCH_datalog.json with --datalog)",
     )
     p_bench.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke mode: small suite, single repeat",
+    )
+    p_bench.add_argument(
+        "--datalog",
+        action="store_true",
+        help="benchmark the Datalog evaluators (compiled join plans vs "
+        "the frozen interpreter) instead of the solver engines",
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -433,6 +449,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-shrink",
         action="store_true",
         help="skip delta-debugging minimization of counterexamples",
+    )
+    p_fuzz.add_argument(
+        "--datalog-rotate",
+        action="store_true",
+        help="run the Datalog model on one rotating flavor per iteration "
+        "(pre-compiled-engine throughput mode) instead of all flavors",
     )
     p_fuzz.add_argument(
         "--replay",

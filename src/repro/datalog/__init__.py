@@ -22,6 +22,7 @@ from .aggregates import count, max_, min_, sum_
 from .database import Database, Relation
 from .engine import Engine, EvaluationBudgetExceeded, stratify
 from .parser import ParseError, parse_program, parse_rule
+from .reference_engine import ReferenceEngine
 from .rules import AggregateRule, Rule, RuleError, RuleProgram
 from .terms import Atom, FilterAtom, FunAtom, NegAtom, V, Var
 
@@ -31,6 +32,7 @@ __all__ = [
     "Database",
     "Engine",
     "EvaluationBudgetExceeded",
+    "ReferenceEngine",
     "FilterAtom",
     "FunAtom",
     "NegAtom",

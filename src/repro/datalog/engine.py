@@ -1,4 +1,4 @@
-"""Semi-naive, stratified Datalog evaluation.
+"""Semi-naive, stratified Datalog evaluation over compiled join plans.
 
 The engine evaluates a :class:`~repro.datalog.rules.RuleProgram` over a
 :class:`~repro.datalog.database.Database` to fixpoint:
@@ -14,19 +14,40 @@ The engine evaluates a :class:`~repro.datalog.rules.RuleProgram` over a
 3. **Aggregates** — evaluated after their stratum's rule fixpoint (they
    behave like negation for stratification, so their inputs are complete).
 
-Joins are index nested-loop: for each body atom the engine fetches only the
-rows matching the positions already bound, using the relation's lazily built
-positional indexes.
+Unlike the frozen :mod:`~repro.datalog.reference_engine` — which re-derives
+index positions and key parts per literal per candidate row and copies a
+dict environment on every binding — this engine **compiles each rule into a
+join plan** once and replays it every round:
 
-The evaluator is deliberately simple and allocation-light rather than
-clever; it exists to execute the paper's ten-rule model and metric queries
-faithfully, with the worklist solver as the performance engine.  A
-``max_rows`` budget makes runaway programs fail fast like the solver does.
+* each rule (and each semi-naive delta variant, one per positive body atom
+  that can carry a delta) becomes a chain of step closures with the index
+  positions, key templates, output/check slot assignments, and head
+  projections all precomputed;
+* variable environments are fixed-width list *registers* indexed by slot
+  number — no dicts, and no copying: a step's output slots are never read
+  before that step runs, so overwriting on the next candidate row is safe;
+* literals are greedily reordered per plan (most bound positions first,
+  smaller relation on ties; negations/functions/filters fire as soon as
+  their inputs are bound) — the classic bound-ness join-order heuristic;
+* delta rows are wrapped in an indexed :class:`Relation` (shared by every
+  rule consuming that delta in the round) instead of being linearly
+  rescanned per candidate environment;
+* relation indexes are created once per (predicate, positions) pair and
+  maintained incrementally by ``Relation.add``, so plans reuse them across
+  rounds and strata.
+
+Plans are compiled lazily, on first use inside ``run()``, so the join-order
+heuristic sees real relation sizes (EDB facts are loaded between ``Engine``
+construction and ``run()``).  A ``max_rows`` budget makes runaway programs
+fail fast like the solver does; the budget check is O(1) via the database's
+maintained row counter.  ``Engine.rounds`` counts the semi-naive delta
+rounds executed — tests pin it to catch plans that silently degrade to
+naive re-evaluation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .database import Database, Relation
 from .rules import AggregateRule, Rule, RuleError, RuleProgram
@@ -35,7 +56,10 @@ from .terms import Atom, FilterAtom, FunAtom, NegAtom, Var
 __all__ = ["Engine", "EvaluationBudgetExceeded", "stratify"]
 
 Row = Tuple
-Env = Dict[str, object]
+
+#: A linked plan step: ``step(env, delta_relation)``.  Scans call their
+#: successor once per matching row; guards call it at most once.
+_Step = Callable[[List[object], Optional[Relation]], None]
 
 
 class EvaluationBudgetExceeded(Exception):
@@ -150,6 +174,15 @@ class Engine:
         self.max_rows = max_rows
         self.strata = stratify(program)
         self._check_multihead_strata()
+        #: Semi-naive delta rounds executed across all strata (telemetry;
+        #: pinned by tests to catch silent naive-restart regressions).
+        self.rounds = 0
+        # Plan caches: compiled on first use, replayed every round after.
+        self._naive_plans: Dict[int, Callable[[Optional[Relation]], None]] = {}
+        self._delta_plans: Dict[
+            Tuple[int, int], Callable[[Optional[Relation]], None]
+        ] = {}
+        self._agg_runners: Dict[int, Callable[[], Dict[Row, Set[Row]]]] = {}
 
     def _check_multihead_strata(self) -> None:
         for rule in self.program.rules:
@@ -181,58 +214,47 @@ class Engine:
     # ------------------------------------------------------------------
     def _run_stratum(self, level: int) -> None:
         rules = [
-            r
-            for r in self.program.rules
+            (i, r)
+            for i, r in enumerate(self.program.rules)
             if self.strata[next(iter(r.head_preds()))] == level
         ]
-        stratum_preds = {p for r in rules for p in r.head_preds()}
+        stratum_preds = {p for _i, r in rules for p in r.head_preds()}
 
         # Naive seeding round.
-        for rule in rules:
-            self._apply(rule, self._evaluate_body(rule.body))
+        for i, _rule in rules:
+            self._naive_plan(i)(None)
 
         # Clear any deltas produced by seeding or fact loading, then iterate.
-        recursive_preds = stratum_preds | {
-            p for r in rules for p in r.body_preds() if p in stratum_preds
-        }
         current: Dict[str, Set[Row]] = {
-            p: self.db.take_delta(p) for p in recursive_preds
+            p: self.db.take_delta(p) for p in stratum_preds
         }
         # EDB deltas are irrelevant after the naive round: drop them.
-        for rule in rules:
+        for _i, rule in rules:
             for p in rule.body_preds():
                 if p not in stratum_preds:
                     self.db.take_delta(p)
 
         while any(current.values()):
-            for rule in rules:
-                body_preds = [
-                    (i, lit.pred)
-                    for i, lit in enumerate(rule.body)
-                    if isinstance(lit, Atom) and lit.pred in stratum_preds
-                ]
-                for pos, pred in body_preds:
-                    delta = current.get(pred)
-                    if delta:
-                        self._apply(
-                            rule, self._evaluate_body(rule.body, pos, delta)
-                        )
-            current = {p: self.db.take_delta(p) for p in recursive_preds}
+            self.rounds += 1
+            # Wrap each delta in an indexed relation, shared by every rule
+            # consuming it this round (replaces the linear _matches scan).
+            delta_rels: Dict[str, Relation] = {}
+            for p, rows in current.items():
+                if rows:
+                    rel = Relation(p)
+                    rel.rows = rows
+                    delta_rels[p] = rel
+            for i, rule in rules:
+                for pos, atom in rule.positive_positions():
+                    delta = delta_rels.get(atom.pred)
+                    if delta is not None and atom.pred in stratum_preds:
+                        self._delta_plan(i, pos)(delta)
+            current = {p: self.db.take_delta(p) for p in stratum_preds}
 
         # Aggregates of this stratum run on the completed inputs.
-        for agg in self.program.aggregates:
+        for agg_idx, agg in enumerate(self.program.aggregates):
             if self.strata[agg.head_pred] == level:
-                self._run_aggregate(agg)
-
-    def _apply(self, rule: Rule, envs: Iterator[Env]) -> None:
-        db = self.db
-        for env in envs:
-            for head in rule.heads:
-                row = tuple(
-                    env[a.name] if isinstance(a, Var) else a for a in head.args
-                )
-                if db.add_fact(head.pred, row):
-                    self._charge()
+                self._run_aggregate(agg_idx)
 
     def _charge(self) -> None:
         if self.max_rows is not None and self.db.total_rows() > self.max_rows:
@@ -241,120 +263,347 @@ class Engine:
             )
 
     # ------------------------------------------------------------------
-    # Body evaluation (index nested-loop join)
+    # Plan compilation
     # ------------------------------------------------------------------
-    def _evaluate_body(
-        self,
-        body: Tuple,
-        delta_pos: Optional[int] = None,
-        delta_rows: Optional[Set[Row]] = None,
-    ) -> Iterator[Env]:
-        def step(i: int, env: Env) -> Iterator[Env]:
-            if i == len(body):
-                yield env
-                return
-            lit = body[i]
+    def _naive_plan(self, rule_idx: int) -> Callable[[Optional[Relation]], None]:
+        plan = self._naive_plans.get(rule_idx)
+        if plan is None:
+            plan = self._compile_rule(self.program.rules[rule_idx], None)
+            self._naive_plans[rule_idx] = plan
+        return plan
+
+    def _delta_plan(
+        self, rule_idx: int, delta_pos: int
+    ) -> Callable[[Optional[Relation]], None]:
+        plan = self._delta_plans.get((rule_idx, delta_pos))
+        if plan is None:
+            plan = self._compile_rule(self.program.rules[rule_idx], delta_pos)
+            self._delta_plans[(rule_idx, delta_pos)] = plan
+        return plan
+
+    def _compile_rule(
+        self, rule: Rule, delta_pos: Optional[int]
+    ) -> Callable[[Optional[Relation]], None]:
+        steps, slots = self._compile_body(rule.body, delta_pos)
+        emit = self._make_rule_emit(rule, slots)
+        runner = self._link(steps, emit)
+        nslots = len(slots)
+
+        def plan(delta: Optional[Relation]) -> None:
+            runner([None] * nslots, delta)
+
+        return plan
+
+    def _choose_order(
+        self, body: Tuple, delta_pos: Optional[int]
+    ) -> List[int]:
+        """Greedy join order: the delta atom leads its plan; guards fire as
+        soon as their inputs are bound; among positive atoms, most bound
+        positions wins, smaller relation breaks ties."""
+        remaining = set(range(len(body)))
+        bound: Set[str] = set()
+        order: List[int] = []
+
+        def bind(lit: object) -> None:
             if isinstance(lit, Atom):
-                if i == delta_pos:
-                    candidates: Sequence[Row] = [
-                        r for r in delta_rows or () if self._matches(lit, r, env)
-                    ]
-                    for row in candidates:
-                        new_env = self._bind(lit, row, env)
-                        if new_env is not None:
-                            yield from step(i + 1, new_env)
-                else:
-                    rel = self.db.relation(lit.pred)
-                    positions: List[int] = []
-                    key_parts: List[object] = []
-                    for pos, arg in enumerate(lit.args):
-                        if isinstance(arg, Var):
-                            if not arg.is_wildcard and arg.name in env:
-                                positions.append(pos)
-                                key_parts.append(env[arg.name])
-                        else:
-                            positions.append(pos)
-                            key_parts.append(arg)
-                    for row in rel.match(tuple(positions), tuple(key_parts)):
-                        new_env = self._bind(lit, row, env)
-                        if new_env is not None:
-                            yield from step(i + 1, new_env)
-            elif isinstance(lit, NegAtom):
-                row = tuple(
-                    env[a.name] if isinstance(a, Var) else a
-                    for a in lit.atom.args
-                )
-                if row not in self.db.relation(lit.pred):
-                    yield from step(i + 1, env)
+                bound.update(v.name for v in lit.variables())
             elif isinstance(lit, FunAtom):
-                vals = [
-                    env[a.name] if isinstance(a, Var) else a for a in lit.ins
-                ]
-                out_val = lit.func(*vals)
-                existing = env.get(lit.out.name, _MISSING)
-                if existing is _MISSING:
-                    new_env = dict(env)
-                    new_env[lit.out.name] = out_val
-                    yield from step(i + 1, new_env)
-                elif existing == out_val:
-                    yield from step(i + 1, env)
+                bound.add(lit.out.name)
+
+        def guard_ready(lit: object) -> bool:
+            if isinstance(lit, NegAtom):
+                need = {v.name for v in lit.atom.variables()}
+            elif isinstance(lit, FunAtom):
+                need = {
+                    a.name
+                    for a in lit.ins
+                    if isinstance(a, Var) and not a.is_wildcard
+                }
             elif isinstance(lit, FilterAtom):
-                vals = [
-                    env[a.name] if isinstance(a, Var) else a for a in lit.args
-                ]
-                if lit.func(*vals):
-                    yield from step(i + 1, env)
-            else:  # pragma: no cover - exhaustive over literal kinds
-                raise AssertionError(f"unknown literal {lit!r}")
-
-        yield from step(0, {})
-
-    @staticmethod
-    def _matches(atom: Atom, row: Row, env: Env) -> bool:
-        for arg, val in zip(atom.args, row):
-            if isinstance(arg, Var):
-                if not arg.is_wildcard and env.get(arg.name, val) != val:
-                    return False
-            elif arg != val:
+                need = {
+                    a.name
+                    for a in lit.args
+                    if isinstance(a, Var) and not a.is_wildcard
+                }
+            else:
                 return False
-        return True
+            return need <= bound
 
-    @staticmethod
-    def _bind(atom: Atom, row: Row, env: Env) -> Optional[Env]:
-        new_env: Optional[Env] = None
-        for arg, val in zip(atom.args, row):
+        def take(idx: int) -> None:
+            remaining.discard(idx)
+            order.append(idx)
+            bind(body[idx])
+
+        if delta_pos is not None:
+            take(delta_pos)
+        while remaining:
+            progressed = True
+            while progressed:
+                progressed = False
+                for idx in sorted(remaining):
+                    if guard_ready(body[idx]):
+                        take(idx)
+                        progressed = True
+            atoms = [i for i in sorted(remaining) if isinstance(body[i], Atom)]
+            if not atoms:
+                if remaining:
+                    stuck = [repr(body[i]) for i in sorted(remaining)]
+                    raise RuleError(
+                        f"cannot schedule literals {stuck}: inputs never bound"
+                    )
+                break
+
+            def cost(idx: int) -> Tuple[int, int, int]:
+                atom = body[idx]
+                n_bound = sum(
+                    1
+                    for a in atom.args
+                    if not isinstance(a, Var)
+                    or (not a.is_wildcard and a.name in bound)
+                )
+                return (-n_bound, self.db.count(atom.pred), idx)
+
+            take(min(atoms, key=cost))
+        return order
+
+    def _compile_body(
+        self, body: Tuple, delta_pos: Optional[int]
+    ) -> Tuple[List[Tuple], Dict[str, int]]:
+        """Lower a body to step descriptors with slot-register assignment.
+
+        Key/argument templates are ``(is_slot, value)`` pairs: ``value`` is
+        a slot number when ``is_slot`` else a constant.
+        """
+        order = self._choose_order(body, delta_pos)
+        slots: Dict[str, int] = {}
+        bound: Set[str] = set()
+        steps: List[Tuple] = []
+
+        def tmpl_of(arg: object, context: str) -> Tuple[bool, object]:
             if isinstance(arg, Var):
                 if arg.is_wildcard:
-                    continue
-                source = new_env if new_env is not None else env
-                bound = source.get(arg.name, _MISSING)
-                if bound is _MISSING:
-                    if new_env is None:
-                        new_env = dict(env)
-                    new_env[arg.name] = val
-                elif bound != val:
-                    return None
-            elif arg != val:
-                return None
-        return new_env if new_env is not None else dict(env)
+                    raise RuleError(f"wildcard is not allowed in {context}")
+                return (True, slots[arg.name])
+            return (False, arg)
+
+        for idx in order:
+            lit = body[idx]
+            if isinstance(lit, Atom):
+                positions: List[int] = []
+                key_tmpl: List[Tuple[bool, object]] = []
+                outs: List[Tuple[int, int]] = []
+                checks: List[Tuple[int, int]] = []
+                seen_here: Dict[str, int] = {}
+                for pos, arg in enumerate(lit.args):
+                    if isinstance(arg, Var):
+                        if arg.is_wildcard:
+                            continue
+                        if arg.name in bound:
+                            positions.append(pos)
+                            key_tmpl.append((True, slots[arg.name]))
+                        elif arg.name in seen_here:
+                            checks.append((pos, seen_here[arg.name]))
+                        else:
+                            slot = slots.setdefault(arg.name, len(slots))
+                            seen_here[arg.name] = slot
+                            outs.append((pos, slot))
+                    else:
+                        positions.append(pos)
+                        key_tmpl.append((False, arg))
+                bound.update(seen_here)
+                steps.append(
+                    (
+                        "scan",
+                        lit.pred,
+                        tuple(positions),
+                        tuple(key_tmpl),
+                        tuple(outs),
+                        tuple(checks),
+                        idx == delta_pos,
+                    )
+                )
+            elif isinstance(lit, NegAtom):
+                tmpl = tuple(
+                    tmpl_of(a, f"negated atom {lit!r}") for a in lit.atom.args
+                )
+                steps.append(("neg", lit.pred, tmpl))
+            elif isinstance(lit, FunAtom):
+                ins = tuple(
+                    tmpl_of(a, f"function atom {lit!r}") for a in lit.ins
+                )
+                if lit.out.name in bound:
+                    steps.append(("funcheck", lit.func, ins, slots[lit.out.name]))
+                else:
+                    slot = slots.setdefault(lit.out.name, len(slots))
+                    bound.add(lit.out.name)
+                    steps.append(("funbind", lit.func, ins, slot))
+            elif isinstance(lit, FilterAtom):
+                args = tuple(
+                    tmpl_of(a, f"filter atom {lit!r}") for a in lit.args
+                )
+                steps.append(("filter", lit.func, args))
+            else:  # pragma: no cover - exhaustive over literal kinds
+                raise AssertionError(f"unknown literal {lit!r}")
+        return steps, slots
+
+    # ------------------------------------------------------------------
+    # Plan linking (descriptors -> closure chain)
+    # ------------------------------------------------------------------
+    def _link(self, steps: List[Tuple], emit: _Step) -> _Step:
+        nxt = emit
+        for step in reversed(steps):
+            kind = step[0]
+            if kind == "scan":
+                _, pred, positions, key_tmpl, outs, checks, is_delta = step
+                nxt = self._make_scan(
+                    pred, positions, key_tmpl, outs, checks, is_delta, nxt
+                )
+            elif kind == "neg":
+                _, pred, tmpl = step
+                nxt = _make_neg(self.db.relation(pred).rows, tmpl, nxt)
+            elif kind == "funbind":
+                _, func, ins, slot = step
+                nxt = _make_fun_bind(func, ins, slot, nxt)
+            elif kind == "funcheck":
+                _, func, ins, slot = step
+                nxt = _make_fun_check(func, ins, slot, nxt)
+            else:
+                _, func, args = step
+                nxt = _make_filter(func, args, nxt)
+        return nxt
+
+    def _make_scan(
+        self,
+        pred: str,
+        positions: Tuple[int, ...],
+        key_tmpl: Tuple[Tuple[bool, object], ...],
+        outs: Tuple[Tuple[int, int], ...],
+        checks: Tuple[Tuple[int, int], ...],
+        is_delta: bool,
+        nxt: _Step,
+    ) -> _Step:
+        if is_delta:
+            if positions:
+                make_key = _make_key_fn(key_tmpl)
+
+                def run(env: List[object], delta: Relation) -> None:
+                    rows = delta.index_for(positions).get(make_key(env))
+                    if rows:
+                        _drive(rows, env, delta, outs, checks, nxt)
+
+            else:
+
+                def run(env: List[object], delta: Relation) -> None:
+                    # Delta rows are a frozen snapshot: iterate directly.
+                    _drive(delta.rows, env, delta, outs, checks, nxt)
+
+            return run
+
+        rel = self.db.relation(pred)
+        if not positions:
+            rows_set = rel.rows
+
+            def run(env: List[object], delta: Optional[Relation]) -> None:
+                # Copy: the scanned relation may be a head of this very
+                # rule and grow while we iterate.
+                _drive(list(rows_set), env, delta, outs, checks, nxt)
+
+            return run
+
+        # Index captured once; Relation.add maintains it incrementally, so
+        # every round (and every plan sharing the positions) reuses it.
+        index = rel.index_for(positions)
+        make_key = _make_key_fn(key_tmpl)
+
+        if not checks and len(outs) == 1:
+            (p0, s0) = outs[0]
+
+            def run(env: List[object], delta: Optional[Relation]) -> None:
+                rows = index.get(make_key(env))
+                if rows:
+                    for row in rows:
+                        env[s0] = row[p0]
+                        nxt(env, delta)
+
+            return run
+
+        if not checks and len(outs) == 2:
+            (p0, s0), (p1, s1) = outs
+
+            def run(env: List[object], delta: Optional[Relation]) -> None:
+                rows = index.get(make_key(env))
+                if rows:
+                    for row in rows:
+                        env[s0] = row[p0]
+                        env[s1] = row[p1]
+                        nxt(env, delta)
+
+            return run
+
+        if not checks and not outs:
+
+            def run(env: List[object], delta: Optional[Relation]) -> None:
+                # Pure membership probe: every matching row binds nothing,
+                # so one successor call covers them all.
+                if index.get(make_key(env)):
+                    nxt(env, delta)
+
+            return run
+
+        def run(env: List[object], delta: Optional[Relation]) -> None:
+            rows = index.get(make_key(env))
+            if rows:
+                _drive(rows, env, delta, outs, checks, nxt)
+
+        return run
+
+    # ------------------------------------------------------------------
+    # Head emission
+    # ------------------------------------------------------------------
+    def _make_rule_emit(self, rule: Rule, slots: Dict[str, int]) -> _Step:
+        heads = tuple(
+            (
+                head.pred,
+                tuple(
+                    (True, slots[a.name]) if isinstance(a, Var) else (False, a)
+                    for a in head.args
+                ),
+            )
+            for head in rule.heads
+        )
+        add_fact = self.db.add_fact
+        charge = self._charge
+        unlimited = self.max_rows is None
+
+        if len(heads) == 1:
+            pred, tmpl = heads[0]
+
+            def emit(env: List[object], _delta: Optional[Relation]) -> None:
+                row = tuple(env[v] if s else v for s, v in tmpl)
+                if add_fact(pred, row) and not unlimited:
+                    charge()
+
+            return emit
+
+        def emit(env: List[object], _delta: Optional[Relation]) -> None:
+            for pred, tmpl in heads:
+                row = tuple(env[v] if s else v for s, v in tmpl)
+                if add_fact(pred, row) and not unlimited:
+                    charge()
+
+        return emit
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
-    def _run_aggregate(self, agg: AggregateRule) -> None:
-        groups: Dict[Row, Set[Row]] = {}
-        positive = [l for l in agg.body if isinstance(l, Atom)]
-        all_vars: List[str] = []
-        seen: Set[str] = set()
-        for atom in positive:
-            for v in atom.variables():
-                if v.name not in seen:
-                    seen.add(v.name)
-                    all_vars.append(v.name)
-        for env in self._evaluate_body(agg.body):
-            key = tuple(env[g.name] for g in agg.group_vars)
-            witness = tuple(env[name] for name in all_vars)
-            groups.setdefault(key, set()).add(witness)
+    def _run_aggregate(self, agg_idx: int) -> None:
+        agg = self.program.aggregates[agg_idx]
+        runner = self._agg_runners.get(agg_idx)
+        if runner is None:
+            runner = self._compile_aggregate(agg)
+            self._agg_runners[agg_idx] = runner
+        groups = runner()
+        all_vars = _aggregate_witness_vars(agg)
         value_pos = (
             all_vars.index(agg.value_var.name)
             if agg.value_var is not None
@@ -374,5 +623,138 @@ class Engine:
             if self.db.add_fact(agg.head_pred, key + (value,)):
                 self._charge()
 
+    def _compile_aggregate(
+        self, agg: AggregateRule
+    ) -> Callable[[], Dict[Row, Set[Row]]]:
+        steps, slots = self._compile_body(agg.body, None)
+        key_slots = tuple(slots[g.name] for g in agg.group_vars)
+        wit_slots = tuple(slots[n] for n in _aggregate_witness_vars(agg))
+        cell: List[Dict[Row, Set[Row]]] = [{}]
 
-_MISSING = object()
+        def emit(env: List[object], _delta: Optional[Relation]) -> None:
+            groups = cell[0]
+            key = tuple(env[s] for s in key_slots)
+            witness = tuple(env[s] for s in wit_slots)
+            seen = groups.get(key)
+            if seen is None:
+                groups[key] = {witness}
+            else:
+                seen.add(witness)
+
+        runner = self._link(steps, emit)
+        nslots = len(slots)
+
+        def collect() -> Dict[Row, Set[Row]]:
+            cell[0] = {}
+            runner([None] * nslots, None)
+            return cell[0]
+
+        return collect
+
+
+def _aggregate_witness_vars(agg: AggregateRule) -> List[str]:
+    """Named variables of the positive body atoms, first-occurrence order —
+    an aggregate counts/folds over their distinct bindings."""
+    all_vars: List[str] = []
+    seen: Set[str] = set()
+    for lit in agg.body:
+        if isinstance(lit, Atom):
+            for v in lit.variables():
+                if v.name not in seen:
+                    seen.add(v.name)
+                    all_vars.append(v.name)
+    return all_vars
+
+
+# ----------------------------------------------------------------------
+# Step-closure factories (module level so linked plans stay flat)
+# ----------------------------------------------------------------------
+
+def _make_key_fn(
+    key_tmpl: Tuple[Tuple[bool, object], ...]
+) -> Callable[[List[object]], Tuple]:
+    if len(key_tmpl) == 1:
+        (is_slot, v0) = key_tmpl[0]
+        if is_slot:
+            return lambda env: (env[v0],)
+        const_key = (v0,)
+        return lambda env: const_key
+    if all(is_slot for is_slot, _v in key_tmpl):
+        key_slots = tuple(v for _s, v in key_tmpl)
+        if len(key_slots) == 2:
+            k0, k1 = key_slots
+            return lambda env: (env[k0], env[k1])
+        return lambda env: tuple(env[s] for s in key_slots)
+    return lambda env: tuple(env[v] if s else v for s, v in key_tmpl)
+
+
+def _drive(
+    rows,
+    env: List[object],
+    delta: Optional[Relation],
+    outs: Tuple[Tuple[int, int], ...],
+    checks: Tuple[Tuple[int, int], ...],
+    nxt: _Step,
+) -> None:
+    """Generic scan inner loop: bind outputs, verify repeated-variable
+    checks, recurse.  Outputs are written before checks run so a variable
+    repeated within one atom checks against its own row."""
+    if checks:
+        for row in rows:
+            for p, s in outs:
+                env[s] = row[p]
+            ok = True
+            for p, s in checks:
+                if row[p] != env[s]:
+                    ok = False
+                    break
+            if ok:
+                nxt(env, delta)
+    elif outs:
+        for row in rows:
+            for p, s in outs:
+                env[s] = row[p]
+            nxt(env, delta)
+    elif rows:
+        # No bindings at all: one successor call covers every row.
+        nxt(env, delta)
+
+
+def _make_neg(
+    rows: Set[Row], tmpl: Tuple[Tuple[bool, object], ...], nxt: _Step
+) -> _Step:
+    def run(env: List[object], delta: Optional[Relation]) -> None:
+        if tuple(env[v] if s else v for s, v in tmpl) not in rows:
+            nxt(env, delta)
+
+    return run
+
+
+def _make_fun_bind(
+    func: Callable, ins: Tuple[Tuple[bool, object], ...], slot: int, nxt: _Step
+) -> _Step:
+    def run(env: List[object], delta: Optional[Relation]) -> None:
+        env[slot] = func(*[env[v] if s else v for s, v in ins])
+        nxt(env, delta)
+
+    return run
+
+
+def _make_fun_check(
+    func: Callable, ins: Tuple[Tuple[bool, object], ...], slot: int, nxt: _Step
+) -> _Step:
+    def run(env: List[object], delta: Optional[Relation]) -> None:
+        if env[slot] == func(*[env[v] if s else v for s, v in ins]):
+            nxt(env, delta)
+
+    return run
+
+
+def _make_filter(
+    func: Callable, args: Tuple[Tuple[bool, object], ...], nxt: _Step
+) -> _Step:
+    def run(env: List[object], delta: Optional[Relation]) -> None:
+        if func(*[env[v] if s else v for s, v in args]):
+            nxt(env, delta)
+
+    return run

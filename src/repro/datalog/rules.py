@@ -48,6 +48,21 @@ class Rule:
     def positive_atoms(self) -> List[Atom]:
         return [l for l in self.body if isinstance(l, Atom)]
 
+    def positive_positions(self) -> Tuple[Tuple[int, Atom], ...]:
+        """``(body-index, atom)`` for every positive atom — the candidate
+        delta positions of the semi-naive rewrite.  The compiled engine
+        builds one join plan per entry whose predicate is recursive; cached
+        because it is consulted every delta round."""
+        cached = self.__dict__.get("_positive_positions")
+        if cached is None:
+            cached = tuple(
+                (i, lit)
+                for i, lit in enumerate(self.body)
+                if isinstance(lit, Atom)
+            )
+            self.__dict__["_positive_positions"] = cached
+        return cached
+
     def head_preds(self) -> Set[str]:
         return {h.pred for h in self.heads}
 

@@ -6,11 +6,13 @@ One campaign iteration:
    output lifted to a :class:`~repro.fuzz.sketch.ProgramSketch`);
 2. apply 1–3 random typed mutations (:mod:`repro.fuzz.mutators`); a
    mutant that no longer freezes is counted and discarded;
-3. run the packed solver **and** the frozen reference solver on the
-   insensitive analysis and on every configured deep flavor, and the
-   Datalog model on one flavor (rotating per iteration — the model is an
-   order of magnitude slower, so running it everywhere would starve the
-   campaign of programs);
+3. run the packed solver, the frozen reference solver, **and** the
+   Datalog model on the insensitive analysis and on every configured
+   deep flavor — three engines per flavor, every iteration.  (Before the
+   engine grew compiled join plans the Datalog model was an order of
+   magnitude slower and ran on just one flavor per iteration, rotating;
+   ``datalog_rotate=True`` / ``repro fuzz --datalog-rotate`` restores
+   that throughput-first schedule.);
 4. check every applicable oracle from :mod:`repro.fuzz.oracles`; the
    heavier introspective-bracketing and tuple-budget-exactness oracles
    run on a configurable cadence (``intro_every`` / ``budget_every``);
@@ -157,6 +159,10 @@ class FuzzConfig:
     max_mutations: int = 3
     intro_every: int = 8
     budget_every: int = 8
+    #: Run the Datalog model on one rotating flavor per iteration instead
+    #: of all of them — the pre-compiled-engine schedule, kept as an
+    #: escape hatch for throughput-starved campaigns.
+    datalog_rotate: bool = False
 
 
 @dataclass
@@ -256,8 +262,11 @@ def _check_program(
     results: Dict[str, AnalysisResult] = {}
     tuple_counts: Dict[str, int] = {}
     for flavor in flavors:
+        run_datalog = (
+            flavor == datalog_flavor if config.datalog_rotate else True
+        )
         packed_rel, ref_rel, dl_rel, tuples, result = _flavor_relations(
-            program, facts, flavor, flavor == datalog_flavor, stats
+            program, facts, flavor, run_datalog, stats
         )
         results[flavor] = result
         tuple_counts[flavor] = tuples

@@ -1,15 +1,30 @@
-"""Solver benchmark harness: the packed engine vs the frozen baseline.
+"""Engine benchmark harness: live engines vs their frozen baselines.
 
-This is the measurement side of the packed-representation work in
-:mod:`repro.analysis.solver`.  It runs a suite of generated benchmark
-programs (:mod:`repro.benchgen`) across the three main context flavors
-under two engines:
+This is the measurement side of the repository's two engine rewrites.
+
+**Solver benchmark** (``run_suite``, ``BENCH_solver.json``): runs a suite
+of generated benchmark programs (:mod:`repro.benchgen`) across the three
+main context flavors under two engines:
 
 * ``reference`` — :mod:`repro.analysis.reference_solver`, a frozen
   snapshot of the pre-optimization solver (tuple-pair points-to sets,
   scan-based cast filters, string-tag consumer dispatch);
 * ``packed`` — the current :mod:`repro.analysis.solver` (dense pair ids,
   incremental cast-filter index, per-kind consumers).
+
+**Datalog benchmark** (``run_datalog_suite``, ``BENCH_datalog.json``):
+runs the paper's full Figure 3 model
+(:class:`~repro.analysis.datalog_model.DatalogPointsToAnalysis`) over its
+own generated suites under two Datalog evaluators:
+
+* ``reference`` — :mod:`repro.datalog.reference_engine`, the frozen
+  dict-environment interpreter;
+* ``compiled`` — the current :mod:`repro.datalog.engine` (compiled join
+  plans, slot registers, indexed deltas).
+
+Both comparisons share the same measurement hygiene and report shape; the
+Datalog cells assert equal database row counts instead of solver tuple
+counts.
 
 Each (benchmark, flavor) cell is solved ``repeat`` times per engine,
 interleaved so slow machine drift hits both engines alike, and the best
@@ -43,17 +58,25 @@ try:  # POSIX only; peak RSS is reported as None elsewhere.
 except ImportError:  # pragma: no cover - non-POSIX platform
     resource = None  # type: ignore[assignment]
 
+from ..analysis.datalog_model import DatalogPointsToAnalysis
 from ..analysis.reference_solver import reference_solve
 from ..analysis.solver import solve as packed_solve
 from ..benchgen.generator import generate
 from ..benchgen.spec import BenchmarkSpec, HubSpec
 from ..contexts.policies import policy_by_name
+from ..datalog.engine import Engine as CompiledEngine
+from ..datalog.reference_engine import ReferenceEngine
 from ..facts.encoder import encode_program
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DATALOG_BENCH_SCHEMA",
+    "DATALOG_ENGINES",
     "DEFAULT_FLAVORS",
     "ENGINES",
+    "datalog_suite_names",
+    "datalog_suite_specs",
+    "run_datalog_suite",
     "suite_names",
     "suite_specs",
     "run_suite",
@@ -61,8 +84,10 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = "repro-bench-solver/1"
+DATALOG_BENCH_SCHEMA = "repro-bench-datalog/1"
 DEFAULT_FLAVORS: Tuple[str, ...] = ("2objH", "2typeH", "2callH")
 ENGINES: Tuple[str, ...] = ("reference", "packed")
+DATALOG_ENGINES: Tuple[str, ...] = ("reference", "compiled")
 
 #: Benchmark suites.  All programs are pathology-hub workloads — the
 #: paper's explosion structure and the solver's dominant cost — sized so
@@ -169,6 +194,89 @@ _SUITES: Dict[str, Tuple[BenchmarkSpec, ...]] = {
 
 _ENGINE_SOLVERS = {"reference": reference_solve, "packed": packed_solve}
 
+#: Datalog-model benchmark suites.  Deliberately much smaller than the
+#: solver suites: every cell runs the full Figure 3 rule model through a
+#: pure-Python Datalog evaluator, and the frozen reference interpreter is
+#: orders of magnitude slower than the worklist solver.  ``tiny`` is for
+#: unit tests, ``small`` for CI smoke runs (``--quick``), ``medium`` for
+#: the committed BENCH_datalog.json trajectory.
+_DATALOG_SUITES: Dict[str, Tuple[BenchmarkSpec, ...]] = {
+    "tiny": (
+        BenchmarkSpec(
+            name="dl-micro",
+            util_classes=4,
+            util_methods_per_class=3,
+            strategy_clusters=(3,),
+            box_groups=(3,),
+            sink_groups=(3,),
+            hubs=(HubSpec(readers=6, elements=5, chain=3),),
+        ),
+    ),
+    "small": (
+        BenchmarkSpec(
+            name="dl-minihub",
+            util_classes=6,
+            util_methods_per_class=3,
+            hubs=(HubSpec(readers=10, elements=8, chain=4),),
+        ),
+        BenchmarkSpec(
+            name="dl-clusters",
+            util_classes=6,
+            util_methods_per_class=4,
+            strategy_clusters=(4, 3),
+            box_groups=(4,),
+            sink_groups=(4,),
+        ),
+    ),
+    "medium": (
+        BenchmarkSpec(
+            name="dl-hub",
+            util_classes=8,
+            util_methods_per_class=4,
+            hubs=(
+                HubSpec(
+                    readers=16,
+                    elements=12,
+                    payloads_per_element=2,
+                    chain=5,
+                ),
+            ),
+        ),
+        BenchmarkSpec(
+            name="dl-typedhub",
+            util_classes=8,
+            util_methods_per_class=4,
+            hubs=(
+                HubSpec(
+                    readers=12,
+                    elements=10,
+                    payloads_per_element=2,
+                    chain=4,
+                    distinct_reader_classes=True,
+                ),
+            ),
+        ),
+        BenchmarkSpec(
+            name="dl-mixed",
+            util_classes=10,
+            util_methods_per_class=4,
+            strategy_clusters=(4, 4),
+            box_groups=(5,),
+            sink_groups=(5,),
+            static_chain_depth=3,
+            static_chain_fanout=2,
+            static_chain_payloads=2,
+            exception_sites=3,
+            hubs=(HubSpec(readers=8, elements=6, chain=3),),
+        ),
+    ),
+}
+
+_DATALOG_ENGINE_FACTORIES = {
+    "reference": ReferenceEngine,
+    "compiled": CompiledEngine,
+}
+
 
 def suite_names() -> List[str]:
     return sorted(_SUITES)
@@ -180,6 +288,20 @@ def suite_specs(suite: str) -> Tuple[BenchmarkSpec, ...]:
     except KeyError:
         raise ValueError(
             f"unknown suite {suite!r}; try one of: {', '.join(suite_names())}"
+        ) from None
+
+
+def datalog_suite_names() -> List[str]:
+    return sorted(_DATALOG_SUITES)
+
+
+def datalog_suite_specs(suite: str) -> Tuple[BenchmarkSpec, ...]:
+    try:
+        return _DATALOG_SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown datalog suite {suite!r}; try one of: "
+            f"{', '.join(datalog_suite_names())}"
         ) from None
 
 
@@ -295,6 +417,121 @@ def run_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "engines": list(ENGINES),
+        "entries": entries,
+        "speedups": speedups,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def run_datalog_suite(
+    suite: str = "medium",
+    flavors: Sequence[str] = DEFAULT_FLAVORS,
+    repeat: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark both Datalog evaluators over a suite; return the report.
+
+    Each timed run builds a fresh :class:`DatalogPointsToAnalysis` —
+    construction loads the EDB through the same ``Database.add_fact`` path
+    for both engines, so the cells compare end-to-end model evaluation.
+    The policy is also rebuilt per run: policies memoize context tuples,
+    and a warm cache must not favor whichever engine runs second.
+
+    Raises ``RuntimeError`` if the engines disagree on any cell's total
+    database row count (same rules, same facts — disagreement is a bug).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    specs = datalog_suite_specs(suite)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    for spec in specs:
+        program = generate(spec)
+        facts = encode_program(program)
+        say(f"{spec.name}: {program.summary()}")
+        for flavor in flavors:
+            best_wall: Dict[str, float] = {}
+            best_cpu: Dict[str, float] = {}
+            rows: Dict[str, int] = {}
+            for _ in range(repeat):
+                # Same hygiene as the solver cells: interleave engines,
+                # sweep the previous run's garbage, pause the cyclic GC
+                # while the clock runs.
+                for engine in DATALOG_ENGINES:
+                    factory = _DATALOG_ENGINE_FACTORIES[engine]
+                    policy = policy_by_name(
+                        flavor, alloc_class_of=facts.alloc_class_of
+                    )
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        w0 = time.perf_counter()
+                        c0 = time.process_time()
+                        analysis = DatalogPointsToAnalysis(
+                            program,
+                            policy,
+                            facts=facts,
+                            engine_factory=factory,
+                        )
+                        analysis.run()
+                        cpu = time.process_time() - c0
+                        wall = time.perf_counter() - w0
+                    finally:
+                        gc.enable()
+                    if wall < best_wall.get(engine, math.inf):
+                        best_wall[engine] = wall
+                    if cpu < best_cpu.get(engine, math.inf):
+                        best_cpu[engine] = cpu
+                    rows[engine] = analysis.engine.db.total_rows()
+                    analysis = None
+            if rows["compiled"] != rows["reference"]:
+                raise RuntimeError(
+                    f"engine disagreement on {spec.name}/{flavor}: "
+                    f"compiled={rows['compiled']} "
+                    f"reference={rows['reference']} rows"
+                )
+            for engine in DATALOG_ENGINES:
+                seconds = best_wall[engine]
+                cpu_seconds = best_cpu[engine]
+                entries.append(
+                    {
+                        "benchmark": spec.name,
+                        "flavor": flavor,
+                        "engine": engine,
+                        "seconds": round(seconds, 6),
+                        "cpu_seconds": round(cpu_seconds, 6),
+                        "rows": rows[engine],
+                        "rows_per_second": round(rows[engine] / cpu_seconds)
+                        if cpu_seconds > 0
+                        else None,
+                        "peak_rss_kb": _peak_rss_kb(),
+                    }
+                )
+            cell = f"{spec.name}/{flavor}"
+            speedup = best_cpu["reference"] / best_cpu["compiled"]
+            speedups[cell] = round(speedup, 3)
+            say(
+                f"  {flavor:7s} rows={rows['compiled']:>9d} "
+                f"reference={best_cpu['reference']:.3f}s "
+                f"compiled={best_cpu['compiled']:.3f}s  {speedup:.2f}x"
+            )
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    say(f"geomean speedup: {geomean:.2f}x")
+    return {
+        "schema": DATALOG_BENCH_SCHEMA,
+        "suite": suite,
+        "flavors": list(flavors),
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engines": list(DATALOG_ENGINES),
         "entries": entries,
         "speedups": speedups,
         "geomean_speedup": round(geomean, 3),

@@ -19,10 +19,14 @@ context-insensitive projections loaded as EDB.
 
 The fast path (:func:`repro.introspection.metrics.compute_metrics`) must
 agree with these queries — the test suite checks that on every program
-kind.
+kind.  Since the engine moved to compiled join plans the queries are cheap
+enough to run outside the test suite; ``engine_factory`` still allows
+pinning the frozen reference engine for differential checks.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 from ..analysis.results import AnalysisResult
 from ..datalog.aggregates import count, max_
@@ -101,11 +105,14 @@ def _metric_rules() -> RuleProgram:
 
 
 def compute_metrics_datalog(
-    result: AnalysisResult, facts: FactBase
+    result: AnalysisResult,
+    facts: FactBase,
+    engine_factory: Optional[Callable[..., Engine]] = None,
 ) -> IntrospectionMetrics:
     """Compute the metrics via the Datalog queries; returns the same
     structure as :func:`~repro.introspection.metrics.compute_metrics`."""
-    engine = Engine(_metric_rules())
+    make_engine = engine_factory if engine_factory is not None else Engine
+    engine = make_engine(_metric_rules())
     engine.load(
         {
             "CGPROJ": [

@@ -1,4 +1,4 @@
-"""Tests for the solver benchmark harness (packed vs reference engines)."""
+"""Tests for the engine benchmark harness (solver and Datalog columns)."""
 
 from __future__ import annotations
 
@@ -13,8 +13,13 @@ from repro.contexts.policies import policy_by_name
 from repro.facts.encoder import encode_program
 from repro.harness.bench import (
     BENCH_SCHEMA,
+    DATALOG_BENCH_SCHEMA,
+    DATALOG_ENGINES,
     DEFAULT_FLAVORS,
     ENGINES,
+    datalog_suite_names,
+    datalog_suite_specs,
+    run_datalog_suite,
     run_suite,
     suite_names,
     suite_specs,
@@ -73,6 +78,52 @@ class TestRunSuite:
         assert json.loads(path.read_text()) == json.loads(
             json.dumps(report)
         )
+
+
+class TestDatalogSuite:
+    def test_known_suites(self):
+        assert {"tiny", "small", "medium"} <= set(datalog_suite_names())
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown datalog suite"):
+            datalog_suite_specs("nope")
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            run_datalog_suite("tiny", repeat=0)
+
+    def test_tiny_suite_report_shape(self):
+        messages = []
+        report = run_datalog_suite("tiny", repeat=1, progress=messages.append)
+        assert report["schema"] == DATALOG_BENCH_SCHEMA
+        assert report["suite"] == "tiny"
+        assert report["flavors"] == list(DEFAULT_FLAVORS)
+        assert report["engines"] == list(DATALOG_ENGINES)
+        specs = datalog_suite_specs("tiny")
+        expected = len(specs) * len(DEFAULT_FLAVORS) * len(DATALOG_ENGINES)
+        assert len(report["entries"]) == expected
+        for entry in report["entries"]:
+            assert entry["engine"] in DATALOG_ENGINES
+            assert entry["seconds"] >= 0
+            assert entry["cpu_seconds"] >= 0
+            assert entry["rows"] > 0
+        assert len(report["speedups"]) == len(specs) * len(DEFAULT_FLAVORS)
+        assert report["geomean_speedup"] > 0
+        assert any("geomean" in m for m in messages)
+
+    def test_engines_agree_on_rows_per_cell(self):
+        report = run_datalog_suite("tiny", flavors=("2objH",), repeat=1)
+        by_cell = {}
+        for entry in report["entries"]:
+            cell = (entry["benchmark"], entry["flavor"])
+            by_cell.setdefault(cell, set()).add(entry["rows"])
+        assert all(len(counts) == 1 for counts in by_cell.values())
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = run_datalog_suite("tiny", flavors=("2typeH",), repeat=1)
+        path = tmp_path / "BENCH_datalog.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == json.loads(json.dumps(report))
 
 
 class TestEngineEquivalence:

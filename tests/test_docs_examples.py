@@ -110,3 +110,18 @@ class TestPerformanceDoc:
         report = run_suite("tiny", flavors=("2objH",), repeat=1)
         assert set(example) == set(report)
         assert set(example["entries"][0]) == set(report["entries"][0])
+
+    def test_datalog_schema_example_matches_real_report(self):
+        """The BENCH_datalog.json example (second json block) must have
+        exactly the keys a real Datalog-suite report has."""
+        import json
+
+        from repro.harness.bench import DATALOG_BENCH_SCHEMA, run_datalog_suite
+
+        example = json.loads(
+            extract_block(DOCS / "performance.md", "json", index=1)
+        )
+        assert example["schema"] == DATALOG_BENCH_SCHEMA
+        report = run_datalog_suite("tiny", flavors=("2objH",), repeat=1)
+        assert set(example) == set(report)
+        assert set(example["entries"][0]) == set(report["entries"][0])
