@@ -31,6 +31,7 @@ from repro.harness.bench import (  # noqa: E402
     datalog_suite_names,
     run_datalog_suite,
     run_suite,
+    run_trace_cell,
     suite_names,
     write_report,
 )
@@ -72,6 +73,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="benchmark the Datalog evaluators instead of the solvers",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="additionally time one traced cell against its untraced twin "
+        "(docs/observability.md), add the 'trace' key to the report, and "
+        "write the Chrome trace JSON (default BENCH_trace.json)",
+    )
     args = parser.parse_args(argv)
     suite, repeat = args.suite, args.repeat
     if args.quick:
@@ -84,6 +95,24 @@ def main(argv=None) -> int:
     report = runner(
         suite=suite, flavors=flavors, repeat=repeat, progress=print
     )
+    if args.trace is not None and not args.datalog:
+        import json
+
+        cell, tracer = run_trace_cell(
+            suite=suite,
+            flavor=flavors[0] if flavors else "2objH",
+            repeat=repeat,
+            progress=print,
+        )
+        report["trace"] = cell
+        trace_path = args.trace or "BENCH_trace.json"
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            json.dump(tracer.chrome_trace(), fh, indent=2)
+            fh.write("\n")
+        print(
+            f"trace cell: {cell['overhead_percent']:+.2f}% overhead "
+            f"({cell['events']} events) -> {trace_path}"
+        )
     write_report(report, output)
     print(f"wrote {output}")
     return 0

@@ -41,22 +41,38 @@ def analyze(
     facts: Optional[FactBase] = None,
     max_tuples: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    tracer=None,
 ) -> AnalysisResult:
     """Run one points-to analysis over ``program`` and wrap the result.
 
     Raises :class:`BudgetExceeded` when a budget is given and exhausted.
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; passing one must
+    never change the computed result (the ``trace-transparency`` fuzz
+    oracle enforces this).
     """
     if facts is None:
-        facts = encode_program(program)
+        facts = encode_program(program, tracer=tracer)
     if isinstance(analysis, str):
         policy = policy_by_name(analysis, alloc_class_of=facts.alloc_class_of)
     else:
         policy = analysis
-    raw = solve(
-        program,
-        policy,
-        facts=facts,
-        max_tuples=max_tuples,
-        max_seconds=max_seconds,
-    )
+    if tracer is None:
+        raw = solve(
+            program,
+            policy,
+            facts=facts,
+            max_tuples=max_tuples,
+            max_seconds=max_seconds,
+        )
+    else:
+        with tracer.span("analysis.solve", analysis=policy.name):
+            raw = solve(
+                program,
+                policy,
+                facts=facts,
+                max_tuples=max_tuples,
+                max_seconds=max_seconds,
+                tracer=tracer,
+            )
+            tracer.annotate(tuples=raw.tuple_count)
     return AnalysisResult(raw, policy.name)

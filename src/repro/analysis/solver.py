@@ -190,12 +190,19 @@ class PointsToSolver:
         facts: Optional[FactBase] = None,
         max_tuples: Optional[int] = None,
         max_seconds: Optional[float] = None,
+        tracer=None,
     ) -> None:
         self.program = program
         self.policy = policy
         self.facts = facts if facts is not None else encode_program(program)
         self.max_tuples = max_tuples
         self.max_seconds = max_seconds
+        # Optional repro.obs.Tracer.  Every callsite is guarded, and spans
+        # wrap phase boundaries only; the hot loop contributes counter
+        # samples solely inside the (cold) periodic clock-check branch, so
+        # disabled tracing is a strict no-op and enabled tracing cannot
+        # change derivation order or results.
+        self._tracer = tracer
 
         # Interners ---------------------------------------------------------
         self.vars: Interner[str] = Interner()
@@ -283,7 +290,12 @@ class PointsToSolver:
 
         self._heap_type: Dict[int, int] = {}
         self._bodies: Dict[int, _MethodBody] = {}
-        self._compile_facts()
+        if tracer is None:
+            self._compile_facts()
+        else:
+            with tracer.span("solver.init", analysis=policy.name):
+                self._compile_facts()
+                tracer.annotate(methods=len(self._bodies))
 
     # ------------------------------------------------------------------
     # Fact compilation: strings -> interned method bodies
@@ -452,6 +464,14 @@ class PointsToSolver:
         """
         pairs = self._filter_pairs.get(type_i)
         if pairs is None:
+            # Cold build path: runs once per distinct cast type.
+            span = (
+                self._tracer.span(
+                    "solver.castfilter", type=self.types.value(type_i)
+                )
+                if self._tracer is not None
+                else None
+            )
             hierarchy = self.program.hierarchy
             target = self.types.value(type_i)
             closure = (
@@ -465,6 +485,8 @@ class PointsToSolver:
             for tname in closure:
                 for heap in self._heaps_by_typename.get(tname, ()):
                     self._admit_heap_to_filter(type_i, heap)
+            if span is not None:
+                span.__exit__(None, None, None)
         return pairs
 
     # ------------------------------------------------------------------
@@ -564,6 +586,8 @@ class PointsToSolver:
                     self._tuple_count,
                     self._stopwatch.elapsed(),
                 )
+            if self._tracer is not None:
+                self._tracer.counter_sample("solver.tuples", self._tuple_count)
         pending = self._pending.get(node)
         if pending is None:
             self._pending[node] = {pid}
@@ -589,6 +613,8 @@ class PointsToSolver:
                     self._tuple_count,
                     self._stopwatch.elapsed(),
                 )
+            if self._tracer is not None:
+                self._tracer.counter_sample("solver.tuples", self._tuple_count)
 
     def _add_edge(self, src: int, dst: int, filter_type: int = _NONE) -> None:
         if filter_type == _NONE:
@@ -902,10 +928,38 @@ class PointsToSolver:
     def solve(self) -> RawSolution:
         """Run to fixpoint (or budget) and return the raw solution."""
         self._stopwatch.restart()
+        tracer = self._tracer
         ctx0 = self.ctxs.empty_id
-        for ep in self.program.entry_points:
-            self._make_reachable(self.meths.intern(ep), ctx0)
+        if tracer is None:
+            for ep in self.program.entry_points:
+                self._make_reachable(self.meths.intern(ep), ctx0)
+            self._propagate()
+            return self._snapshot()
+        with tracer.span(
+            "solver.seed", entry_points=len(self.program.entry_points)
+        ):
+            for ep in self.program.entry_points:
+                self._make_reachable(self.meths.intern(ep), ctx0)
+        with tracer.span("solver.propagate"):
+            self._propagate()
+            # Counters are derived from existing solver state at span
+            # end — the hot loop itself carries no tracing cost.
+            tracer.annotate(
+                tuples=self._tuple_count,
+                pairs=len(self._pair_heap),
+                nodes=len(self._pts),
+                edges=len(self._edge_seen),
+                filtered_edges=len(self._filtered_edge_seen),
+                reachable=len(self._reachable),
+                call_edges=len(self._call_graph),
+                vcall_targets=sum(
+                    len(v) for v in self._vcall_targets.values()
+                ),
+            )
+        with tracer.span("solver.snapshot"):
+            return self._snapshot()
 
+    def _propagate(self) -> None:
         worklist = self._worklist
         push = worklist.append
         pending = self._pending
@@ -929,6 +983,7 @@ class PointsToSolver:
         max_tuples = self.max_tuples
         max_seconds = self.max_seconds
         elapsed = self._stopwatch.elapsed
+        tracer = self._tracer
         while worklist:
             node = worklist.popleft()
             delta = pending_pop(node, None)
@@ -965,6 +1020,10 @@ class PointsToSolver:
                                     "time budget exceeded",
                                     self._tuple_count,
                                     elapsed(),
+                                )
+                            if tracer is not None:
+                                tracer.counter_sample(
+                                    "solver.tuples", self._tuple_count
                                 )
                         p = pending_get(dst)
                         if p is None:
@@ -1034,8 +1093,6 @@ class PointsToSolver:
                     for pid in delta:
                         self._raise_in(meth, ctx, pid)
 
-        return self._snapshot()
-
     def _snapshot(self) -> RawSolution:
         ph, pc = self._pair_heap, self._pair_hctx
         return RawSolution(
@@ -1081,6 +1138,7 @@ def solve(
     facts: Optional[FactBase] = None,
     max_tuples: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    tracer=None,
 ) -> RawSolution:
     """Convenience one-call entry point for :class:`PointsToSolver`."""
     return PointsToSolver(
@@ -1089,4 +1147,5 @@ def solve(
         facts=facts,
         max_tuples=max_tuples,
         max_seconds=max_seconds,
+        tracer=tracer,
     ).solve()

@@ -46,6 +46,7 @@ from .harness.experiments import main as experiments_main
 from .introspection import heuristic_from_spec, run_introspective
 from .ir.printer import dump_program
 from .ir.program import Program
+from .obs import Tracer
 
 __all__ = ["main"]
 
@@ -108,14 +109,30 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the computed relations as delimited text",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="record a structured trace of the run and write it as Chrome "
+        "trace_event JSON (open in Perfetto / chrome://tracing); FILE "
+        "defaults to TRACE.json, or BENCH_trace.json for the engine "
+        "benchmark, where --trace times one traced cell against its "
+        "untraced twin and reports the overhead",
+    )
 
 
 def _make_heuristic(label: str, constants: Optional[str]):
     return heuristic_from_spec(label, constants)
 
 
-def _run_and_report(program: Program, args: argparse.Namespace) -> int:
-    facts = encode_program(program)
+def _run_and_report(
+    program: Program,
+    args: argparse.Namespace,
+    tracer: Optional[Tracer] = None,
+) -> int:
+    facts = encode_program(program, tracer=tracer)
     if args.save_facts:
         from .facts.io import save_facts
 
@@ -137,6 +154,7 @@ def _run_and_report(program: Program, args: argparse.Namespace) -> int:
                 heuristic,
                 facts=facts,
                 max_tuples=args.budget,
+                tracer=tracer,
             )
             stats = outcome.refinement_stats
             print(
@@ -151,14 +169,26 @@ def _run_and_report(program: Program, args: argparse.Namespace) -> int:
             assert result is not None
         else:
             result = analyze(
-                program, args.analysis, facts=facts, max_tuples=args.budget
+                program,
+                args.analysis,
+                facts=facts,
+                max_tuples=args.budget,
+                tracer=tracer,
             )
     except BudgetExceeded as exc:
         print(f"TIMEOUT: {exc}")
         return 3
 
     print(f"stats: {result.stats().row()}")
-    if args.precision:
+    if tracer is not None:
+        # Run the precision client under its own span even when the row
+        # is not printed: a trace should cover the whole pipeline,
+        # frontend through solver through clients.
+        with tracer.span("clients.precision"):
+            precision = measure_precision(result, facts)
+        if args.precision:
+            print(f"precision: {precision.row()}")
+    elif args.precision:
         print(f"precision: {measure_precision(result, facts).row()}")
     if args.devirt:
         print(f"devirtualization: {devirtualize(result, facts).summary()}")
@@ -179,6 +209,17 @@ def _run_and_report(program: Program, args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_trace(tracer: Tracer, path: str) -> None:
+    """Write the Chrome trace JSON and print the per-span summary."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tracer.chrome_trace(), fh, indent=2)
+        fh.write("\n")
+    print(f"wrote trace ({len(tracer.spans())} spans) to {path}")
+    print(tracer.render_summary())
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     try:
         source = Path(args.file).read_text()
@@ -186,11 +227,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         reason = exc.strerror or exc.__class__.__name__
         print(f"error: cannot read {args.file}: {reason}", file=sys.stderr)
         return 2
-    program = parse_source(source)
+    tracer = Tracer() if args.trace is not None else None
+    program = parse_source(source, tracer=tracer)
     if args.dump:
         print(dump_program(program))
     print(f"program: {program.summary()}")
-    return _run_and_report(program, args)
+    rc = _run_and_report(program, args, tracer)
+    if tracer is not None:
+        _export_trace(tracer, args.trace or "TRACE.json")
+    return rc
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -200,9 +245,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown benchmark {args.name!r}; try: {', '.join(benchmark_names())}")
         return 2
     print(f"spec: {DACAPO_SPECS[args.name].describe()}")
-    program = build_benchmark(args.name)
+    tracer = Tracer() if args.trace is not None else None
+    if tracer is not None:
+        with tracer.span("benchgen.build", benchmark=args.name):
+            program = build_benchmark(args.name)
+    else:
+        program = build_benchmark(args.name)
     print(f"program: {program.summary()}")
-    return _run_and_report(program, args)
+    rc = _run_and_report(program, args, tracer)
+    if tracer is not None:
+        _export_trace(tracer, args.trace or "TRACE.json")
+    return rc
 
 
 def _cmd_bench_suite(args: argparse.Namespace) -> int:
@@ -228,6 +281,20 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc))
         return 2
+    if args.trace is not None:
+        from .harness.bench import run_trace_cell
+
+        cell, tracer = run_trace_cell(
+            suite=suite,
+            flavor=flavors[0] if flavors else "2objH",
+            repeat=repeat,
+            progress=print,
+        )
+        # The "trace" key exists only when tracing was requested, so the
+        # default report schema (docs/performance.md) is unchanged.
+        report["trace"] = cell
+        trace_path = args.trace or "BENCH_trace.json"
+        _export_trace(tracer, trace_path)
     write_report(report, output)
     print(f"wrote {output}")
     return 0

@@ -168,11 +168,19 @@ class Engine:
         program: RuleProgram,
         database: Optional[Database] = None,
         max_rows: Optional[int] = None,
+        tracer=None,
     ) -> None:
         self.program = program
         self.db = database if database is not None else Database()
         self.max_rows = max_rows
-        self.strata = stratify(program)
+        # Optional repro.obs.Tracer; spans wrap strata/rounds/rule
+        # compilation only, never the per-row join inner loops.
+        self._tracer = tracer
+        if tracer is None:
+            self.strata = stratify(program)
+        else:
+            with tracer.span("datalog.stratify", rules=len(program.rules)):
+                self.strata = stratify(program)
         self._check_multihead_strata()
         #: Semi-naive delta rounds executed across all strata (telemetry;
         #: pinned by tests to catch silent naive-restart regressions).
@@ -202,8 +210,15 @@ class Engine:
     def run(self) -> Database:
         """Evaluate all strata in order; returns the database."""
         max_level = max(self.strata.values(), default=0)
+        tracer = self._tracer
+        if tracer is None:
+            for level in range(max_level + 1):
+                self._run_stratum(level)
+            return self.db
         for level in range(max_level + 1):
-            self._run_stratum(level)
+            with tracer.span("datalog.stratum", level=level):
+                self._run_stratum(level)
+                tracer.annotate(rounds=self.rounds, rows=self.db.total_rows())
         return self.db
 
     def query(self, pred: str) -> Set[Row]:
@@ -234,8 +249,18 @@ class Engine:
                 if p not in stratum_preds:
                     self.db.take_delta(p)
 
+        tracer = self._tracer
         while any(current.values()):
             self.rounds += 1
+            span = (
+                tracer.span(
+                    "datalog.round",
+                    round=self.rounds,
+                    delta_rows=sum(len(r) for r in current.values()),
+                )
+                if tracer is not None
+                else None
+            )
             # Wrap each delta in an indexed relation, shared by every rule
             # consuming it this round (replaces the linear _matches scan).
             delta_rels: Dict[str, Relation] = {}
@@ -250,6 +275,8 @@ class Engine:
                     if delta is not None and atom.pred in stratum_preds:
                         self._delta_plan(i, pos)(delta)
             current = {p: self.db.take_delta(p) for p in stratum_preds}
+            if span is not None:
+                span.__exit__(None, None, None)
 
         # Aggregates of this stratum run on the completed inputs.
         for agg_idx, agg in enumerate(self.program.aggregates):
@@ -282,6 +309,18 @@ class Engine:
         return plan
 
     def _compile_rule(
+        self, rule: Rule, delta_pos: Optional[int]
+    ) -> Callable[[Optional[Relation]], None]:
+        if self._tracer is not None:
+            with self._tracer.span(
+                "datalog.compile",
+                heads=",".join(sorted(rule.head_preds())),
+                delta_pos=delta_pos if delta_pos is not None else -1,
+            ):
+                return self._compile_rule_impl(rule, delta_pos)
+        return self._compile_rule_impl(rule, delta_pos)
+
+    def _compile_rule_impl(
         self, rule: Rule, delta_pos: Optional[int]
     ) -> Callable[[Optional[Relation]], None]:
         steps, slots = self._compile_body(rule.body, delta_pos)

@@ -144,10 +144,23 @@ class FactBase:
         return h.hexdigest()
 
 
-def encode_program(program: Program) -> FactBase:
-    """Encode a frozen program into its input relations."""
+def encode_program(program: Program, tracer=None) -> FactBase:
+    """Encode a frozen program into its input relations.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given, the
+    encoding is wrapped in a ``facts.encode`` span.
+    """
     if not program.frozen:
         raise ValueError("program must be frozen before encoding")
+    if tracer is None:
+        return _encode(program)
+    with tracer.span("facts.encode"):
+        facts = _encode(program)
+        tracer.annotate(tuples=facts.count_tuples())
+    return facts
+
+
+def _encode(program: Program) -> FactBase:
     facts = FactBase(program)
     for method in program.methods():
         _encode_method(program, method, facts)

@@ -32,6 +32,15 @@ from .parser import parse_source_text
 __all__ = ["SyntaxError_", "parse_source", "parse_source_text", "lower_program"]
 
 
-def parse_source(text: str) -> Program:
-    """Parse and lower surface-language source to a frozen IR program."""
-    return lower_program(parse_source_text(text))
+def parse_source(text: str, tracer=None) -> Program:
+    """Parse and lower surface-language source to a frozen IR program.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given, the
+    parse and lowering stages are recorded as spans.
+    """
+    if tracer is None:
+        return lower_program(parse_source_text(text))
+    with tracer.span("frontend.parse", chars=len(text)):
+        ast = parse_source_text(text)
+    with tracer.span("frontend.lower", classes=len(ast.classes)):
+        return lower_program(ast)

@@ -21,6 +21,9 @@ shrink and persist the counterexample.
                           reordering (content-addressed caching key)
 ``tuple-budget-exactness``  a budget of exactly the final tuple count
                           succeeds; one tuple less raises BudgetExceeded
+``trace-transparency``    attaching a :class:`~repro.obs.Tracer` to the
+                          solver changes none of the five relations
+                          (observability is strictly read-only)
 ========================  ==============================================
 """
 
@@ -37,6 +40,7 @@ from ..contexts.policies import ContextPolicy
 from ..facts.encoder import FactBase
 from ..introspection.driver import IntrospectiveOutcome
 from ..ir.program import Program
+from ..obs import Tracer
 
 __all__ = [
     "ORACLES",
@@ -45,6 +49,7 @@ __all__ = [
     "check_engine_equivalence",
     "check_insensitive_containment",
     "check_introspective_bracketing",
+    "check_trace_transparency",
     "check_tuple_budget_exactness",
     "reference_relations",
     "solver_relations",
@@ -69,6 +74,9 @@ ORACLES: Dict[str, str] = {
     ),
     "tuple-budget-exactness": (
         "tuple budget of the exact final count passes; one less times out"
+    ),
+    "trace-transparency": (
+        "attaching a tracer to the solver changes no derived relation"
     ),
 }
 
@@ -366,3 +374,40 @@ def check_tuple_budget_exactness(
         flavor=flavor,
         detail=f"budget=={expected_tuples - 1} did not raise BudgetExceeded",
     )
+
+
+def check_trace_transparency(
+    program: Program,
+    policy: ContextPolicy,
+    facts: FactBase,
+    untraced: Relations,
+    flavor: Optional[str] = None,
+    max_tuples: Optional[int] = None,
+) -> Optional[Violation]:
+    """Tracing is strictly read-only: a solve with a tracer attached
+    derives exactly the same five relations as the untraced solve.
+
+    Also asserts the tracer actually recorded solver spans — a stub
+    tracer that was silently never threaded through would make this
+    oracle pass vacuously.
+    """
+    tracer = Tracer()
+    traced_raw = solve(
+        program, policy, facts=facts, max_tuples=max_tuples, tracer=tracer
+    )
+    traced = solver_relations(traced_raw)
+    for rel_name, a, b in zip(_RELATION_NAMES, traced, untraced):
+        if a != b:
+            return Violation(
+                oracle="trace-transparency",
+                flavor=flavor,
+                detail=_diff_detail(rel_name, "traced", a, "untraced", b),
+            )
+    names = set(tracer.span_names())
+    if not {"solver.seed", "solver.propagate"} <= names:
+        return Violation(
+            oracle="trace-transparency",
+            flavor=flavor,
+            detail=f"tracer saw no solver spans (got {sorted(names)})",
+        )
+    return None

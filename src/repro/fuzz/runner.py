@@ -55,6 +55,7 @@ from .oracles import (
     check_engine_equivalence,
     check_insensitive_containment,
     check_introspective_bracketing,
+    check_trace_transparency,
     check_tuple_budget_exactness,
     reference_relations,
     solver_relations,
@@ -159,6 +160,7 @@ class FuzzConfig:
     max_mutations: int = 3
     intro_every: int = 8
     budget_every: int = 8
+    trace_every: int = 8
     #: Run the Datalog model on one rotating flavor per iteration instead
     #: of all of them — the pre-compiled-engine schedule, kept as an
     #: escape hatch for throughput-starved campaigns.
@@ -261,6 +263,7 @@ def _check_program(
     datalog_flavor = flavors[iteration % len(flavors)]
     results: Dict[str, AnalysisResult] = {}
     tuple_counts: Dict[str, int] = {}
+    packed_rels: Dict[str, Relations] = {}
     for flavor in flavors:
         run_datalog = (
             flavor == datalog_flavor if config.datalog_rotate else True
@@ -270,6 +273,7 @@ def _check_program(
         )
         results[flavor] = result
         tuple_counts[flavor] = tuples
+        packed_rels[flavor] = packed_rel
         stats.count("engine-equivalence")
         v = check_engine_equivalence(flavor, packed_rel, ref_rel, dl_rel)
         if v is not None:
@@ -304,6 +308,22 @@ def _check_program(
         stats.count("tuple-budget-exactness")
         v = check_tuple_budget_exactness(
             program, policy, facts, tuple_counts[flavor], flavor=flavor
+        )
+        if v is not None:
+            return v
+
+    if config.trace_every and iteration % config.trace_every == 7:
+        flavor = flavors[iteration % len(flavors)]
+        policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+        stats.engine_runs += 1
+        stats.count("trace-transparency")
+        v = check_trace_transparency(
+            program,
+            policy,
+            facts,
+            packed_rels[flavor],
+            flavor=flavor,
+            max_tuples=_MUTANT_TUPLE_CAP,
         )
         if v is not None:
             return v
@@ -363,6 +383,20 @@ def run_single_check(
         raw = solve(program, policy, facts=facts, max_tuples=_MUTANT_TUPLE_CAP)
         return check_tuple_budget_exactness(
             program, policy, facts, raw.tuple_count, flavor=target
+        )
+
+    if oracle == "trace-transparency":
+        target = flavor or "insens"
+        policy = policy_by_name(target, alloc_class_of=facts.alloc_class_of)
+        raw = solve(program, policy, facts=facts, max_tuples=_MUTANT_TUPLE_CAP)
+        stats.engine_runs += 2
+        return check_trace_transparency(
+            program,
+            policy,
+            facts,
+            solver_relations(raw),
+            flavor=target,
+            max_tuples=_MUTANT_TUPLE_CAP,
         )
 
     raise ValueError(f"unknown oracle {oracle!r}")

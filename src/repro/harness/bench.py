@@ -67,6 +67,7 @@ from ..contexts.policies import policy_by_name
 from ..datalog.engine import Engine as CompiledEngine
 from ..datalog.reference_engine import ReferenceEngine
 from ..facts.encoder import encode_program
+from ..obs import Tracer
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -77,6 +78,7 @@ __all__ = [
     "datalog_suite_names",
     "datalog_suite_specs",
     "run_datalog_suite",
+    "run_trace_cell",
     "suite_names",
     "suite_specs",
     "run_suite",
@@ -536,6 +538,87 @@ def run_datalog_suite(
         "speedups": speedups,
         "geomean_speedup": round(geomean, 3),
     }
+
+
+def run_trace_cell(
+    suite: str = "medium",
+    flavor: str = "2objH",
+    repeat: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, object], Tracer]:
+    """Measure tracing overhead on one cell; return (cell report, tracer).
+
+    Runs the first benchmark of ``suite`` under the packed solver twice
+    per repeat — once with a :class:`~repro.obs.Tracer` attached, once
+    without, interleaved with the same GC hygiene as :func:`run_suite` —
+    and keeps the best CPU time of each mode.  ``overhead_percent`` is how
+    much slower the best traced solve was than the best untraced one; the
+    tracer's design target is <5% (``docs/observability.md``).  The two
+    modes must derive the same tuple count — tracing that changed the
+    result would be a bug, and :mod:`repro.fuzz` has an oracle for it.
+
+    The returned tracer holds the spans of the *last* traced solve (each
+    repeat uses a fresh tracer so span counts describe one run).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    spec = suite_specs(suite)[0]
+    program = generate(spec)
+    facts = encode_program(program)
+    policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    say(f"trace cell: {spec.name}/{flavor} ({program.summary()})")
+    best_cpu = {"traced": math.inf, "untraced": math.inf}
+    tuples: Dict[str, int] = {}
+    tracer = Tracer()
+    for _ in range(repeat):
+        for mode in ("untraced", "traced"):
+            cell_tracer = Tracer() if mode == "traced" else None
+            gc.collect()
+            gc.disable()
+            try:
+                c0 = time.process_time()
+                raw = packed_solve(
+                    program, policy, facts=facts, tracer=cell_tracer
+                )
+                cpu = time.process_time() - c0
+            finally:
+                gc.enable()
+            best_cpu[mode] = min(best_cpu[mode], cpu)
+            tuples[mode] = raw.tuple_count
+            if cell_tracer is not None:
+                tracer = cell_tracer
+            raw = None
+    if tuples["traced"] != tuples["untraced"]:
+        raise RuntimeError(
+            f"tracing changed the result on {spec.name}/{flavor}: "
+            f"traced={tuples['traced']} untraced={tuples['untraced']} tuples"
+        )
+    overhead = (
+        (best_cpu["traced"] / best_cpu["untraced"] - 1.0) * 100.0
+        if best_cpu["untraced"] > 0
+        else 0.0
+    )
+    say(
+        f"  untraced={best_cpu['untraced']:.3f}s "
+        f"traced={best_cpu['traced']:.3f}s  overhead={overhead:+.2f}%"
+    )
+    cell: Dict[str, object] = {
+        "benchmark": spec.name,
+        "flavor": flavor,
+        "repeat": repeat,
+        "tuples": tuples["traced"],
+        "untraced_cpu_seconds": round(best_cpu["untraced"], 6),
+        "traced_cpu_seconds": round(best_cpu["traced"], 6),
+        "overhead_percent": round(overhead, 2),
+        "span_names": tracer.span_names(),
+        "events": len(tracer.chrome_trace()["traceEvents"]),
+    }
+    return cell, tracer
 
 
 def write_report(report: Dict[str, object], path: str) -> None:

@@ -15,11 +15,18 @@ Timing convention: like the paper (Section 4, "Discussion"), the headline
 ``seconds`` of an introspective analysis is the *second pass only*; the
 pass-1 time and metric-computation time are reported separately
 (``pass1_seconds``, ``overhead_seconds``) so both accountings are available.
+When a precomputed ``pass1`` is supplied, ``pass1_seconds`` is ``0.0`` and
+``pass1_reused`` is set — the driver did not pay for that pass.
 
-Both passes accept the same tuple/time budgets; a budget trip in pass 2 is
-reported as ``timed_out`` (pass 1, being context-insensitive, is expected to
-always fit — if it does not, the budget is simply too small for the program
-and we re-raise).
+Budget convention: ``max_seconds`` bounds the *whole* run, not each pass.
+Pass 1 and the metric/heuristic overhead draw the budget down, and pass 2
+receives only the remainder (floored at a small epsilon so it still starts
+and trips its own budget check); a run with ``max_seconds=N`` therefore
+finishes or times out within ~N of starting pass 1.  ``max_tuples`` stays
+per-pass: it bounds peak derivation size, which does not accumulate across
+passes.  A budget trip in pass 2 is reported as ``timed_out`` (pass 1,
+being context-insensitive, is expected to always fit — if it does not, the
+budget is simply too small for the program and we re-raise).
 """
 
 from __future__ import annotations
@@ -36,7 +43,18 @@ from ..utils import Stopwatch
 from .heuristics import Heuristic, HeuristicA, call_site_universe, object_universe
 from .metrics import IntrospectionMetrics, compute_metrics
 
-__all__ = ["IntrospectiveOutcome", "RefinementStats", "run_introspective"]
+__all__ = [
+    "IntrospectiveOutcome",
+    "MIN_PASS2_SECONDS",
+    "RefinementStats",
+    "run_introspective",
+]
+
+#: Floor for the pass-2 share of a shared time budget.  Even when pass 1
+#: plus overhead consumed (or overshot) the whole budget, pass 2 starts
+#: with this much so it trips its own budget check and reports a clean
+#: ``timed_out`` instead of the driver special-casing an exhausted budget.
+MIN_PASS2_SECONDS = 1e-3
 
 
 @dataclass(frozen=True)
@@ -78,6 +96,9 @@ class IntrospectiveOutcome:
     overhead_seconds: float
     seconds: float
     timed_out: bool
+    #: True when the caller supplied a precomputed pass-1 result; then
+    #: ``pass1_seconds`` is 0.0 (this run did not pay for that pass).
+    pass1_reused: bool = False
 
     @property
     def name(self) -> str:
@@ -92,6 +113,7 @@ def run_introspective(
     pass1: Optional[AnalysisResult] = None,
     max_tuples: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    tracer=None,
 ) -> IntrospectiveOutcome:
     """Run the full two-pass introspective analysis.
 
@@ -99,12 +121,14 @@ def run_introspective(
     defaults to the paper's Heuristic A.  A precomputed ``pass1`` result
     (and ``facts``) may be supplied to amortize the insensitive pass across
     several introspective variants, as the paper's timing discussion
-    suggests.
+    suggests.  ``max_seconds`` is shared across both passes (see the module
+    docstring).  ``tracer`` is an optional :class:`repro.obs.Tracer`
+    recording pass1/metrics/heuristic/pass2 as child spans.
     """
     if heuristic is None:
         heuristic = HeuristicA()
     if facts is None:
-        facts = encode_program(program)
+        facts = encode_program(program, tracer=tracer)
     refined = (
         policy_by_name(analysis, alloc_class_of=facts.alloc_class_of)
         if isinstance(analysis, str)
@@ -112,19 +136,41 @@ def run_introspective(
     )
 
     watch = Stopwatch()
+    pass1_reused = pass1 is not None
     if pass1 is None:
-        pass1 = analyze(
-            program,
-            InsensitivePolicy(),
-            facts=facts,
-            max_tuples=max_tuples,
-            max_seconds=max_seconds,
-        )
-    pass1_seconds = watch.elapsed()
+        if tracer is None:
+            pass1 = analyze(
+                program,
+                InsensitivePolicy(),
+                facts=facts,
+                max_tuples=max_tuples,
+                max_seconds=max_seconds,
+            )
+        else:
+            with tracer.span("intro.pass1"):
+                pass1 = analyze(
+                    program,
+                    InsensitivePolicy(),
+                    facts=facts,
+                    max_tuples=max_tuples,
+                    max_seconds=max_seconds,
+                    tracer=tracer,
+                )
+        pass1_seconds = watch.elapsed()
+    else:
+        # Validating/receiving the argument costs ~nothing; reporting the
+        # elapsed time here would masquerade as compute time.
+        pass1_seconds = 0.0
 
     watch.restart()
-    metrics = compute_metrics(pass1, facts)
-    decision = heuristic.decide(metrics, facts, pass1)
+    if tracer is None:
+        metrics = compute_metrics(pass1, facts)
+        decision = heuristic.decide(metrics, facts, pass1)
+    else:
+        with tracer.span("intro.metrics"):
+            metrics = compute_metrics(pass1, facts)
+        with tracer.span("intro.heuristic", heuristic=heuristic.name):
+            decision = heuristic.decide(metrics, facts, pass1)
     overhead_seconds = watch.elapsed()
 
     stats = RefinementStats(
@@ -135,17 +181,33 @@ def run_introspective(
     )
 
     policy = IntrospectivePolicy(refined, decision)
+    pass2_budget = max_seconds
+    if max_seconds is not None:
+        pass2_budget = max(
+            max_seconds - pass1_seconds - overhead_seconds, MIN_PASS2_SECONDS
+        )
     watch.restart()
     timed_out = False
     result: Optional[AnalysisResult] = None
     try:
-        result = analyze(
-            program,
-            policy,
-            facts=facts,
-            max_tuples=max_tuples,
-            max_seconds=max_seconds,
-        )
+        if tracer is None:
+            result = analyze(
+                program,
+                policy,
+                facts=facts,
+                max_tuples=max_tuples,
+                max_seconds=pass2_budget,
+            )
+        else:
+            with tracer.span("intro.pass2", analysis=refined.name):
+                result = analyze(
+                    program,
+                    policy,
+                    facts=facts,
+                    max_tuples=max_tuples,
+                    max_seconds=pass2_budget,
+                    tracer=tracer,
+                )
     except BudgetExceeded:
         timed_out = True
     seconds = watch.elapsed()
@@ -162,4 +224,5 @@ def run_introspective(
         overhead_seconds=overhead_seconds,
         seconds=seconds,
         timed_out=timed_out,
+        pass1_reused=pass1_reused,
     )

@@ -1,0 +1,9 @@
+"""Structured tracing and profiling for the analysis pipeline.
+
+See :mod:`repro.obs.tracer` for the design notes and
+``docs/observability.md`` for the span catalogue.
+"""
+
+from .tracer import Span, Tracer
+
+__all__ = ["Span", "Tracer"]

@@ -102,6 +102,10 @@ class AnalysisService:
             "repro_service_solver_tuples_per_second",
             "Solver throughput of the most recent uncached job.",
         )
+        self._m_stage = t.summary(
+            "repro_service_stage_seconds",
+            "Per-stage job wall time (seconds), labeled by stage.",
+        )
 
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
@@ -201,7 +205,7 @@ class AnalysisService:
             from .workers import _build_program  # local import: same logic
             from ..facts.encoder import encode_program
 
-            program = _build_program(job.spec)
+            program = _build_program(job.spec, None)
             digest = encode_program(program).digest()
         except Exception as exc:  # noqa: BLE001 - bad source/benchmark
             self._finalize(
@@ -264,6 +268,9 @@ class AnalysisService:
             self._m_solver_tuples.observe(tuples)
             if seconds > 0:
                 self._m_solver_tps.set(round(tuples / seconds, 3))
+        if not job.cached:
+            for stage_name, stage_seconds in (payload.get("stages") or {}).items():
+                self._m_stage.observe(stage_seconds, stage=stage_name)
         if payload.get("pass1_reused"):
             self._m_pass1.inc()
         if store_key is not None and state in (JobState.DONE, JobState.TIMEOUT):

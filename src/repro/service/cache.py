@@ -56,6 +56,9 @@ def cache_key(facts_digest: str, spec: JobSpec) -> str:
             "max_tuples": spec.max_tuples,
             "max_seconds": spec.max_seconds,
             "show": sorted(spec.show),
+            # Traced payloads carry an extra section, so they must not be
+            # served to (or seeded from) untraced requests.
+            "trace": spec.trace,
         },
         sort_keys=True,
     )

@@ -60,6 +60,7 @@ _SPEC_FIELDS = {
     "max_seconds",
     "priority",
     "show",
+    "trace",
 }
 
 
@@ -76,6 +77,9 @@ class JobSpec:
     max_seconds: Optional[float] = None
     priority: int = 0
     show: Tuple[str, ...] = ()
+    #: Opt-in per-job tracing: the result payload gains a "trace" section
+    #: (Chrome trace events + per-span summary) and per-stage timings.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if (self.benchmark is None) == (self.source is None):
@@ -138,6 +142,8 @@ class JobSpec:
             ):
                 raise ValueError("'max_seconds' must be a number")
             kwargs["max_seconds"] = float(kwargs["max_seconds"])
+        if "trace" in kwargs and not isinstance(kwargs["trace"], bool):
+            raise ValueError("'trace' must be a boolean")
         return cls(show=tuple(show), **kwargs)
 
     def to_payload(self) -> Dict[str, Any]:
@@ -185,7 +191,10 @@ class JobQueue:
 
     Higher ``spec.priority`` pops first; equal priorities are FIFO.
     Cancellation is lazy: :meth:`cancel` flips the job's state and
-    :meth:`pop` silently discards entries that are no longer queued.
+    :meth:`pop` silently discards entries that are no longer queued — but
+    the queue tracks how many stale entries it holds and compacts the heap
+    once they outnumber the live ones, so cancel-heavy load cannot grow
+    the heap (or the O(n) :meth:`depth` scan) without bound.
     """
 
     def __init__(self) -> None:
@@ -193,6 +202,7 @@ class JobQueue:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._seq = itertools.count()
+        self._stale = 0  # cancelled entries still sitting in _heap
 
     def put(self, job: Job) -> None:
         with self._not_empty:
@@ -208,6 +218,8 @@ class JobQueue:
                     _, _, job = heapq.heappop(self._heap)
                     if job.state == JobState.QUEUED:
                         return job
+                    if self._stale:
+                        self._stale -= 1
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -224,7 +236,22 @@ class JobQueue:
             job.state = JobState.CANCELLED
             job.cancel_requested = True
             job.finished_at = time.time()
+            self._stale += 1
+            if self._stale > len(self._heap) // 2:
+                self._compact()
             return True
+
+    def _compact(self) -> None:
+        """Drop non-queued entries and re-heapify (caller holds the lock).
+
+        The entries keep their original ``(-priority, seq)`` keys, so the
+        pop order of the survivors is untouched.
+        """
+        self._heap = [
+            entry for entry in self._heap if entry[2].state == JobState.QUEUED
+        ]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     def depth(self) -> int:
         with self._lock:

@@ -190,37 +190,56 @@ class Summary(_Instrument):
     The right instrument when per-event magnitudes vary too widely for
     fixed histogram buckets (derived-tuple counts span orders of
     magnitude between a toy program and a pathology hub).
+
+    Observations may carry labels (``observe(0.2, stage="pass1")``),
+    splitting the series like a labeled counter; :attr:`count` and
+    :attr:`sum` stay cross-label totals.
     """
 
     kind = "summary"
 
     def __init__(self, name: str, help_text: str) -> None:
         super().__init__(name, help_text)
-        self._sum = 0.0
-        self._count = 0
+        self._sums: Dict[LabelKey, float] = {}
+        self._counts: Dict[LabelKey, int] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, **labels: str) -> None:
+        key = _labelkey(labels)
         with self._lock:
-            self._sum += value
-            self._count += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
 
     @property
     def count(self) -> int:
+        """Total observations across all label combinations."""
         with self._lock:
-            return self._count
+            return sum(self._counts.values())
 
     @property
     def sum(self) -> float:
+        """Total observed value across all label combinations."""
         with self._lock:
-            return self._sum
+            return sum(self._sums.values())
+
+    def value(self, **labels: str) -> float:
+        """The sum observed under one exact label combination."""
+        with self._lock:
+            return self._sums.get(_labelkey(labels), 0.0)
 
     def samples(self) -> List[str]:
         with self._lock:
-            total, n = self._sum, self._count
-        return [
-            f"{self.name}_sum {_fmt(round(total, 6))}",
-            f"{self.name}_count {n}",
-        ]
+            items = sorted(
+                (key, self._sums[key], self._counts[key])
+                for key in self._sums
+            )
+        if not items:
+            return [f"{self.name}_sum 0", f"{self.name}_count 0"]
+        lines = []
+        for key, total, n in items:
+            labels = _render_labels(key)
+            lines.append(f"{self.name}_sum{labels} {_fmt(round(total, 6))}")
+            lines.append(f"{self.name}_count{labels} {n}")
+        return lines
 
 
 class Registry:

@@ -35,9 +35,10 @@ from ..clients.precision import measure_precision
 from ..contexts.policies import InsensitivePolicy
 from ..facts.encoder import FactBase, encode_program
 from ..frontend import parse_source
-from ..introspection.driver import run_introspective
+from ..introspection.driver import MIN_PASS2_SECONDS, run_introspective
 from ..introspection.heuristics import heuristic_from_spec
 from ..ir.program import Program
+from ..obs import Tracer
 from ..utils import Stopwatch
 from .jobs import JobSpec, JobState
 
@@ -48,16 +49,19 @@ _PASS1_CACHE: "OrderedDict[str, AnalysisResult]" = OrderedDict()
 _PASS1_LIMIT = 4
 
 
-def _build_program(spec: JobSpec) -> Program:
+def _build_program(spec: JobSpec, tracer: Optional[Tracer]) -> Program:
     if spec.benchmark is not None:
         if spec.benchmark not in DACAPO_SPECS:
             raise ValueError(
                 f"unknown benchmark {spec.benchmark!r}; "
                 f"try one of: {', '.join(benchmark_names())}"
             )
-        return build_benchmark(spec.benchmark)
+        if tracer is None:
+            return build_benchmark(spec.benchmark)
+        with tracer.span("job.build", benchmark=spec.benchmark):
+            return build_benchmark(spec.benchmark)
     assert spec.source is not None
-    return parse_source(spec.source)
+    return parse_source(spec.source, tracer=tracer)
 
 
 def _pass1(
@@ -65,33 +69,74 @@ def _pass1(
     facts: FactBase,
     digest: str,
     spec: JobSpec,
-) -> Tuple[AnalysisResult, bool]:
-    """Insensitive first pass, reused across jobs on the same program."""
+    tracer: Optional[Tracer],
+) -> Tuple[AnalysisResult, bool, float]:
+    """Insensitive first pass, reused across jobs on the same program.
+
+    Returns ``(result, reused, seconds)`` where ``seconds`` is the compute
+    time *this job* paid — 0.0 on a cache hit, mirroring the driver's
+    ``pass1_seconds`` convention for supplied pass-1 results.
+    """
     cached = _PASS1_CACHE.get(digest)
     if cached is not None:
         _PASS1_CACHE.move_to_end(digest)
-        return cached, True
-    result = analyze(
-        program,
-        InsensitivePolicy(),
-        facts=facts,
-        max_tuples=spec.max_tuples,
-        max_seconds=spec.max_seconds,
-    )
+        return cached, True, 0.0
+    watch = Stopwatch()
+    if tracer is None:
+        result = analyze(
+            program,
+            InsensitivePolicy(),
+            facts=facts,
+            max_tuples=spec.max_tuples,
+            max_seconds=spec.max_seconds,
+        )
+    else:
+        with tracer.span("intro.pass1"):
+            result = analyze(
+                program,
+                InsensitivePolicy(),
+                facts=facts,
+                max_tuples=spec.max_tuples,
+                max_seconds=spec.max_seconds,
+                tracer=tracer,
+            )
+    seconds = watch.elapsed()
     _PASS1_CACHE[digest] = result
     while len(_PASS1_CACHE) > _PASS1_LIMIT:
         _PASS1_CACHE.popitem(last=False)
-    return result, False
+    return result, False, seconds
 
 
 def execute_job(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one job to a terminal payload (never raises)."""
+    """Run one job to a terminal payload (never raises).
+
+    The payload always carries a ``stages`` dict of per-stage seconds
+    (build/encode/pass1/solve/precision — what the service exports as
+    ``repro_service_stage_seconds``); when the spec opts into ``trace`` it
+    also carries a ``trace`` section with the Chrome trace events and the
+    per-span summary of this job's run.
+    """
     watch = Stopwatch()
+    stages: Dict[str, float] = {}
+    stage_watch = Stopwatch()
+
+    def stage(name: str) -> None:
+        stages[name] = stage_watch.elapsed()
+        stage_watch.restart()
+
     try:
         spec = JobSpec.from_payload(spec_payload)
-        program = _build_program(spec)
-        facts = encode_program(program)
+        tracer = Tracer() if spec.trace else None
+        job_span = (
+            tracer.span("job.execute", analysis=spec.analysis)
+            if tracer is not None
+            else None
+        )
+        program = _build_program(spec, tracer)
+        stage("build")
+        facts = encode_program(program, tracer=tracer)
         digest = facts.digest()
+        stage("encode")
         payload: Dict[str, Any] = {
             "state": JobState.DONE,
             "error": None,
@@ -106,40 +151,60 @@ def execute_job(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
             "refinement": None,
             "heuristic": None,
             "points_to": None,
+            "stages": stages,
         }
         result: Optional[AnalysisResult] = None
         if spec.introspective is not None:
             heuristic = heuristic_from_spec(
                 spec.introspective, spec.heuristic_constants
             )
-            pass1, reused = _pass1(program, facts, digest, spec)
-            outcome = run_introspective(
-                program,
-                spec.analysis,
-                heuristic,
-                facts=facts,
-                pass1=pass1,
-                max_tuples=spec.max_tuples,
-                max_seconds=spec.max_seconds,
-            )
-            stats = outcome.refinement_stats
-            payload.update(
-                analysis=outcome.name,
-                heuristic=heuristic.describe(),
-                pass1_reused=reused,
-                refinement={
-                    "total_call_sites": stats.total_call_sites,
-                    "excluded_call_sites": stats.excluded_call_sites,
-                    "total_objects": stats.total_objects,
-                    "excluded_objects": stats.excluded_objects,
-                    "call_site_percent": stats.call_site_percent,
-                    "object_percent": stats.object_percent,
-                },
-            )
-            if outcome.timed_out:
+            try:
+                pass1, reused, pass1_seconds = _pass1(
+                    program, facts, digest, spec, tracer
+                )
+            except BudgetExceeded as exc:
+                # Pass 1 alone blew the whole budget: a timeout, not an
+                # internal error.
                 payload["state"] = JobState.TIMEOUT
+                payload["error"] = str(exc)
+                stage("pass1")
             else:
-                result = outcome.result
+                stage("pass1")
+                # The driver sees a precomputed pass 1 (pass1_seconds=0.0
+                # on its side), so the shared wall-clock budget must be
+                # drawn down *here* by what pass 1 actually cost this job.
+                budget = spec.max_seconds
+                if budget is not None and pass1_seconds:
+                    budget = max(budget - pass1_seconds, MIN_PASS2_SECONDS)
+                outcome = run_introspective(
+                    program,
+                    spec.analysis,
+                    heuristic,
+                    facts=facts,
+                    pass1=pass1,
+                    max_tuples=spec.max_tuples,
+                    max_seconds=budget,
+                    tracer=tracer,
+                )
+                stage("solve")
+                stats = outcome.refinement_stats
+                payload.update(
+                    analysis=outcome.name,
+                    heuristic=heuristic.describe(),
+                    pass1_reused=reused,
+                    refinement={
+                        "total_call_sites": stats.total_call_sites,
+                        "excluded_call_sites": stats.excluded_call_sites,
+                        "total_objects": stats.total_objects,
+                        "excluded_objects": stats.excluded_objects,
+                        "call_site_percent": stats.call_site_percent,
+                        "object_percent": stats.object_percent,
+                    },
+                )
+                if outcome.timed_out:
+                    payload["state"] = JobState.TIMEOUT
+                else:
+                    result = outcome.result
         else:
             try:
                 result = analyze(
@@ -148,19 +213,35 @@ def execute_job(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
                     facts=facts,
                     max_tuples=spec.max_tuples,
                     max_seconds=spec.max_seconds,
+                    tracer=tracer,
                 )
             except BudgetExceeded as exc:
                 payload["state"] = JobState.TIMEOUT
                 payload["error"] = str(exc)
+            stage("solve")
         if result is not None:
             if spec.introspective is None:
                 payload["analysis"] = result.analysis_name
             payload["stats"] = asdict(result.stats())
-            payload["precision"] = asdict(measure_precision(result, facts))
+            if tracer is None:
+                payload["precision"] = asdict(measure_precision(result, facts))
+            else:
+                with tracer.span("clients.precision"):
+                    payload["precision"] = asdict(
+                        measure_precision(result, facts)
+                    )
+            stage("precision")
             if spec.show:
                 payload["points_to"] = {
                     var: sorted(result.points_to(var)) for var in spec.show
                 }
+        if job_span is not None:
+            job_span.__exit__(None, None, None)
+        if tracer is not None:
+            payload["trace"] = {
+                "chrome": tracer.chrome_trace(),
+                "summary": tracer.summary(),
+            }
         payload["solve_seconds"] = watch.elapsed()
         return payload
     except Exception as exc:  # noqa: BLE001 - folded into the payload
@@ -168,6 +249,7 @@ def execute_job(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
             "state": JobState.ERROR,
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
+            "stages": stages,
             "solve_seconds": watch.elapsed(),
         }
 

@@ -17,6 +17,7 @@ from repro.fuzz.oracles import (
     check_engine_equivalence,
     check_insensitive_containment,
     check_introspective_bracketing,
+    check_trace_transparency,
     check_tuple_budget_exactness,
     reference_relations,
     solver_relations,
@@ -178,8 +179,36 @@ def test_catalogue_is_complete_and_described():
         "introspective-bracketing",
         "digest-invariance",
         "tuple-budget-exactness",
+        "trace-transparency",
     }
     assert all(ORACLES[name] for name in ORACLES)
+
+
+@pytest.mark.parametrize("flavor", FLAVORS)
+def test_trace_transparency_holds(box, flavor):
+    program, facts = box
+    untraced = solver_relations(
+        solve(program, policy_for(flavor, facts), facts=facts)
+    )
+    v = check_trace_transparency(
+        program, policy_for(flavor, facts), facts, untraced, flavor=flavor
+    )
+    assert v is None
+
+
+def test_trace_transparency_detects_relation_diff(box):
+    program, facts = box
+    untraced = solver_relations(
+        solve(program, policy_for("insens", facts), facts=facts)
+    )
+    # Corrupt the baseline: drop one VARPOINTSTO tuple.  The traced
+    # re-solve now "disagrees", which is exactly what the oracle reports.
+    dropped = (frozenset(list(untraced[0])[1:]),) + untraced[1:]
+    v = check_trace_transparency(
+        program, policy_for("insens", facts), facts, dropped, flavor="insens"
+    )
+    assert v is not None and v.oracle == "trace-transparency"
+    assert "VARPOINTSTO" in v.detail
 
 
 def test_violation_str_mentions_flavor():

@@ -80,8 +80,17 @@ def test_run_single_check_covers_every_oracle(tmp_path):
         ("insensitive-containment", "2objH"),
         ("introspective-bracketing", "2objH"),
         ("tuple-budget-exactness", "insens"),
+        ("trace-transparency", "2objH"),
     ):
         assert run_single_check(sketch, oracle, flavor, seed=1) is None
+
+
+def test_trace_transparency_runs_on_cadence():
+    # iteration % trace_every == 7 schedules the check; 9 iterations with
+    # the default cadence of 8 hit it exactly once (iteration 7).
+    outcome = run_campaign(small_config(max_iterations=9))
+    assert outcome.ok
+    assert outcome.stats.oracle_checks.get("trace-transparency", 0) >= 1
 
 
 def test_run_single_check_rejects_unknown_oracle():

@@ -1,9 +1,13 @@
 """Tests for the two-pass introspective driver: the sandwich property,
 degenerate equivalences, refinement statistics, and budget handling."""
 
+import time
+
 import pytest
 
 from repro import BudgetExceeded, analyze, encode_program
+from repro.benchgen.generator import generate
+from repro.benchgen.spec import BenchmarkSpec, HubSpec
 from repro.clients import measure_precision
 from repro.introspection import (
     CustomHeuristic,
@@ -12,6 +16,7 @@ from repro.introspection import (
     RefineEverything,
     run_introspective,
 )
+from repro.introspection.driver import MIN_PASS2_SECONDS
 from tests.conftest import build_box_program
 
 
@@ -152,7 +157,16 @@ class TestOutcomeBookkeeping:
             program, "2objH", HeuristicA(), facts=facts, pass1=insens
         )
         assert out.pass1 is insens
-        assert out.pass1_seconds < 0.005  # reused, not recomputed
+        assert out.pass1_reused is True
+        # A supplied pass 1 cost this run nothing; reporting wall time
+        # spent validating the argument would masquerade as compute time.
+        assert out.pass1_seconds == 0.0
+
+    def test_fresh_pass1_reports_compute_time(self, setup):
+        program, facts, _insens, _full = setup
+        out = run_introspective(program, "2objH", HeuristicA(), facts=facts)
+        assert out.pass1_reused is False
+        assert out.pass1_seconds > 0.0
 
     def test_default_heuristic_is_a(self, setup):
         program, facts, _, _ = setup
@@ -185,3 +199,103 @@ class TestBudgets:
         program, facts, _, _ = setup
         with pytest.raises(BudgetExceeded):
             run_introspective(program, "2objH", HeuristicA(), facts=facts, max_tuples=10)
+
+class TestSharedWallClockBudget:
+    """``max_seconds`` bounds the *whole* two-pass run.  The old behavior
+    handed pass 2 the full budget again, so a job with ``max_seconds=N``
+    could burn ~2N before reporting; these tests pin the fix with a
+    program big enough that the passes take measurable wall time."""
+
+    @pytest.fixture(scope="class")
+    def slow(self):
+        spec = BenchmarkSpec(
+            name="budget-hub",
+            util_classes=12,
+            util_methods_per_class=5,
+            hubs=(
+                HubSpec(
+                    readers=200,
+                    elements=160,
+                    payloads_per_element=80,
+                    chain=12,
+                    reader_call_sites=2,
+                ),
+            ),
+        )
+        program = generate(spec)
+        facts = encode_program(program)
+        # Calibrate: how long does the insensitive pass take here, now?
+        t0 = time.perf_counter()
+        analyze(program, "insens", facts=facts)
+        pass1_seconds = time.perf_counter() - t0
+        return program, facts, pass1_seconds
+
+    def test_pass2_gets_only_the_remaining_budget(self, slow):
+        program, facts, pass1_seconds = slow
+        # Pass 2 under an exclude-everything heuristic costs about as
+        # much as pass 1 (it is the insensitive analysis again, run
+        # through the introspective context policy).  A budget of 2x the
+        # pass-1 time leaves pass 2 roughly one pass-1-worth of seconds —
+        # not enough — so a *shared* budget must report a timeout, while
+        # the old resetting budget (a fresh 2x for pass 2 alone) let it
+        # finish.
+        exclude_all = CustomHeuristic(
+            exclude_object=lambda h, m: True,
+            exclude_site=lambda i, me, m: True,
+            label="all",
+        )
+        budget = 2.0 * pass1_seconds
+        t0 = time.perf_counter()
+        out = run_introspective(
+            program, "2objH", exclude_all, facts=facts, max_seconds=budget
+        )
+        elapsed = time.perf_counter() - t0
+        assert out.timed_out
+        assert out.result is None
+        assert out.pass1_reused is False
+        assert out.pass1_seconds > 0
+        # The whole run stays in the budget's neighborhood — nowhere near
+        # the ~2x overrun the resetting budget allowed.
+        assert elapsed < 4.0 * budget
+
+    def test_wall_clock_trip_in_pass2_reported_not_raised(self, slow):
+        """A pass-2 wall-clock trip is an outcome, not an exception —
+        the same contract as a tuple-budget trip.  The epsilon floor
+        (MIN_PASS2_SECONDS) means pass 2 always *starts* and trips its
+        own budget check cleanly even when pass 1 consumed everything."""
+        program, facts, _pass1_seconds = slow
+        insens = analyze(program, "insens", facts=facts)
+        out = run_introspective(
+            program,
+            "2objH",
+            RefineEverything(),
+            facts=facts,
+            pass1=insens,
+            max_seconds=MIN_PASS2_SECONDS,
+        )
+        assert out.timed_out
+        assert out.result is None
+
+    def test_precomputed_pass1_leaves_full_budget(self, slow):
+        program, facts, pass1_seconds = slow
+        insens = analyze(program, "insens", facts=facts)
+        exclude_all = CustomHeuristic(
+            exclude_object=lambda h, m: True,
+            exclude_site=lambda i, me, m: True,
+            label="all",
+        )
+        # With pass 1 supplied, pass1_seconds is 0.0 and pass 2 keeps
+        # (nearly) the whole allowance — 4x one pass is plenty for the
+        # exclude-everything second pass.
+        out = run_introspective(
+            program,
+            "2objH",
+            exclude_all,
+            facts=facts,
+            pass1=insens,
+            max_seconds=4.0 * pass1_seconds,
+        )
+        assert out.pass1_reused is True
+        assert out.pass1_seconds == 0.0
+        assert not out.timed_out
+        assert out.result is not None

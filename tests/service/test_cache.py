@@ -50,6 +50,11 @@ class TestCacheKey:
             DIGEST, spec(introspective="A", heuristic_constants="100,100,200")
         )
 
+    def test_trace_flag_is_part_of_the_key(self):
+        # Traced payloads carry an extra section; they must never be
+        # served to (or seeded from) untraced requests.
+        assert cache_key(DIGEST, spec(trace=True)) != cache_key(DIGEST, spec())
+
     def test_priority_is_not_part_of_the_key(self):
         assert cache_key(DIGEST, spec(priority=9)) == cache_key(DIGEST, spec())
 

@@ -153,3 +153,52 @@ class TestJobQueue:
         q.put(job)
         t.join(timeout=5.0)
         assert got == [job]
+
+
+class TestQueueCompaction:
+    """Lazy cancellation must not let stale heap entries pile up: once the
+    cancelled entries outnumber the live ones, the heap is compacted."""
+
+    def test_mass_cancellation_shrinks_the_heap(self):
+        q = JobQueue()
+        jobs = [Job(spec=spec(priority=i % 7)) for i in range(1100)]
+        for job in jobs:
+            q.put(job)
+        survivors = jobs[1000:]
+        for job in jobs[:1000]:
+            assert q.cancel(job)
+        # The 1000 cancelled entries were swept out by compaction; the
+        # heap holds (about) the 100 live ones, not 1100.
+        assert len(q._heap) <= 2 * len(survivors)
+        assert q.depth() == len(survivors)
+
+    def test_compaction_preserves_priority_and_fifo_order(self):
+        q = JobQueue()
+        jobs = [Job(spec=spec(priority=i % 5)) for i in range(300)]
+        for job in jobs:
+            q.put(job)
+        cancelled = [job for i, job in enumerate(jobs) if i % 3 != 0]
+        survivors = [job for i, job in enumerate(jobs) if i % 3 == 0]
+        for job in cancelled:
+            assert q.cancel(job)
+        # Survivors pop in priority order, FIFO within a priority — the
+        # exact order they would have popped in had nothing been
+        # cancelled (compaction keeps the original heap keys).
+        expected = sorted(
+            survivors, key=lambda j: (-j.spec.priority, jobs.index(j))
+        )
+        popped = [q.pop(0.1) for _ in range(len(survivors))]
+        assert popped == expected
+        assert q.pop(0.01) is None
+
+    def test_stale_counter_resets_after_pop_sweep(self):
+        q = JobQueue()
+        a, b, c = Job(spec=spec()), Job(spec=spec()), Job(spec=spec())
+        for j in (a, b, c):
+            q.put(j)
+        # One cancellation of three entries: below the compaction
+        # threshold, so the stale entry is swept lazily by pop.
+        assert q.cancel(a)
+        assert len(q._heap) == 3
+        assert q.pop(0.1) is b
+        assert q._stale == 0

@@ -128,3 +128,70 @@ class TestWorkerPool:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             WorkerPool(workers=-1)
+
+
+class TestStagesAndTrace:
+    def test_stages_always_recorded(self):
+        out = execute_job(payload())
+        assert set(out["stages"]) >= {"build", "encode", "solve"}
+        assert all(v >= 0 for v in out["stages"].values())
+        assert "trace" not in out  # opt-in only
+
+    def test_error_payload_still_carries_stages(self):
+        out = execute_job({"source": BAD_SOURCE, "analysis": "insens"})
+        assert out["state"] == JobState.ERROR
+        assert isinstance(out["stages"], dict)
+
+    def test_trace_opt_in_payload(self):
+        out = execute_job(payload(trace=True))
+        assert out["state"] == JobState.DONE
+        trace = out["trace"]
+        events = trace["chrome"]["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        # The job-level span plus the full frontend-to-clients pipeline.
+        assert "job.execute" in names
+        assert {"job.build", "facts.encode", "analysis.solve",
+                "clients.precision"} <= names
+        assert trace["summary"]["job.execute"]["count"] == 1
+        # The payload must survive the process-pool JSON boundary.
+        import json
+
+        json.dumps(out)
+
+    def test_traced_introspective_job_has_intro_spans(self):
+        out = execute_job(payload(analysis="2objH", introspective="A", trace=True))
+        assert out["state"] == JobState.DONE
+        names = {
+            e["name"]
+            for e in out["trace"]["chrome"]["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert {"intro.pass1", "intro.metrics", "intro.heuristic",
+                "intro.pass2"} <= names
+
+    def test_traced_result_equals_untraced(self):
+        untraced = execute_job(payload(analysis="2objH"))
+        _PASS1_CACHE.clear()
+        traced = execute_job(payload(analysis="2objH", trace=True))
+
+        def content(stats):
+            return {k: v for k, v in stats.items() if k != "seconds"}
+
+        assert content(traced["stats"]) == content(untraced["stats"])
+        assert traced["precision"] == untraced["precision"]
+
+    def test_reused_pass1_records_no_pass1_span(self):
+        execute_job(payload(analysis="2objH", introspective="A"))
+        out = execute_job(
+            payload(analysis="2objH", introspective="B", trace=True)
+        )
+        assert out["pass1_reused"] is True
+        names = {
+            e["name"]
+            for e in out["trace"]["chrome"]["traceEvents"]
+            if e["ph"] == "X"
+        }
+        # A cache hit costs nothing, so no intro.pass1 span is recorded
+        # and no budget is drawn down for it.
+        assert "intro.pass1" not in names
+        assert "intro.pass2" in names

@@ -270,3 +270,74 @@ class TestList:
         out = capsys.readouterr().out
         for name in ("antlr", "jython", "hsqldb"):
             assert name in out
+
+
+class TestTrace:
+    def test_analyze_trace_writes_chrome_json(self, source_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "out.json"
+        rc = main(
+            ["analyze", source_file, "--analysis", "2objH",
+             "--trace", str(trace_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        assert "span" in out  # the summary table header
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        # The whole pipeline is covered: frontend, facts, solver, clients.
+        assert len(names) >= 6
+        assert {"frontend.parse", "facts.encode", "solver.propagate",
+                "clients.precision"} <= names
+
+    def test_analyze_trace_default_filename(self, source_file, tmp_path,
+                                            capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["analyze", source_file, "--trace"])
+        assert rc == 0
+        assert (tmp_path / "TRACE.json").exists()
+
+    def test_untraced_run_writes_nothing(self, source_file, tmp_path,
+                                         capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["analyze", source_file])
+        assert rc == 0
+        assert not (tmp_path / "TRACE.json").exists()
+        assert "wrote trace" not in capsys.readouterr().out
+
+    def test_bench_suite_trace_cell(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_solver.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            ["bench", "--suite", "tiny", "--repeat", "1",
+             "--flavors", "2objH", "--output", str(out_path),
+             "--trace", str(trace_path)]
+        )
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        cell = report["trace"]
+        assert cell["benchmark"] == "micro"
+        assert cell["flavor"] == "2objH"
+        assert cell["untraced_cpu_seconds"] > 0
+        assert cell["traced_cpu_seconds"] > 0
+        assert isinstance(cell["overhead_percent"], float)
+        assert "solver.propagate" in cell["span_names"]
+        assert cell["events"] > 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_bench_suite_without_trace_keeps_schema(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "b.json"
+        rc = main(
+            ["bench", "--suite", "tiny", "--repeat", "1",
+             "--flavors", "2objH", "--output", str(out_path)]
+        )
+        assert rc == 0
+        assert "trace" not in json.loads(out_path.read_text())

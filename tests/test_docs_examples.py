@@ -125,3 +125,37 @@ class TestPerformanceDoc:
         report = run_datalog_suite("tiny", flavors=("2objH",), repeat=1)
         assert set(example) == set(report)
         assert set(example["entries"][0]) == set(report["entries"][0])
+
+
+class TestObservabilityDoc:
+    def test_tracer_example_runs_and_schema_claims_hold(self):
+        """Both python blocks in observability.md execute as written: the
+        usage example against a real program, then the schema-claims
+        block against the trace it produced."""
+        from tests.conftest import build_box_program
+
+        namespace = {"program": build_box_program()}
+        usage = extract_block(DOCS / "observability.md", "python", index=0)
+        exec(compile(usage, "observability.md#0", "exec"), namespace)
+        schema = extract_block(DOCS / "observability.md", "python", index=1)
+        exec(compile(schema, "observability.md#1", "exec"), namespace)
+        assert namespace["summary"]["analysis.solve"]["count"] == 1
+        assert "analysis.solve" in namespace["table"]
+
+    def test_span_catalogue_is_complete(self):
+        """Every span name the code emits is documented, and the doc
+        documents no span the code cannot emit."""
+        import re as _re
+        import subprocess
+
+        text = (DOCS / "observability.md").read_text()
+        documented = set(_re.findall(r"^\| `([a-z._]+)` \|", text, _re.M))
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        emitted = set()
+        for path in src.rglob("*.py"):
+            if path.name == "tracer.py":
+                continue
+            emitted |= set(
+                _re.findall(r"\.span\(\s*\"([a-z._]+)\"", path.read_text())
+            )
+        assert emitted == documented, emitted ^ documented
