@@ -74,8 +74,10 @@ from typing import (
     Deque,
     Dict,
     FrozenSet,
+    Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Set,
     Tuple,
@@ -234,6 +236,13 @@ class PointsToSolver:
         # node): int keys hash as themselves, avoiding a tuple allocation
         # and hash-combine on every lookup in the hot construction path.
         self._pts: List[Set[int]] = []
+        # Insertion log, armed only while :meth:`extend` runs: every
+        # (node, new-pids) batch the three mutation choke points admit is
+        # appended, so the incremental result delta falls out exactly
+        # instead of re-scanning the O(result) points-to state.  Batches
+        # may alias pending sets that later grow with *other logged*
+        # batches, so consumers must union per node, never count.
+        self._added_log: Optional[List[Tuple[int, object]]] = None
         self._out_plain: Dict[int, List[int]] = {}  # src -> unfiltered dsts
         self._out_filtered: Dict[int, List[Tuple[int, int]]] = {}
         self._edge_seen: Set[int] = set()  # src << 32 | dst (plain edges)
@@ -552,6 +561,9 @@ class PointsToSolver:
         if not new:
             return
         pts |= new
+        log = self._added_log
+        if log is not None:
+            log.append((node, new))
         self._charge(len(new))
         pending = self._pending.get(node)
         if pending is None:
@@ -566,6 +578,9 @@ class PointsToSolver:
         if pid in pts:
             return
         pts.add(pid)
+        log = self._added_log
+        if log is not None:
+            log.append((node, pid))
         # _charge(1), inlined: this path runs once per derived singleton.
         self._tuple_count += 1
         if self.max_tuples is not None and self._tuple_count > self.max_tuples:
@@ -755,7 +770,17 @@ class PointsToSolver:
         mb = self._bodies.get(meth)
         if mb is None:
             return
+        self._play_body(mb, meth, ctx)
 
+    def _play_body(self, mb: _MethodBody, meth: int, ctx: int) -> None:
+        """Compile one body's instructions into nodes/edges/consumers.
+
+        Runs once per newly reachable (meth, ctx) — and again with
+        *delta* bodies holding only an edit's added instructions when
+        :meth:`extend` replays them into already-reachable contexts
+        (every registration below is idempotent, so replaying never
+        double-derives).
+        """
         # All variables in this body share ``ctx``: resolve nodes through
         # the per-context var map once, with int (not tuple) keys.
         vmap = self._vmap(ctx)
@@ -959,6 +984,334 @@ class PointsToSolver:
         with tracer.span("solver.snapshot"):
             return self._snapshot()
 
+    # ------------------------------------------------------------------
+    # Monotonic extension (incremental fast path)
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        program: Program,
+        facts: FactBase,
+        added: Mapping[str, Iterable[tuple]],
+    ) -> Tuple[RawSolution, Dict[str, FrozenSet[tuple]]]:
+        """Extend a solved fixpoint with *added* EDB rows, in place.
+
+        Returns ``(solution, result_added)`` where ``result_added`` maps
+        each of the five output relations to the string-level tuples this
+        extension derived — collected from an insertion log armed for the
+        duration of the call, so reporting costs O(delta), not O(result).
+
+        The resumable-worklist path of the incremental subsystem: the
+        interned pair table, node tables, cast-filter index and all
+        memoization caches survive from the previous solve; only the new
+        rows are compiled (into per-method *delta* bodies) and replayed
+        into every already-reachable context, then the ordinary worklist
+        runs to the new fixpoint.  Sound because every solver operation
+        is idempotent and the guarded hazards below are exactly the
+        non-monotonic inputs:
+
+        * ``CATCHCLAUSE``/``SUBTYPE`` would stale the escaped-exception
+          state and the incrementally-maintained cast-filter closures;
+        * structure rows (formals/returns/this) or actual-argument rows
+          on *pre-existing* methods/invocations would have to re-bind
+          call edges that ``_link_call`` already linked and memoized.
+
+        The caller (:mod:`repro.incremental`) classifies deltas before
+        ever getting here; the ``ValueError`` guards are belt and
+        braces.  ``program``/``facts`` are the *post-edit* snapshots —
+        needed for virtual dispatch over new LOOKUP entries and for
+        argument wiring of new call sites.
+        """
+        for name in ("CATCHCLAUSE", "SUBTYPE"):
+            if added.get(name):
+                raise ValueError(f"cannot extend monotonically: {name} rows")
+        known_meths = {self.meths.value(i) for i in self._bodies}
+        for rel in ("FORMALARG", "FORMALRETURN", "THISVAR"):
+            for row in added.get(rel, ()):
+                if row[0] in known_meths:
+                    raise ValueError(
+                        f"{rel} addition on pre-existing method {row[0]}"
+                    )
+        for rel in ("ACTUALARG", "ACTUALRETURN"):
+            for row in added.get(rel, ()):
+                if row[0] in self.invos:
+                    raise ValueError(
+                        f"{rel} addition on pre-existing call site {row[0]}"
+                    )
+        self.program = program
+        self.facts = facts
+        self._stopwatch.restart()
+
+        # Arm the insertion log and snapshot the (comparatively small)
+        # reachable/call-graph sets; everything derived below reports
+        # into the result delta without an O(result) rescan.  On an
+        # exception the solver is inconsistent and the session replaces
+        # it wholesale, dangling log included.
+        self._added_log = []
+        reach_before = set(self._reachable)
+        cg_before = set(self._call_graph)
+
+        # Heap types first: pairs minted during replay must see them, and
+        # cached cast filters must admit the new heaps.
+        for heap, typ in added.get("HEAPTYPE", ()):
+            self._register_heap_type(
+                self.heaps.intern(heap), self.types.intern(typ)
+            )
+
+        # Evict negative dispatch-cache entries the new LOOKUP rows turn
+        # positive.  An *absent* key needs nothing: no consumer/receiver
+        # combination ever attempted it, so no stale conclusion exists.
+        # A cached real target for an added row would mean the previous
+        # target was overridden — a retraction, never classified here.
+        retry: Set[int] = set()
+        for typ, sig, _target in added.get("LOOKUP", ()):
+            if typ in self.types and sig in self.sigs:
+                key = self.types.get(typ) << 32 | self.sigs.get(sig)
+                cached = self._dispatch_cache.get(key)
+                if cached is not None:
+                    if cached != _NONE:
+                        raise ValueError(
+                            f"LOOKUP({typ}, {sig}) already resolved; "
+                            "override requires recompute"
+                        )
+                    del self._dispatch_cache[key]
+                    retry.add(key)
+
+        # Compile only the added rows, into per-method delta bodies —
+        # the same shape _compile_facts builds, sourced from the delta.
+        per_method: Dict[str, _MethodBody] = {}
+
+        def dbody(meth: str) -> _MethodBody:
+            mb = per_method.get(meth)
+            if mb is None:
+                mb = _MethodBody(
+                    [], [], [], [], [], [], [], [], [], [], [], [],
+                    formals=(), returns=(), this=_NONE,
+                )
+                per_method[meth] = mb
+            return mb
+
+        # Seed every brand-new program method, even instruction-less ones:
+        # _link_call dereferences self._bodies[callee] unguarded.
+        for m in self.program.methods():
+            if m.id not in known_meths:
+                dbody(m.id)
+
+        var_meth = {v: m for v, m in facts.varinmeth}
+        for var, heap, meth in added.get("ALLOC", ()):
+            dbody(meth).allocs.append(
+                (self.vars.intern(var), self.heaps.intern(heap))
+            )
+        for to, frm in added.get("MOVE", ()):
+            dbody(var_meth[to]).moves.append(
+                (self.vars.intern(frm), self.vars.intern(to))
+            )
+        for to, typ, frm, meth in added.get("CAST", ()):
+            dbody(meth).casts.append(
+                (self.vars.intern(frm), self.vars.intern(to), self.types.intern(typ))
+            )
+        for to, base, fld in added.get("LOAD", ()):
+            dbody(var_meth[to]).loads.append(
+                (self.vars.intern(to), self.vars.intern(base), self.flds.intern(fld))
+            )
+        for base, fld, frm in added.get("STORE", ()):
+            dbody(var_meth[base]).stores.append(
+                (self.vars.intern(base), self.flds.intern(fld), self.vars.intern(frm))
+            )
+        for to, cls, fld in added.get("STATICLOAD", ()):
+            dbody(var_meth[to]).staticloads.append(
+                (self.vars.intern(to), self.static_flds.intern((cls, fld)))
+            )
+        for cls, fld, frm in added.get("STATICSTORE", ()):
+            dbody(var_meth[frm]).staticstores.append(
+                (self.static_flds.intern((cls, fld)), self.vars.intern(frm))
+            )
+        for var, meth in added.get("THROWINSTR", ()):
+            dbody(meth).throws.append(self.vars.intern(var))
+
+        args_of = facts.args_of_invo
+        ret_of = {invo: var for invo, var in facts.actualreturn}
+
+        def call_parts(invo: str) -> Tuple[int, Tuple[int, ...]]:
+            lhs = ret_of.get(invo)
+            lhs_i = self.vars.intern(lhs) if lhs is not None else _NONE
+            arg_is = tuple(self.vars.intern(a) for a in args_of.get(invo, ()))
+            return lhs_i, arg_is
+
+        for base, sig, invo, meth in added.get("VCALL", ()):
+            lhs_i, arg_is = call_parts(invo)
+            dbody(meth).vcalls.append(
+                (
+                    self.vars.intern(base),
+                    self.sigs.intern(sig),
+                    self.invos.intern(invo),
+                    lhs_i,
+                    arg_is,
+                )
+            )
+        for base, callee, invo, meth in added.get("SPECIALCALL", ()):
+            lhs_i, arg_is = call_parts(invo)
+            dbody(meth).specialcalls.append(
+                (
+                    self.vars.intern(base),
+                    self.meths.intern(callee),
+                    self.invos.intern(invo),
+                    lhs_i,
+                    arg_is,
+                )
+            )
+        for callee, invo, meth in added.get("SCALL", ()):
+            lhs_i, arg_is = call_parts(invo)
+            dbody(meth).scalls.append(
+                (self.meths.intern(callee), self.invos.intern(invo), lhs_i, arg_is)
+            )
+
+        formals: Dict[str, Dict[int, str]] = {}
+        for meth, i, arg in added.get("FORMALARG", ()):
+            formals.setdefault(meth, {})[i] = arg
+        returns: Dict[str, List[str]] = {}
+        for meth, ret in added.get("FORMALRETURN", ()):
+            returns.setdefault(meth, []).append(ret)
+        this_of = {meth: this for meth, this in added.get("THISVAR", ())}
+
+        # Merge delta bodies: new methods install whole; existing methods
+        # grow their instruction lists and queue a replay of exactly the
+        # delta into every context where they are already reachable.
+        replays: List[Tuple[int, _MethodBody]] = []
+        for meth, dmb in per_method.items():
+            if meth in known_meths:
+                meth_i = self.meths.get(meth)
+                mb = self._bodies[meth_i]
+                mb.allocs.extend(dmb.allocs)
+                mb.moves.extend(dmb.moves)
+                mb.casts.extend(dmb.casts)
+                mb.loads.extend(dmb.loads)
+                mb.stores.extend(dmb.stores)
+                mb.vcalls.extend(dmb.vcalls)
+                mb.specialcalls.extend(dmb.specialcalls)
+                mb.scalls.extend(dmb.scalls)
+                mb.staticloads.extend(dmb.staticloads)
+                mb.staticstores.extend(dmb.staticstores)
+                mb.throws.extend(dmb.throws)
+                replays.append((meth_i, dmb))
+            else:
+                fm = formals.get(meth, {})
+                dmb.formals = tuple(self.vars.intern(fm[i]) for i in sorted(fm))
+                dmb.returns = tuple(
+                    self.vars.intern(r) for r in returns.get(meth, ())
+                )
+                this = this_of.get(meth)
+                dmb.this = self.vars.intern(this) if this is not None else _NONE
+                self._bodies[self.meths.intern(meth)] = dmb
+
+        if replays:
+            ctxs_of_meth: Dict[int, List[int]] = {}
+            for key in self._reachable:
+                ctxs_of_meth.setdefault(key >> 32, []).append(
+                    key & 0xFFFFFFFF
+                )
+            for meth_i, dmb in replays:
+                for ctx in ctxs_of_meth.get(meth_i, ()):
+                    self._play_body(dmb, meth_i, ctx)
+
+        # Receivers observed *before* a LOOKUP key existed concluded
+        # "no target" through the (now evicted) cache — re-dispatch them.
+        if retry:
+            pht = self._pair_heap_type
+            for node, consumers in list(self._vcall_cons.items()):
+                current = self._pts[node]
+                if not current:
+                    continue
+                for sig, invo, ctx, in_meth, lhs, args in list(consumers):
+                    for pid in list(current):
+                        ht = pht[pid]
+                        if ht is not None and ht << 32 | sig in retry:
+                            self._dispatch_vcall(
+                                pid, sig, invo, ctx, in_meth, lhs, args
+                            )
+
+        ctx0 = self.ctxs.empty_id
+        for (ep,) in added.get("REACHABLEROOT", ()):
+            self._make_reachable(self.meths.intern(ep), ctx0)
+
+        self._propagate()
+        log, self._added_log = self._added_log, None
+        return self._snapshot(), self._extend_delta(log, reach_before, cg_before)
+
+    def _extend_delta(
+        self,
+        log: List[Tuple[int, object]],
+        reach_before: Set[int],
+        cg_before: Set[Tuple[int, int, int, int]],
+    ) -> Dict[str, FrozenSet[tuple]]:
+        """Translate an insertion log into string-level added tuples.
+
+        Tuple shapes match :meth:`AnalysisResult.iter_var_points_to` and
+        friends exactly — the session unions them into its cached
+        relations.  Static-field nodes are skipped: they feed variables
+        internally but are not part of any exported relation.
+        """
+        per_node: Dict[int, Set[int]] = {}
+        for node, payload in log:
+            bucket = per_node.get(node)
+            if bucket is None:
+                per_node[node] = bucket = set()
+            if isinstance(payload, int):
+                bucket.add(payload)
+            else:
+                bucket |= payload  # type: ignore[operator]
+        ph, pc = self._pair_heap, self._pair_hctx
+        heap_v = self.heaps.value
+        hctx_v = self.hctxs.value
+        ctx_v = self.ctxs.value
+        var_added: Set[tuple] = set()
+        fld_added: Set[tuple] = set()
+        throw_added: Set[tuple] = set()
+        if per_node:
+            get = per_node.get
+            for ctx, vmap in self._var_nodes.items():
+                for var, node in vmap.items():
+                    pids = get(node)
+                    if pids:
+                        var_s = self.vars.value(var)
+                        cv = ctx_v(ctx)
+                        for pid in pids:
+                            var_added.add(
+                                (var_s, cv, heap_v(ph[pid]), hctx_v(pc[pid]))
+                            )
+            for fld, fmap in self._fld_nodes.items():
+                for bpid, node in fmap.items():
+                    pids = get(node)
+                    if pids:
+                        base = heap_v(ph[bpid])
+                        bh = hctx_v(pc[bpid])
+                        fld_s = self.flds.value(fld)
+                        for pid in pids:
+                            fld_added.add(
+                                (base, bh, fld_s, heap_v(ph[pid]), hctx_v(pc[pid]))
+                            )
+            for key, node in self._throw_nodes.items():
+                pids = get(node)
+                if pids:
+                    meth_s = self.meths.value(key >> 32)
+                    cv = ctx_v(key & 0xFFFFFFFF)
+                    for pid in pids:
+                        throw_added.add(
+                            (meth_s, cv, heap_v(ph[pid]), hctx_v(pc[pid]))
+                        )
+        return {
+            "VARPOINTSTO": frozenset(var_added),
+            "FLDPOINTSTO": frozenset(fld_added),
+            "CALLGRAPH": frozenset(
+                (self.invos.value(i), ctx_v(cc), self.meths.value(m), ctx_v(ec))
+                for i, cc, m, ec in self._call_graph - cg_before
+            ),
+            "REACHABLE": frozenset(
+                (self.meths.value(k >> 32), ctx_v(k & 0xFFFFFFFF))
+                for k in self._reachable - reach_before
+            ),
+            "THROWPOINTSTO": frozenset(throw_added),
+        }
+
     def _propagate(self) -> None:
         worklist = self._worklist
         push = worklist.append
@@ -984,6 +1337,7 @@ class PointsToSolver:
         max_seconds = self.max_seconds
         elapsed = self._stopwatch.elapsed
         tracer = self._tracer
+        added_log = self._added_log
         while worklist:
             node = worklist.popleft()
             delta = pending_pop(node, None)
@@ -998,6 +1352,8 @@ class PointsToSolver:
                     new = delta - pts
                     if new:
                         pts |= new
+                        if added_log is not None:
+                            added_log.append((dst, new))
                         n = len(new)
                         self._tuple_count += n
                         if (

@@ -11,7 +11,10 @@ Subcommands:
   frozen reference engine over a generated suite and write
   ``BENCH_solver.json``; with ``--datalog``, benchmark the compiled-plan
   Datalog engine against the frozen interpreter and write
-  ``BENCH_datalog.json`` (see ``docs/performance.md``);
+  ``BENCH_datalog.json``; with ``--incremental``, benchmark warm edit
+  sessions against from-scratch re-analysis and write
+  ``BENCH_incremental.json`` (see ``docs/performance.md`` and
+  ``docs/incremental.md``);
 * ``repro benchmarks`` — list the built-in benchmarks;
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
   queue, worker pool, and content-addressed result cache);
@@ -25,6 +28,7 @@ Examples::
     repro bench hsqldb --analysis 2objH --introspective A
     repro bench --suite medium --repeat 3 --output BENCH_solver.json
     repro bench --datalog --suite medium --repeat 3
+    repro bench --incremental --suite medium --repeat 3
     repro bench --quick
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
 """
@@ -261,19 +265,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_suite(args: argparse.Namespace) -> int:
     """Engine benchmark (``repro bench`` without a benchmark name):
     packed-vs-reference solver by default, the Datalog-evaluator
-    comparison with ``--datalog``.  Writes the JSON report."""
-    from .harness.bench import run_datalog_suite, run_suite, write_report
+    comparison with ``--datalog``, warm edit-sessions vs from-scratch
+    re-analysis with ``--incremental``.  Writes the JSON report."""
+    from .harness.bench import (
+        run_datalog_suite,
+        run_incremental_suite,
+        run_suite,
+        write_report,
+    )
 
+    if args.datalog and args.incremental:
+        print("--datalog and --incremental are mutually exclusive")
+        return 2
     suite = args.suite
     repeat = args.repeat
     if args.quick:
         suite = "small"
         repeat = 1
     flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
-    runner = run_datalog_suite if args.datalog else run_suite
+    if args.datalog:
+        runner = run_datalog_suite
+    elif args.incremental:
+        runner = run_incremental_suite
+    else:
+        runner = run_suite
     output = args.output
     if output is None:
-        output = "BENCH_datalog.json" if args.datalog else "BENCH_solver.json"
+        if args.datalog:
+            output = "BENCH_datalog.json"
+        elif args.incremental:
+            output = "BENCH_incremental.json"
+        else:
+            output = "BENCH_solver.json"
     try:
         report = runner(
             suite=suite, flavors=flavors, repeat=repeat, progress=print
@@ -443,6 +466,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="benchmark the Datalog evaluators (compiled join plans vs "
         "the frozen interpreter) instead of the solver engines",
+    )
+    p_bench.add_argument(
+        "--incremental",
+        action="store_true",
+        help="benchmark warm incremental edit-sessions against "
+        "from-scratch re-analysis (writes BENCH_incremental.json)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

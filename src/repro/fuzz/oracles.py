@@ -24,6 +24,10 @@ shrink and persist the counterexample.
 ``trace-transparency``    attaching a :class:`~repro.obs.Tracer` to the
                           solver changes none of the five relations
                           (observability is strictly read-only)
+``incremental-equivalence``  extending a warm
+                          :class:`~repro.incremental.IncrementalSession`
+                          edit by edit derives exactly the from-scratch
+                          relations after every step
 ========================  ==============================================
 """
 
@@ -36,10 +40,12 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..analysis.reference_solver import ReferenceRawSolution
 from ..analysis.results import AnalysisResult
 from ..analysis.solver import BudgetExceeded, RawSolution, solve
-from ..contexts.policies import ContextPolicy
-from ..facts.encoder import FactBase
+from ..contexts.policies import ContextPolicy, policy_by_name
+from ..facts.encoder import FactBase, encode_program
 from ..introspection.driver import IntrospectiveOutcome
-from ..ir.program import Program
+from ..ir.program import Program, ProgramError
+from ..ir.types import TypeError_
+from ..ir.validate import ValidationError
 from ..obs import Tracer
 
 __all__ = [
@@ -47,6 +53,7 @@ __all__ = [
     "Violation",
     "check_digest_invariance",
     "check_engine_equivalence",
+    "check_incremental_equivalence",
     "check_insensitive_containment",
     "check_introspective_bracketing",
     "check_trace_transparency",
@@ -77,6 +84,10 @@ ORACLES: Dict[str, str] = {
     ),
     "trace-transparency": (
         "attaching a tracer to the solver changes no derived relation"
+    ),
+    "incremental-equivalence": (
+        "a warm incremental session equals the from-scratch result "
+        "after every edit"
     ),
 }
 
@@ -374,6 +385,73 @@ def check_tuple_budget_exactness(
         flavor=flavor,
         detail=f"budget=={expected_tuples - 1} did not raise BudgetExceeded",
     )
+
+
+def check_incremental_equivalence(
+    sketch,
+    seed: int,
+    flavor: Optional[str] = None,
+    engine: str = "solver",
+    steps: int = 2,
+    edits_per_step: int = 2,
+    max_tuples: Optional[int] = None,
+) -> Optional[Violation]:
+    """A warm :class:`~repro.incremental.IncrementalSession` must derive
+    exactly the from-scratch relations after every edit it absorbs.
+
+    Applies ``steps`` seeded random edit scripts (removals included, so
+    the monotonic, affected-strata *and* full tiers are all exercised)
+    and compares the session's five relations against a fresh packed
+    solve of the edited program after each one.  ``engine`` selects which
+    warm engine the session keeps ("solver" or "datalog").
+
+    Budget overruns propagate (the campaign counts them as skips); an
+    edit script the session legitimately refuses is skipped, not a
+    violation.
+    """
+    # Imported lazily: repro.incremental imports repro.fuzz.sketch, so a
+    # module-level import here would cycle through the package __init__.
+    from ..incremental.edits import EditError, random_edit_script
+    from ..incremental.session import RESULT_RELATIONS, IncrementalSession
+
+    analysis = flavor or "insens"
+    rng = random.Random(seed)
+    session = IncrementalSession(
+        sketch, analysis=analysis, engine=engine, max_tuples=max_tuples
+    )
+    for step in range(steps):
+        script = random_edit_script(
+            session.sketch,
+            rng,
+            edits=edits_per_step,
+            allow_removals=step % 2 == 1,
+        )
+        try:
+            outcome = session.apply(script)
+        except (EditError, ProgramError, ValidationError, TypeError_):
+            # Invalid edit: the session rolled back; try the next script.
+            continue
+        program = session.sketch.build()
+        facts = encode_program(program)
+        policy = policy_by_name(analysis, alloc_class_of=facts.alloc_class_of)
+        scratch = solver_relations(
+            solve(program, policy, facts=facts, max_tuples=max_tuples)
+        )
+        warm = session.relations()
+        for rel_name, b in zip(RESULT_RELATIONS, scratch):
+            a = warm[rel_name]
+            if a != b:
+                return Violation(
+                    oracle="incremental-equivalence",
+                    flavor=flavor,
+                    engines=(f"{engine}-warm", "packed-scratch"),
+                    detail=(
+                        f"step {step} [{outcome.tier}] "
+                        f"({script.describe()}): "
+                        + _diff_detail(rel_name, "warm", a, "scratch", b)
+                    ),
+                )
+    return None
 
 
 def check_trace_transparency(

@@ -53,6 +53,7 @@ from .oracles import (
     Violation,
     check_digest_invariance,
     check_engine_equivalence,
+    check_incremental_equivalence,
     check_insensitive_containment,
     check_introspective_bracketing,
     check_trace_transparency,
@@ -161,6 +162,7 @@ class FuzzConfig:
     intro_every: int = 8
     budget_every: int = 8
     trace_every: int = 8
+    incremental_every: int = 8
     #: Run the Datalog model on one rotating flavor per iteration instead
     #: of all of them — the pre-compiled-engine schedule, kept as an
     #: escape hatch for throughput-starved campaigns.
@@ -250,6 +252,7 @@ def _check_program(
     rng: random.Random,
     stats: FuzzStats,
     iteration: int,
+    sketch: Optional[ProgramSketch] = None,
 ) -> Optional[Violation]:
     """Run every scheduled oracle on one mutant; first violation wins."""
     facts = encode_program(program)
@@ -328,6 +331,35 @@ def _check_program(
         if v is not None:
             return v
 
+    if (
+        sketch is not None
+        and config.incremental_every
+        and iteration % config.incremental_every == 1
+    ):
+        flavor = flavors[iteration % len(flavors)]
+        # Alternate the warm engine between cadence hits so both the
+        # solver's extend() and the Datalog resume() see fuzz traffic.
+        engine = (
+            "datalog"
+            if (iteration // config.incremental_every) % 2
+            else "solver"
+        )
+        stats.engine_runs += 4
+        stats.count("incremental-equivalence")
+        # config.seed, not a per-iteration derivative: the shrinker and
+        # corpus replay re-run the oracle from the recorded seed, so the
+        # edit script must be reproducible from it (variety comes from
+        # the mutant itself).
+        v = check_incremental_equivalence(
+            sketch,
+            seed=config.seed,
+            flavor=flavor,
+            engine=engine,
+            max_tuples=_MUTANT_TUPLE_CAP,
+        )
+        if v is not None:
+            return v
+
     return None
 
 
@@ -384,6 +416,21 @@ def run_single_check(
         return check_tuple_budget_exactness(
             program, policy, facts, raw.tuple_count, flavor=target
         )
+
+    if oracle == "incremental-equivalence":
+        # Replay covers both warm engines: a corpus entry stays red no
+        # matter which one the campaign caught it on.
+        for engine in ("solver", "datalog"):
+            v = check_incremental_equivalence(
+                sketch,
+                seed=seed,
+                flavor=flavor,
+                engine=engine,
+                max_tuples=_MUTANT_TUPLE_CAP,
+            )
+            if v is not None:
+                return v
+        return None
 
     if oracle == "trace-transparency":
         target = flavor or "insens"
@@ -453,7 +500,7 @@ def run_campaign(
 
         try:
             violation = _check_program(
-                program, config, rng, stats, iteration
+                program, config, rng, stats, iteration, sketch=sketch
             )
         except (BudgetExceeded, EvaluationBudgetExceeded):
             stats.budget_skips += 1

@@ -49,6 +49,7 @@ import gc
 import json
 import math
 import platform
+import random
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -67,6 +68,10 @@ from ..contexts.policies import policy_by_name
 from ..datalog.engine import Engine as CompiledEngine
 from ..datalog.reference_engine import ReferenceEngine
 from ..facts.encoder import encode_program
+from ..fuzz.oracles import solver_relations
+from ..fuzz.sketch import ProgramSketch
+from ..incremental.edits import random_edit_script
+from ..incremental.session import RESULT_RELATIONS, IncrementalSession
 from ..obs import Tracer
 
 __all__ = [
@@ -75,9 +80,12 @@ __all__ = [
     "DATALOG_ENGINES",
     "DEFAULT_FLAVORS",
     "ENGINES",
+    "INCREMENTAL_BENCH_SCHEMA",
+    "INCREMENTAL_EDIT_KINDS",
     "datalog_suite_names",
     "datalog_suite_specs",
     "run_datalog_suite",
+    "run_incremental_suite",
     "run_trace_cell",
     "suite_names",
     "suite_specs",
@@ -87,6 +95,16 @@ __all__ = [
 
 BENCH_SCHEMA = "repro-bench-solver/1"
 DATALOG_BENCH_SCHEMA = "repro-bench-datalog/1"
+INCREMENTAL_BENCH_SCHEMA = "repro-bench-incremental/1"
+
+#: The monotonic edit vocabulary the incremental bench measures — one
+#: cell per kind, all absorbed by the warm solver's fast path.
+INCREMENTAL_EDIT_KINDS: Tuple[str, ...] = (
+    "alloc",
+    "move",
+    "new-call",
+    "new-entry",
+)
 DEFAULT_FLAVORS: Tuple[str, ...] = ("2objH", "2typeH", "2callH")
 ENGINES: Tuple[str, ...] = ("reference", "packed")
 DATALOG_ENGINES: Tuple[str, ...] = ("reference", "compiled")
@@ -534,6 +552,175 @@ def run_datalog_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "engines": list(DATALOG_ENGINES),
+        "entries": entries,
+        "speedups": speedups,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def run_incremental_suite(
+    suite: str = "medium",
+    flavors: Sequence[str] = DEFAULT_FLAVORS,
+    repeat: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark warm edit-sessions against from-scratch re-analysis.
+
+    For every (benchmark, flavor) cell a single
+    :class:`~repro.incremental.session.IncrementalSession` is warmed up
+    once (unmeasured) over the packed solver, then fed ``repeat`` seeded
+    single edits of each kind in :data:`INCREMENTAL_EDIT_KINDS`.  Each
+    edit is timed end-to-end — sketch mutation, program rebuild, fact
+    diff, tier classification, and the warm solve — because that is what
+    an editing service pays per keystroke.  The best CPU time per kind is
+    compared against the best of ``repeat`` from-scratch runs — build +
+    encode + policy + solve + result-relation materialization of the
+    final edited program, the exact work a session-less server redoes
+    to answer the same queries (``session.apply`` leaves
+    ``session.relations()`` current; scratch must materialize them from
+    the raw solution); ``speedups`` is keyed ``benchmark/flavor/kind``.
+
+    Correctness is asserted, not sampled: after each cell's edits the
+    warm relations are compared tuple-for-tuple against the from-scratch
+    result over all of :data:`RESULT_RELATIONS`; any difference raises
+    ``RuntimeError`` (the timing numbers would be meaningless).  Each
+    entry also records which tiers the session actually took — a fall
+    back to ``full`` shows up in the data rather than silently inflating
+    the baseline's advantage.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    specs = suite_specs(suite)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    for spec in specs:
+        sketch = ProgramSketch.from_program(generate(spec))
+        for flavor in flavors:
+            session = IncrementalSession(
+                sketch, analysis=flavor, engine="solver"
+            )
+            say(
+                f"{spec.name}/{flavor}: warm solve "
+                f"{session.initial_solve_seconds:.3f}s "
+                f"({session.program.summary()})"
+            )
+            # Seeded by cell name so runs are reproducible across
+            # processes (str seeds hash deterministically in random).
+            rng = random.Random(f"{spec.name}/{flavor}")
+            kind_cpu: Dict[str, float] = {}
+            kind_wall: Dict[str, float] = {}
+            kind_tiers: Dict[str, List[str]] = {}
+            kind_rows: Dict[str, int] = {}
+            for kind in INCREMENTAL_EDIT_KINDS:
+                tiers: List[str] = []
+                for _ in range(repeat):
+                    script = random_edit_script(
+                        session.sketch,
+                        rng,
+                        edits=1,
+                        allow_removals=False,
+                        kinds=(kind,),
+                    )
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        w0 = time.perf_counter()
+                        c0 = time.process_time()
+                        outcome = session.apply(script)
+                        cpu = time.process_time() - c0
+                        wall = time.perf_counter() - w0
+                    finally:
+                        gc.enable()
+                    if cpu < kind_cpu.get(kind, math.inf):
+                        kind_cpu[kind] = cpu
+                        kind_wall[kind] = wall
+                    tiers.append(outcome.tier)
+                    kind_rows[kind] = outcome.result_rows_added
+                kind_tiers[kind] = tiers
+            # One from-scratch baseline per cell: the final program is
+            # one tiny edit away from every measured state, so its
+            # scratch cost stands in for each edit's non-warm cost.
+            # Timed end-to-end to the same artifact the warm path keeps
+            # current: rebuild the program from the sketch, encode,
+            # solve, and materialize the result relations.
+            scratch_cpu = math.inf
+            scratch_wall = math.inf
+            scratch: Dict[str, object] = {}
+            for _ in range(repeat):
+                gc.collect()
+                gc.disable()
+                try:
+                    w0 = time.perf_counter()
+                    c0 = time.process_time()
+                    program = session.sketch.build()
+                    facts = encode_program(program)
+                    policy = policy_by_name(
+                        flavor, alloc_class_of=facts.alloc_class_of
+                    )
+                    raw = packed_solve(program, policy, facts=facts)
+                    relations = solver_relations(raw)
+                    cpu = time.process_time() - c0
+                    wall = time.perf_counter() - w0
+                finally:
+                    gc.enable()
+                scratch_cpu = min(scratch_cpu, cpu)
+                scratch_wall = min(scratch_wall, wall)
+                scratch = dict(zip(RESULT_RELATIONS, relations))
+                raw = relations = None
+            warm = session.relations()
+            bad = [
+                name
+                for name in RESULT_RELATIONS
+                if warm[name] != scratch[name]
+            ]
+            if bad:
+                raise RuntimeError(
+                    f"warm session diverged from scratch on "
+                    f"{spec.name}/{flavor}: {', '.join(bad)}"
+                )
+            for kind in INCREMENTAL_EDIT_KINDS:
+                cell = f"{spec.name}/{flavor}/{kind}"
+                speedup = scratch_cpu / kind_cpu[kind]
+                speedups[cell] = round(speedup, 3)
+                entries.append(
+                    {
+                        "benchmark": spec.name,
+                        "flavor": flavor,
+                        "edit": kind,
+                        "tiers": kind_tiers[kind],
+                        "seconds": round(kind_wall[kind], 6),
+                        "cpu_seconds": round(kind_cpu[kind], 6),
+                        "scratch_seconds": round(scratch_wall, 6),
+                        "scratch_cpu_seconds": round(scratch_cpu, 6),
+                        "result_rows_added": kind_rows[kind],
+                        "relations_checked": list(RESULT_RELATIONS),
+                        "peak_rss_kb": _peak_rss_kb(),
+                    }
+                )
+                say(
+                    f"  {flavor:7s} {kind:9s} "
+                    f"warm={kind_cpu[kind] * 1000:7.1f}ms "
+                    f"scratch={scratch_cpu:.3f}s  {speedup:.2f}x "
+                    f"[{'/'.join(sorted(set(kind_tiers[kind])))}]"
+                )
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    say(f"geomean speedup: {geomean:.2f}x")
+    return {
+        "schema": INCREMENTAL_BENCH_SCHEMA,
+        "suite": suite,
+        "flavors": list(flavors),
+        "repeat": repeat,
+        "edit_kinds": list(INCREMENTAL_EDIT_KINDS),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engines": ["warm", "scratch"],
         "entries": entries,
         "speedups": speedups,
         "geomean_speedup": round(geomean, 3),

@@ -1,0 +1,158 @@
+"""Fact-level differ: two fact bases in, EDB row deltas out.
+
+:func:`diff_facts` compares two :class:`~repro.facts.encoder.FactBase`
+snapshots (before/after an edit) relation by relation and returns a
+:class:`FactDelta` of per-relation row additions and retractions.  The
+differ is the sole authority on what an edit *means* to the engines — the
+edit model describes intent, the delta describes consequence (a one-line
+source edit can renumber later site ids and show up as removals).
+
+:func:`classify_delta` then decides which incremental tier can absorb the
+delta:
+
+* ``monotonic`` — pure additions outside the hazard set; both engines can
+  extend their prior fixpoint (semi-naive delta resume / worklist
+  replay).
+* ``recompute`` — anything with retractions, rows in
+  :data:`MONOTONIC_HAZARDS` (relations that feed negation or cached
+  type-hierarchy state), or structural rows attached to pre-existing
+  methods.  Deletion from a least fixpoint is non-monotonic, so these
+  fall back to the per-stratum / whole-analysis tiers.
+
+The hazard set is *derived* facts for the Datalog model: an EDB addition
+is unsafe iff its relation can transitively derive into a negated
+predicate (see :func:`repro.incremental.resume.negation_tainted`); a test
+pins the frozen constant to the derivation.  The packed solver adds two
+hazards of its own: ``SUBTYPE`` rows would stale its incremental
+cast-filter index, and ``CATCHCLAUSE`` rows re-route exceptions that
+already escaped (the same negation, operationally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Mapping, Tuple
+
+from ..facts.encoder import FactBase
+
+__all__ = [
+    "FactDelta",
+    "MONOTONIC_HAZARDS",
+    "classify_delta",
+    "diff_facts",
+]
+
+#: EDB relations whose *additions* are not monotonic for either engine:
+#: they feed negated predicates in the Datalog model (CAUGHTTYPE and the
+#: complement-polarity refinement gates) or cached hierarchy state in the
+#: packed solver.  Any delta touching these recomputes.
+MONOTONIC_HAZARDS: FrozenSet[str] = frozenset(
+    {
+        "CATCHCLAUSE",
+        "SUBTYPE",
+        "SITENOTTOREFINE",
+        "OBJECTNOTTOREFINE",
+    }
+)
+
+#: Relations binding structure onto an existing method.  Additions are
+#: only monotonic when the owning method is itself new — a new formal on
+#: an old method would have to re-bind arguments over call edges that
+#: were already linked.
+_METHOD_STRUCTURE = ("FORMALARG", "FORMALRETURN", "THISVAR")
+
+#: Same idea for call sites: the solver freezes a site's argument/return
+#: wiring into its consumer tuples when the site first becomes reachable,
+#: so new actuals on an old invocation would leave stale consumers.
+_CALL_STRUCTURE = ("ACTUALARG", "ACTUALRETURN")
+
+
+@dataclass(frozen=True)
+class FactDelta:
+    """Per-relation EDB row additions and retractions."""
+
+    added: Mapping[str, FrozenSet[tuple]]
+    removed: Mapping[str, FrozenSet[tuple]]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    @property
+    def rows_added(self) -> int:
+        return sum(len(rows) for rows in self.added.values())
+
+    @property
+    def rows_removed(self) -> int:
+        return sum(len(rows) for rows in self.removed.values())
+
+    def touched(self) -> FrozenSet[str]:
+        """Names of every relation with any added or removed row."""
+        return frozenset(self.added) | frozenset(self.removed)
+
+    def summary(self) -> str:
+        return (
+            f"+{self.rows_added}/-{self.rows_removed} rows over "
+            f"{len(self.touched())} relations"
+        )
+
+
+def diff_facts(old: FactBase, new: FactBase) -> FactDelta:
+    """Row-level set difference of two fact bases, per relation."""
+    old_rel = {k: set(v) for k, v in old.as_relation_dict().items()}
+    new_rel = {k: set(v) for k, v in new.as_relation_dict().items()}
+    added: Dict[str, FrozenSet[tuple]] = {}
+    removed: Dict[str, FrozenSet[tuple]] = {}
+    for name in set(old_rel) | set(new_rel):
+        before = old_rel.get(name, set())
+        after = new_rel.get(name, set())
+        plus = after - before
+        minus = before - after
+        if plus:
+            added[name] = frozenset(plus)
+        if minus:
+            removed[name] = frozenset(minus)
+    return FactDelta(added=added, removed=removed)
+
+
+def classify_delta(
+    delta: FactDelta,
+    old_method_ids: AbstractSet[str],
+    old_invo_ids: AbstractSet[str] = frozenset(),
+    hazards: FrozenSet[str] = MONOTONIC_HAZARDS,
+) -> Tuple[str, str]:
+    """Pick the cheapest sound tier for a delta.
+
+    Returns ``(tier, reason)`` where tier is ``"noop"``, ``"monotonic"``,
+    or ``"recompute"`` and the reason is a short human-readable
+    explanation (surfaced in session outcomes and the service API).
+    """
+    if delta.is_empty:
+        return "noop", "no fact changes"
+    if delta.removed:
+        names = ", ".join(sorted(delta.removed))
+        return "recompute", f"retractions in {names}"
+    hot = sorted(set(delta.added) & hazards)
+    if hot:
+        return "recompute", f"additions to hazard relations: {', '.join(hot)}"
+    for name in _METHOD_STRUCTURE:
+        stale = {
+            row[0] for row in delta.added.get(name, ()) if row[0] in old_method_ids
+        }
+        if stale:
+            return (
+                "recompute",
+                f"{name} additions on pre-existing methods: "
+                f"{', '.join(sorted(stale))}",
+            )
+    for name in _CALL_STRUCTURE:
+        stale = {
+            row[0] for row in delta.added.get(name, ()) if row[0] in old_invo_ids
+        }
+        if stale:
+            return (
+                "recompute",
+                f"{name} additions on pre-existing call sites: "
+                f"{', '.join(sorted(stale))}",
+            )
+    return "monotonic", f"pure additions ({delta.rows_added} rows)"

@@ -1,0 +1,227 @@
+"""Resuming the compiled Datalog engine from a prior fixpoint.
+
+The compiled engine (:class:`repro.datalog.engine.Engine`) is already
+semi-naive: every round it pops per-relation deltas
+(:meth:`~repro.datalog.database.Database.take_delta`), wraps them as
+indexed delta relations, and fires one compiled join plan per
+``(rule, delta position)``.  Its join plans capture *live* objects — the
+negated relations' row sets and the positional indexes maintained
+in-place by :meth:`Relation.add` — and :meth:`Database.relation` never
+replaces a Relation, so a finished engine's plans remain valid for
+further rows.  That makes monotonic resumption almost free:
+
+* :func:`resume` seeds only the genuinely-new EDB rows as deltas and
+  re-runs each stratum's delta loop (including delta plans for EDB body
+  atoms, which the steady-state loop never needs) until quiescent.  It is
+  sound only for additions outside the negation-tainted relation set —
+  :func:`negation_tainted` computes that set from the rules themselves,
+  and the session layer refuses anything inside it.
+
+* :func:`run_affected_strata` is the deletion tier: given a *fresh*
+  engine loaded with the post-edit EDB, it recomputes only the strata
+  whose predicates are transitively affected by the changed relations
+  and copies every unaffected stratum's rows verbatim from the previous
+  database.  For the points-to model the big mutually-recursive SCC
+  absorbs most changes, so the savings are modest (typically just the
+  CAUGHTTYPE stratum) — the value is that it is correct for *any* rule
+  program, leaving whole-program recompute as the escape hatch of last
+  resort.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..datalog.database import Database, Relation, Row
+from ..datalog.engine import Engine
+from ..datalog.rules import Rule, RuleProgram
+from ..datalog.terms import Atom, NegAtom
+
+__all__ = [
+    "affected_predicates",
+    "negation_tainted",
+    "resume",
+    "run_affected_strata",
+]
+
+
+def negation_tainted(program: RuleProgram) -> FrozenSet[str]:
+    """Predicates whose growth can shrink some derived relation.
+
+    Seeds with every negated predicate (and every aggregate-body
+    predicate — aggregates are implicit negation), then walks rule
+    dependencies *backwards*: if a rule's head is tainted, every positive
+    body predicate that can feed it is tainted too.  EDB additions
+    outside this set can only ever add derived tuples, which is what the
+    monotonic fast path requires.
+    """
+    tainted: Set[str] = set()
+    for rule in program.rules:
+        tainted |= rule.negated_preds()
+    for agg in program.aggregates:
+        tainted |= agg.body_preds()
+        tainted |= agg.head_preds()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if rule.head_preds() & tainted:
+                for lit in rule.body:
+                    if isinstance(lit, Atom) and lit.pred not in tainted:
+                        tainted.add(lit.pred)
+                        changed = True
+    return frozenset(tainted)
+
+
+def _rules_by_level(engine: Engine) -> Dict[int, List[Tuple[int, Rule]]]:
+    by_level: Dict[int, List[Tuple[int, Rule]]] = {}
+    for i, rule in enumerate(engine.program.rules):
+        level = engine.strata[next(iter(rule.head_preds()))]
+        by_level.setdefault(level, []).append((i, rule))
+    return by_level
+
+
+def resume(engine: Engine, added: Dict[str, Iterable[Row]]) -> int:
+    """Extend a finished engine's fixpoint with new EDB rows.
+
+    Seeds only rows not already present, then per stratum (in level
+    order) fires the compiled delta plans until quiescence — the same
+    semi-naive rounds :meth:`Engine._run_stratum` runs, minus the naive
+    seeding round, plus delta plans for EDB body atoms.  Returns the
+    number of delta rounds executed and leaves ``engine.db`` at the new
+    fixpoint.
+
+    Correctness requires the additions to avoid :func:`negation_tainted`
+    relations (the caller classifies; this function raises ``ValueError``
+    as a belt-and-braces check) and the engine to have completed a prior
+    :meth:`~repro.datalog.engine.Engine.run`.
+    """
+    if engine.program.aggregates:
+        raise ValueError("cannot resume a program with aggregate rules")
+    forbidden = negation_tainted(engine.program)
+    hot = sorted(set(added) & forbidden)
+    if hot:
+        raise ValueError(
+            f"additions to negation-tainted relations: {', '.join(hot)}"
+        )
+    db = engine.db
+    # Flush any stale delta bookkeeping left over from the initial run.
+    for name in list(db.names()):
+        db.take_delta(name)
+    # Seed only genuinely-new rows; track them ourselves so a predicate
+    # feeding several strata is never consumed by the first one.
+    pending: Dict[str, Set[Row]] = {}
+    for name, rows in added.items():
+        rel = db.relation(name)
+        fresh = {tuple(row) for row in rows} - rel.rows
+        if fresh:
+            db.add_facts(name, fresh)
+            db.take_delta(name)
+            pending[name] = set(fresh)
+    if not pending:
+        return 0
+    rounds = 0
+    by_level = _rules_by_level(engine)
+    for level in sorted(by_level):
+        rules = by_level[level]
+        stratum_preds = {p for _i, r in rules for p in r.head_preds()}
+        current: Dict[str, Set[Row]] = {}
+        for _i, rule in rules:
+            for _pos, atom in rule.positive_positions():
+                rows = pending.get(atom.pred)
+                if rows:
+                    current.setdefault(atom.pred, set()).update(rows)
+        while any(current.values()):
+            rounds += 1
+            engine.rounds += 1
+            delta_rels: Dict[str, Relation] = {}
+            for pred, rows in current.items():
+                rel = Relation(pred)
+                rel.rows = rows
+                delta_rels[pred] = rel
+            for i, rule in rules:
+                for pos, atom in rule.positive_positions():
+                    delta = delta_rels.get(atom.pred)
+                    if delta is not None and delta.rows:
+                        engine._delta_plan(i, pos)(delta)
+            current = {}
+            for pred in stratum_preds:
+                fresh = db.take_delta(pred)
+                if fresh:
+                    current[pred] = fresh
+                    # Later strata see this stratum's growth as input.
+                    pending.setdefault(pred, set()).update(fresh)
+    return rounds
+
+
+def affected_predicates(
+    program: RuleProgram, changed: AbstractSet[str]
+) -> FrozenSet[str]:
+    """Forward closure of ``changed`` through rule dependencies.
+
+    A predicate is affected if any rule deriving it has an affected body
+    predicate (positive *or* negated — retractions flow through negation
+    as additions and vice versa).
+    """
+    affected: Set[str] = set(changed)
+    changed_flag = True
+    while changed_flag:
+        changed_flag = False
+        for rule in program.rules:
+            if rule.body_preds() & affected:
+                for pred in rule.head_preds():
+                    if pred not in affected:
+                        affected.add(pred)
+                        changed_flag = True
+        for agg in program.aggregates:
+            if agg.body_preds() & affected:
+                for pred in agg.head_preds():
+                    if pred not in affected:
+                        affected.add(pred)
+                        changed_flag = True
+    return frozenset(affected)
+
+
+def run_affected_strata(
+    engine: Engine, old_db: Database, changed: AbstractSet[str]
+) -> Tuple[int, int]:
+    """Partial recompute: run only the strata reachable from ``changed``.
+
+    ``engine`` must be freshly constructed with the *new* EDB loaded and
+    not yet run; ``old_db`` is the previous fixpoint's database.  Strata
+    whose head predicates are all unaffected copy their rows from
+    ``old_db`` (their transitive inputs are unchanged, so the rows are
+    identical by construction); affected strata run normally, in level
+    order.  Returns ``(strata_run, strata_copied)``.
+    """
+    affected = affected_predicates(engine.program, changed)
+    by_level = _rules_by_level(engine)
+    # Aggregates attach to a stratum via their head predicate; a program
+    # with aggregates in an unaffected stratum still copies correctly,
+    # but Engine._run_stratum only handles aggregates of the level it
+    # runs, so keep the mapping honest by treating their heads as heads.
+    agg_levels: Dict[int, Set[str]] = {}
+    for agg in engine.program.aggregates:
+        for pred in agg.head_preds():
+            agg_levels.setdefault(engine.strata[pred], set()).add(pred)
+    max_level = max(engine.strata.values(), default=0)
+    ran = copied = 0
+    for level in range(max_level + 1):
+        heads: Set[str] = {
+            p for _i, r in by_level.get(level, ()) for p in r.head_preds()
+        }
+        heads |= agg_levels.get(level, set())
+        if not heads:
+            continue
+        if heads & affected:
+            engine._run_stratum(level)
+            ran += 1
+        else:
+            for pred in sorted(heads):
+                engine.db.add_facts(pred, old_db.rows(pred))
+            copied += 1
+    # Copied rows left pending deltas; later strata already consumed what
+    # they needed through the naive seeding round, so drop the rest.
+    for name in list(engine.db.names()):
+        engine.db.take_delta(name)
+    return ran, copied

@@ -1,0 +1,377 @@
+"""Warm edit sessions: edit scripts in, result deltas out.
+
+An :class:`IncrementalSession` owns one evolving
+:class:`~repro.fuzz.sketch.ProgramSketch` and one warm engine — either the
+packed worklist solver or the compiled Datalog model — and absorbs
+:class:`~repro.incremental.edits.EditScript`\\ s without re-solving from
+scratch whenever the fact delta allows it.  Each apply runs the tier
+ladder:
+
+``noop``
+    the edit changed no facts (e.g. adding then removing in one script);
+    the previous result is returned untouched.
+``monotonic``
+    pure additions outside the hazard set: the solver replays only the
+    delta bodies into its live worklist state
+    (:meth:`~repro.analysis.solver.PointsToSolver.extend`) or the Datalog
+    engine re-enters its semi-naive delta rounds with just the new EDB
+    rows seeded (:func:`~repro.incremental.resume.resume`).
+``strata`` (Datalog engine only)
+    retractions or hazard rows: a fresh engine over the new EDB, but only
+    the strata transitively affected by the changed relations are rerun —
+    the rest copy rows from the previous fixpoint
+    (:func:`~repro.incremental.resume.run_affected_strata`).
+``full``
+    the always-correct escape hatch: a fresh solve.
+
+Every apply returns an :class:`EditOutcome` carrying the tier taken, the
+fact delta, *result* deltas (added/removed tuples per output relation),
+and timing split into delta-apply (edit + rebuild + diff + classify) and
+solve.  Equality with a from-scratch solve is enforced by the
+``incremental-equivalence`` fuzz oracle and the bench harness; if a fast
+tier's belt-and-braces guards refuse a delta the session silently falls
+back to ``full`` and says so in the outcome reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from ..analysis.datalog_model import DatalogModelResult, DatalogPointsToAnalysis
+from ..analysis.solver import PointsToSolver
+from ..contexts.policies import policy_by_name
+from ..facts.encoder import FactBase, encode_program
+from ..fuzz.oracles import solver_relations
+from ..fuzz.sketch import ProgramSketch
+from ..ir.program import Program
+from ..utils import Stopwatch
+from .differ import FactDelta, classify_delta, diff_facts
+from .edits import Edit, EditScript
+from .resume import resume, run_affected_strata
+
+__all__ = ["EditOutcome", "IncrementalSession", "RESULT_RELATIONS"]
+
+#: The five output relations every outcome reports deltas over (the same
+#: canonical string-level relations the fuzz oracles compare).
+RESULT_RELATIONS = (
+    "VARPOINTSTO",
+    "FLDPOINTSTO",
+    "CALLGRAPH",
+    "REACHABLE",
+    "THROWPOINTSTO",
+)
+
+#: Internal relation store: plain mutable sets so the solver's monotonic
+#: fast path can union its reported additions in place (O(delta)) instead
+#: of rebuilding O(result) frozensets per edit.
+Relations = Dict[str, set]
+
+
+def _jsonify(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class EditOutcome:
+    """What one :meth:`IncrementalSession.apply` did, and what changed."""
+
+    tier: str  # "noop" | "monotonic" | "strata" | "full"
+    reason: str
+    engine: str
+    delta: FactDelta
+    apply_seconds: float
+    solve_seconds: float
+    digest: str
+    result_added: Dict[str, FrozenSet[tuple]]
+    result_removed: Dict[str, FrozenSet[tuple]]
+
+    @property
+    def result_rows_added(self) -> int:
+        return sum(len(rows) for rows in self.result_added.values())
+
+    @property
+    def result_rows_removed(self) -> int:
+        return sum(len(rows) for rows in self.result_removed.values())
+
+    def summary(self) -> str:
+        return (
+            f"{self.tier}: facts {self.delta.summary()}; results "
+            f"+{self.result_rows_added}/-{self.result_rows_removed} in "
+            f"{self.solve_seconds * 1000:.1f}ms"
+        )
+
+    def to_payload(self, max_rows_per_relation: int = 50) -> dict:
+        """JSON-serializable view (rows capped per relation, count exact)."""
+
+        def rows_payload(
+            per_rel: Dict[str, FrozenSet[tuple]]
+        ) -> Dict[str, dict]:
+            out = {}
+            for name in sorted(per_rel):
+                rows = sorted(per_rel[name], key=repr)
+                out[name] = {
+                    "count": len(rows),
+                    "rows": [_jsonify(r) for r in rows[:max_rows_per_relation]],
+                }
+            return out
+
+        return {
+            "tier": self.tier,
+            "reason": self.reason,
+            "engine": self.engine,
+            "digest": self.digest,
+            "fact_delta": {
+                "rows_added": self.delta.rows_added,
+                "rows_removed": self.delta.rows_removed,
+                "relations": sorted(self.delta.touched()),
+            },
+            "timing": {
+                "apply_seconds": round(self.apply_seconds, 6),
+                "solve_seconds": round(self.solve_seconds, 6),
+            },
+            "result_delta": {
+                "added": rows_payload(self.result_added),
+                "removed": rows_payload(self.result_removed),
+            },
+        }
+
+
+class IncrementalSession:
+    """One warm analysis kept alive across a sequence of edits."""
+
+    def __init__(
+        self,
+        sketch: ProgramSketch,
+        analysis: str = "insens",
+        engine: str = "solver",
+        max_tuples: Optional[int] = None,
+    ) -> None:
+        if engine not in ("solver", "datalog"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.analysis = analysis
+        self.engine = engine
+        self.max_tuples = max_tuples
+        self.sketch = sketch.clone()
+        self.program: Program = self.sketch.build()
+        self.facts: FactBase = encode_program(self.program)
+        # The policy binds alloc_class_of at construction; a session-owned
+        # dict (grown per edit, before each solve) keeps it fresh.  An
+        # alloc site's declaring class never changes while the site id
+        # exists, so stale entries are never *wrong*.
+        self._alloc_class: Dict[str, str] = dict(self.facts.alloc_class)
+        self._policy = policy_by_name(
+            analysis, alloc_class_of=self._alloc_class.__getitem__
+        )
+        self._solver: Optional[PointsToSolver] = None
+        self._model: Optional[DatalogPointsToAnalysis] = None
+        self.edits_applied = 0
+        self.tier_counts: Dict[str, int] = {}
+        sw = Stopwatch()
+        self._relations: Relations = self._solve_fresh(self.program, self.facts)
+        self.initial_solve_seconds = sw.elapsed()
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def _solve_fresh(self, program: Program, facts: FactBase) -> Relations:
+        if self.engine == "solver":
+            self._solver = PointsToSolver(
+                program, self._policy, facts=facts, max_tuples=self.max_tuples
+            )
+            return {
+                name: set(rows)
+                for name, rows in zip(
+                    RESULT_RELATIONS, solver_relations(self._solver.solve())
+                )
+            }
+        self._model = DatalogPointsToAnalysis(
+            program, self._policy, facts=facts, max_rows=self.max_tuples
+        )
+        return self._datalog_relations(self._model.run())
+
+    @staticmethod
+    def _datalog_relations(result: DatalogModelResult) -> Relations:
+        return {
+            "VARPOINTSTO": set(result.var_points_to),
+            "FLDPOINTSTO": set(result.fld_points_to),
+            "CALLGRAPH": set(result.call_graph),
+            "REACHABLE": set(result.reachable),
+            "THROWPOINTSTO": set(result.throw_points_to),
+        }
+
+    def _extend(
+        self, program: Program, facts: FactBase, delta: FactDelta
+    ) -> Tuple[Relations, Optional[Dict[str, FrozenSet[tuple]]]]:
+        """Monotonic fast path on the warm engine.
+
+        Returns ``(relations, added)``.  The solver reports its result
+        delta natively, so the cached sets are grown in place and
+        ``added`` is exact without any full-relation comparison; the
+        Datalog path re-queries its (small) database and leaves ``added``
+        as None for the caller to diff.
+        """
+        if self.engine == "solver":
+            assert self._solver is not None
+            _raw, added = self._solver.extend(program, facts, delta.added)
+            for name, plus in added.items():
+                if plus:
+                    self._relations[name].update(plus)
+            return self._relations, added
+        assert self._model is not None
+        resume(self._model.engine, delta.added)
+        self._model.program = program
+        self._model.facts = facts
+        query = self._model.engine.query
+        return (
+            {name: set(query(name)) for name in RESULT_RELATIONS},
+            None,
+        )
+
+    def _recompute(
+        self, program: Program, facts: FactBase, delta: FactDelta
+    ) -> Tuple[str, Relations]:
+        """Deletion tier: affected strata for Datalog, full solve otherwise."""
+        if self.engine == "datalog" and self._model is not None:
+            old_db = self._model.engine.db
+            self._model = DatalogPointsToAnalysis(
+                program, self._policy, facts=facts, max_rows=self.max_tuples
+            )
+            run_affected_strata(self._model.engine, old_db, delta.touched())
+            query = self._model.engine.query
+            return "strata", {
+                name: set(query(name)) for name in RESULT_RELATIONS
+            }
+        return "full", self._solve_fresh(program, facts)
+
+    # ------------------------------------------------------------------
+    # The session API
+    # ------------------------------------------------------------------
+    def relations(self) -> Dict[str, FrozenSet[tuple]]:
+        """The current five output relations (string level).
+
+        Defensive frozen copies: the session mutates its internal sets in
+        place on monotonic edits, and callers hold results across edits.
+        """
+        return {name: frozenset(rows) for name, rows in self._relations.items()}
+
+    def apply(
+        self, edits: Union[EditScript, Iterable[Edit]]
+    ) -> EditOutcome:
+        """Apply an edit script and bring the result to the new fixpoint.
+
+        On a failed edit or an invalid resulting program the sketch is
+        rolled back and the exception propagates; the session stays at
+        its previous consistent state.
+        """
+        script = (
+            edits if isinstance(edits, EditScript) else EditScript(list(edits))
+        )
+        sw = Stopwatch()
+        inverse = script.apply(self.sketch)
+        try:
+            program = self.sketch.build()
+            facts = encode_program(program)
+        except Exception:
+            inverse.apply(self.sketch)
+            raise
+        delta = diff_facts(self.facts, facts)
+        old_method_ids = {m.id for m in self.program.methods()}
+        old_invo_ids = {invo for invo, _meth in self.facts.invoinmeth}
+        tier, reason = classify_delta(delta, old_method_ids, old_invo_ids)
+        # Policies read alloc_class_of during the solve below.
+        self._alloc_class.update(facts.alloc_class)
+        apply_seconds = sw.elapsed()
+
+        sw.restart()
+        old_relations = self._relations
+        direct_added: Optional[Dict[str, FrozenSet[tuple]]] = None
+        try:
+            if tier == "noop":
+                relations = old_relations
+                direct_added = {}
+            elif tier == "monotonic":
+                try:
+                    relations, direct_added = self._extend(
+                        program, facts, delta
+                    )
+                except ValueError as exc:
+                    # A fast-path guard refused the delta the classifier
+                    # accepted: fall back to the escape hatch and say so.
+                    tier, relations = self._recompute(program, facts, delta)
+                    reason = f"fast path refused ({exc}); {reason}"
+            else:
+                tier, relations = self._recompute(program, facts, delta)
+        except Exception:
+            # The solve itself failed (e.g. a tuple-budget trip mid
+            # extension), possibly leaving the warm engine inconsistent.
+            # Revert the sketch and rebuild the warm state at the old
+            # program so the session survives; then let the error out.
+            inverse.apply(self.sketch)
+            self._relations = self._solve_fresh(self.program, self.facts)
+            raise
+        solve_seconds = sw.elapsed()
+
+        self.program = program
+        self.facts = facts
+        self._relations = relations
+        self.edits_applied += len(script)
+        self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
+
+        result_added: Dict[str, FrozenSet[tuple]] = {}
+        result_removed: Dict[str, FrozenSet[tuple]] = {}
+        if direct_added is not None:
+            # Engine-reported delta (solver fast path / noop): exact by
+            # construction — every fuzz-oracle equivalence check also
+            # revalidates it — and O(delta) where the full comparison
+            # below is O(result).  Monotonic, so nothing was removed.
+            for name, plus in direct_added.items():
+                if plus:
+                    result_added[name] = frozenset(plus)
+        else:
+            for name in RESULT_RELATIONS:
+                plus = relations[name] - old_relations[name]
+                minus = old_relations[name] - relations[name]
+                if plus:
+                    result_added[name] = frozenset(plus)
+                if minus:
+                    result_removed[name] = frozenset(minus)
+        return EditOutcome(
+            tier=tier,
+            reason=reason,
+            engine=self.engine,
+            delta=delta,
+            apply_seconds=apply_seconds,
+            solve_seconds=solve_seconds,
+            digest=facts.digest(),
+            result_added=result_added,
+            result_removed=result_removed,
+        )
+
+    def check_against_scratch(self) -> List[str]:
+        """Compare the warm result to a from-scratch solve; returns the
+        names of mismatching relations (empty = equivalent).  Test/bench
+        helper — a real session never needs it."""
+        program = self.sketch.build()
+        facts = encode_program(program)
+        policy = policy_by_name(
+            self.analysis, alloc_class_of=facts.alloc_class_of
+        )
+        if self.engine == "solver":
+            raw = PointsToSolver(
+                program, policy, facts=facts, max_tuples=self.max_tuples
+            ).solve()
+            scratch = dict(zip(RESULT_RELATIONS, solver_relations(raw)))
+        else:
+            scratch = self._datalog_relations(
+                DatalogPointsToAnalysis(
+                    program, policy, facts=facts, max_rows=self.max_tuples
+                ).run()
+            )
+        return [
+            name
+            for name in RESULT_RELATIONS
+            if scratch[name] != self._relations[name]
+        ]

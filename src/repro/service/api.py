@@ -12,16 +12,28 @@ the cache when possible, and otherwise ships the job to the pool.
 The HTTP layer is a stdlib :class:`~http.server.ThreadingHTTPServer`
 speaking JSON, mirroring the submit/poll shape of builder-style services:
 
-========================  ======  =========================================
-``POST /jobs``            202     submit a job (benchmark or inline source)
-``GET /jobs``             200     list job snapshots
-``GET /jobs/{id}``        200     one job's status snapshot
-``GET /jobs/{id}/result`` 200     terminal result payload (409 while
-                                  queued/running)
-``DELETE /jobs/{id}``     200     cancel a queued job (409 otherwise)
-``GET /healthz``          200     liveness + quick stats
-``GET /metrics``          200     Prometheus text format
-========================  ======  =========================================
+===========================  ======  ======================================
+``POST /jobs``               202     submit a job (benchmark or inline
+                                     source)
+``GET /jobs``                200     list job snapshots
+``GET /jobs/{id}``           200     one job's status snapshot
+``GET /jobs/{id}/result``    200     terminal result payload (409 while
+                                     queued/running)
+``DELETE /jobs/{id}``        200     cancel a queued job (409 otherwise)
+``POST /sessions``           201     open a warm edit session (pays the
+                                     initial solve; 409 at capacity)
+``GET /sessions``            200     list session snapshots
+``GET /sessions/{id}``       200     one session's snapshot
+``POST /sessions/{id}/edits``  200   apply an edit script, returning the
+                                     result delta + tier + timing (400
+                                     rejects, session unchanged)
+``DELETE /sessions/{id}``    200     close a session
+``GET /healthz``             200     liveness + quick stats
+``GET /metrics``             200     Prometheus text format
+===========================  ======  ======================================
+
+Sessions are the incremental subsystem over HTTP — see
+``docs/incremental.md`` for the edit vocabulary and payload shapes.
 
 ``serve()`` is the blocking entry point behind ``repro serve``.
 """
@@ -39,6 +51,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from .cache import ResultCache, cache_key
 from .jobs import Job, JobQueue, JobSpec, JobState
+from .sessions import SessionError, SessionStore
 from .telemetry import Registry
 from .workers import WorkerPool
 
@@ -116,6 +129,14 @@ class AnalysisService:
             misses=self._m_cache_misses,
         )
         self._m_workers.set(workers)
+        self.sessions = SessionStore()
+        self._m_sessions = t.gauge(
+            "repro_service_sessions", "Live warm edit sessions."
+        )
+        self._m_session_edits = t.counter(
+            "repro_service_session_edits_total",
+            "Edit scripts applied to warm sessions, by tier.",
+        )
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._slots = threading.BoundedSemaphore(self.pool.slots)
@@ -197,7 +218,7 @@ class AnalysisService:
         if job.cancel_requested:
             self._finalize(job, {"state": JobState.CANCELLED}, store_key=None)
             return
-        job.started_at = time.time()
+        job.mark_started()
         spec_payload = job.spec.to_payload()
         try:
             # Build + encode here (milliseconds) to learn the content key;
@@ -254,7 +275,7 @@ class AnalysisService:
         job.error = payload.get("error")
         job.cached = bool(payload.get("cached", False))
         job.state = state
-        job.finished_at = time.time()
+        job.mark_finished()
         self._m_jobs.inc(state=state)
         if "solve_seconds" in payload:
             self._m_solve.observe(payload["solve_seconds"])
@@ -286,6 +307,7 @@ class AnalysisService:
             "workers": self.pool.workers,
             "queue_depth": self.queue.depth(),
             "jobs": len(self.jobs()),
+            "sessions": len(self.sessions),
             "cache_entries": len(self.cache),
             "uptime_seconds": round(time.time() - self.started_at, 3),
         }
@@ -296,6 +318,8 @@ class AnalysisService:
 # ----------------------------------------------------------------------
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
 _RESULT_PATH = re.compile(r"^/jobs/([0-9a-f]+)/result$")
+_SESSION_PATH = re.compile(r"^/sessions/([0-9a-f]+)$")
+_SESSION_EDITS_PATH = re.compile(r"^/sessions/([0-9a-f]+)/edits$")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -336,24 +360,53 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- methods -------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/jobs":
-            self._send_json(404, {"error": f"no such route: POST {self.path}"})
+        if self.path == "/jobs":
+            try:
+                spec = JobSpec.from_payload(self._read_json())
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            job = self.service.submit(spec)
+            self._send_json(
+                202,
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "status_url": f"/jobs/{job.id}",
+                    "result_url": f"/jobs/{job.id}/result",
+                },
+            )
             return
-        try:
-            spec = JobSpec.from_payload(self._read_json())
-        except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
+        if self.path == "/sessions":
+            try:
+                record = self.service.sessions.create(self._read_json())
+            except SessionError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
+                return
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self.service._m_sessions.set(len(self.service.sessions))
+            snapshot = record.snapshot()
+            snapshot["edits_url"] = f"/sessions/{record.id}/edits"
+            self._send_json(201, snapshot)
             return
-        job = self.service.submit(spec)
-        self._send_json(
-            202,
-            {
-                "id": job.id,
-                "state": job.state,
-                "status_url": f"/jobs/{job.id}",
-                "result_url": f"/jobs/{job.id}/result",
-            },
-        )
+        m = _SESSION_EDITS_PATH.match(self.path)
+        if m:
+            try:
+                payload = self.service.sessions.apply_edits(
+                    m.group(1), self._read_json()
+                )
+            except SessionError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
+                return
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self.service._m_session_edits.inc(tier=payload["tier"])
+            self._send_json(200, payload)
+            return
+        self._send_json(404, {"error": f"no such route: POST {self.path}"})
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
@@ -393,9 +446,39 @@ class _Handler(BaseHTTPRequestHandler):
                      "result": job.result},
                 )
             return
+        if self.path == "/sessions":
+            self._send_json(
+                200,
+                {
+                    "sessions": [
+                        r.snapshot() for r in self.service.sessions.list()
+                    ]
+                },
+            )
+            return
+        m = _SESSION_PATH.match(self.path)
+        if m:
+            record = self.service.sessions.get(m.group(1))
+            if record is None:
+                self._send_json(
+                    404, {"error": f"no such session: {m.group(1)}"}
+                )
+            else:
+                self._send_json(200, record.snapshot())
+            return
         self._send_json(404, {"error": f"no such route: GET {self.path}"})
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        m = _SESSION_PATH.match(self.path)
+        if m:
+            if self.service.sessions.delete(m.group(1)):
+                self.service._m_sessions.set(len(self.service.sessions))
+                self._send_json(200, {"id": m.group(1), "deleted": True})
+            else:
+                self._send_json(
+                    404, {"error": f"no such session: {m.group(1)}"}
+                )
+            return
         m = _JOB_PATH.match(self.path)
         if not m:
             self._send_json(404, {"error": f"no such route: DELETE {self.path}"})

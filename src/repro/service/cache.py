@@ -140,5 +140,19 @@ class ResultCache:
                 self._memory.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop both tiers.
+
+        The disk tier must go too: a memory-only clear would let the
+        next ``get`` quietly resurrect every "cleared" entry from its
+        JSON file, which is exactly what callers clearing a cache are
+        trying to prevent (e.g. invalidating results after an encoder
+        change that does not alter fact digests).
+        """
         with self._lock:
             self._memory.clear()
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # best-effort, matching put()

@@ -155,7 +155,16 @@ class JobSpec:
 
 @dataclass
 class Job:
-    """A spec plus identity, lifecycle state, and result."""
+    """A spec plus identity, lifecycle state, and result.
+
+    Timekeeping is split by purpose: the ``*_at`` fields are wall-clock
+    (:func:`time.time`) and exist only for display — "when did this
+    run".  Durations come from the matching ``*_mono`` fields
+    (:func:`time.monotonic`): subtracting wall-clock stamps would let an
+    NTP step or DST shift produce negative or wildly wrong queue/run
+    times, which is exactly the clock the queue's pop deadlines already
+    avoid.  Lifecycle transitions must stamp both (see :meth:`mark`).
+    """
 
     spec: JobSpec
     id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
@@ -163,6 +172,9 @@ class Job:
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    created_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
     cached: bool = False
@@ -172,8 +184,46 @@ class Job:
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
+    def mark_started(self) -> None:
+        """Stamp the queued->running transition on both clocks."""
+        self.started_at = time.time()
+        self.started_mono = time.monotonic()
+
+    def mark_finished(self) -> None:
+        """Stamp the terminal transition on both clocks."""
+        self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Monotonic time from submission to start (or cancellation)."""
+        end = self.started_mono
+        if end is None:
+            end = self.finished_mono  # cancelled while queued
+        if end is None:
+            return None
+        return end - self.created_mono
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Monotonic time from start to finish; None until both exist."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        """Monotonic time from submission to finish."""
+        if self.finished_mono is None:
+            return None
+        return self.finished_mono - self.created_mono
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able status view (``GET /jobs/{id}``)."""
+
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 6)
+
         return {
             "id": self.id,
             "state": self.state,
@@ -181,6 +231,9 @@ class Job:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_seconds": _round(self.queue_seconds),
+            "run_seconds": _round(self.run_seconds),
+            "total_seconds": _round(self.total_seconds),
             "error": self.error,
             "cached": self.cached,
         }
@@ -235,7 +288,7 @@ class JobQueue:
                 return False
             job.state = JobState.CANCELLED
             job.cancel_requested = True
-            job.finished_at = time.time()
+            job.mark_finished()
             self._stale += 1
             if self._stale > len(self._heap) // 2:
                 self._compact()

@@ -180,6 +180,7 @@ def test_catalogue_is_complete_and_described():
         "digest-invariance",
         "tuple-budget-exactness",
         "trace-transparency",
+        "incremental-equivalence",
     }
     assert all(ORACLES[name] for name in ORACLES)
 

@@ -123,3 +123,22 @@ class TestDiskTier:
         cache.put("a", {"v": 1})
         cache.put("b", {"v": 2})  # evicts a; nothing on disk to recover
         assert cache.get("a") is None
+
+    def test_clear_drops_the_disk_tier_too(self, tmp_path):
+        # Regression: clear() used to empty only the memory tier, so the
+        # next get() resurrected every "cleared" entry from its JSON file.
+        cache = ResultCache(capacity=2, cache_dir=str(tmp_path))
+        cache.put("k1", {"v": 1})
+        cache.put("k2", {"v": 2})
+        assert list(tmp_path.glob("*.json"))
+        cache.clear()
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.json"))
+        assert cache.get("k1") is None
+        assert cache.get("k2") is None
+
+    def test_clear_without_disk_dir(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k", {"v": 1})
+        cache.clear()
+        assert cache.get("k") is None

@@ -202,3 +202,55 @@ class TestQueueCompaction:
         assert len(q._heap) == 3
         assert q.pop(0.1) is b
         assert q._stale == 0
+
+
+class TestJobDurations:
+    def test_durations_come_from_the_monotonic_clock(self, monkeypatch):
+        # Regression: durations used to be derivable only from the
+        # wall-clock *_at stamps, so an NTP step between submission and
+        # finish produced negative or wildly wrong timings.  Simulate a
+        # clock jumping one hour backwards mid-job: wall-clock display
+        # fields show the jump, the duration properties must not.
+        import time as time_module
+
+        real_time = time_module.time
+        job = Job(spec=spec())
+        job.mark_started()
+        monkeypatch.setattr(
+            "repro.service.jobs.time.time",
+            lambda: real_time() - 3600.0,
+        )
+        job.mark_finished()
+        assert job.finished_at < job.started_at  # the wall clock jumped...
+        assert job.run_seconds is not None and job.run_seconds >= 0
+        assert job.total_seconds >= job.run_seconds
+        assert job.queue_seconds is not None and job.queue_seconds >= 0
+
+    def test_durations_are_none_until_the_transitions_happen(self):
+        job = Job(spec=spec())
+        assert job.queue_seconds is None
+        assert job.run_seconds is None
+        assert job.total_seconds is None
+        job.mark_started()
+        assert job.queue_seconds is not None
+        assert job.run_seconds is None
+        job.mark_finished()
+        assert job.run_seconds is not None
+
+    def test_cancelled_job_has_queue_time_but_no_run_time(self):
+        q = JobQueue()
+        job = Job(spec=spec())
+        q.put(job)
+        assert q.cancel(job) is True
+        assert job.queue_seconds is not None and job.queue_seconds >= 0
+        assert job.run_seconds is None
+        assert job.total_seconds is not None
+
+    def test_snapshot_exposes_rounded_durations(self):
+        job = Job(spec=spec())
+        job.mark_started()
+        job.mark_finished()
+        snap = job.snapshot()
+        for key in ("queue_seconds", "run_seconds", "total_seconds"):
+            assert snap[key] is not None and snap[key] >= 0
+        assert snap["created_at"] is not None

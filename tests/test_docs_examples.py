@@ -126,6 +126,24 @@ class TestPerformanceDoc:
         assert set(example) == set(report)
         assert set(example["entries"][0]) == set(report["entries"][0])
 
+    def test_incremental_schema_example_matches_real_report(self):
+        """The BENCH_incremental.json example (third json block) must
+        have exactly the keys a real incremental-suite report has."""
+        import json
+
+        from repro.harness.bench import (
+            INCREMENTAL_BENCH_SCHEMA,
+            run_incremental_suite,
+        )
+
+        example = json.loads(
+            extract_block(DOCS / "performance.md", "json", index=2)
+        )
+        assert example["schema"] == INCREMENTAL_BENCH_SCHEMA
+        report = run_incremental_suite("tiny", flavors=("2objH",), repeat=1)
+        assert set(example) == set(report)
+        assert set(example["entries"][0]) == set(report["entries"][0])
+
 
 class TestObservabilityDoc:
     def test_tracer_example_runs_and_schema_claims_hold(self):
@@ -159,3 +177,36 @@ class TestObservabilityDoc:
                 _re.findall(r"\.span\(\s*\"([a-z._]+)\"", path.read_text())
             )
         assert emitted == documented, emitted ^ documented
+
+
+class TestIncrementalDoc:
+    def test_usage_block_executes_as_written(self):
+        """The python block in incremental.md is the subsystem's contract:
+        it must run verbatim against a real program."""
+        from tests.conftest import build_kitchen_sink_program
+
+        namespace = {"program": build_kitchen_sink_program()}
+        code = extract_block(DOCS / "incremental.md", "python")
+        exec(compile(code, "incremental.md", "exec"), namespace)
+        session = namespace["session"]
+        assert session.check_against_scratch() == []
+        assert session.tier_counts.get("monotonic", 0) >= 1
+
+    def test_tier_table_matches_the_code(self):
+        """Every tier the session can report is named in the doc's tier
+        table, and the hazard relations the doc cites are the real ones."""
+        from repro.incremental import MONOTONIC_HAZARDS
+
+        text = (DOCS / "incremental.md").read_text()
+        for tier in ("noop", "monotonic", "strata", "full"):
+            assert f"`{tier}`" in text, tier
+        for relation in MONOTONIC_HAZARDS - {"SITENOTTOREFINE", "OBJECTNOTTOREFINE"}:
+            assert relation in text, relation
+
+    def test_edit_vocabulary_is_complete(self):
+        """Every JSON op the wire format accepts is named in the doc."""
+        from repro.incremental.edits import _EDIT_OPS
+
+        text = (DOCS / "incremental.md").read_text()
+        for op in _EDIT_OPS:
+            assert f"`{op}`" in text, op
