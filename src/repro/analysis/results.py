@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
-from .solver import RawSolution
+from .solver import RawSolution, iter_bits
 
 __all__ = ["AnalysisResult", "AnalysisStats"]
 
@@ -78,7 +78,7 @@ class AnalysisResult:
                     continue
                 var = raw.vars.value(var_i)
                 bucket = proj.setdefault(var, set())
-                for pid in pts:
+                for pid in iter_bits(pts):
                     bucket.add(raw.heaps.value(pair_heap[pid]))
             self._var_proj = proj
         return self._var_proj
@@ -96,7 +96,7 @@ class AnalysisResult:
                     continue
                 key = (raw.heaps.value(base_i), raw.flds.value(fld_i))
                 bucket = proj.setdefault(key, set())
-                for pid in pts:
+                for pid in iter_bits(pts):
                     bucket.add(raw.heaps.value(pair_heap[pid]))
             self._fld_proj = proj
         return self._fld_proj
@@ -198,8 +198,8 @@ class AnalysisResult:
     # ------------------------------------------------------------------
     def stats(self, timed_out: bool = False) -> AnalysisStats:
         raw = self.raw
-        var_tuples = sum(len(raw.pts[n]) for n in raw.var_nodes.values())
-        fld_tuples = sum(len(raw.pts[n]) for n in raw.fld_nodes.values())
+        var_tuples = sum(raw.pts_size(n) for n in raw.var_nodes.values())
+        fld_tuples = sum(raw.pts_size(n) for n in raw.fld_nodes.values())
         return AnalysisStats(
             analysis=self.analysis_name,
             seconds=raw.seconds,

@@ -20,29 +20,37 @@ graph, the standard formulation of context-sensitive Andersen-style analysis:
   virtual/special calls (the paper's MERGE rule, constructing callee
   contexts on the fly).
 
-Packed representation
----------------------
+Packed bitset representation
+----------------------------
 
 Points-to sets do not hold ``(heap, hctx)`` tuple pairs.  Every distinct
 pair is *packed* into a single small integer — a dense **pair id** minted in
 allocation order — and all propagation state (``_pts``, pending deltas,
-cast-filter sets) is plain ``set[int]``.  This buys three things:
+cast-filter sets) is an arbitrary-precision **int bitmask** with bit
+``pid`` set when the pair is a member.  This buys three things:
 
-* **cheap hashing** — CPython hashes a small int as its own value, so set
-  membership, ``difference`` and ``update`` run several times faster than
-  on tuples (which hash-combine their elements on every probe);
-* **dense, collision-free tables** — pair ids are consecutive integers, so
-  ``hash(pid) & mask`` spreads perfectly across a set's table.  (The
-  obvious alternative, ``heap << 32 | hctx``, is *slower* than tuples in
-  CPython: the table index is taken from the low hash bits, which for a
-  shifted key are just the hctx id, so probes collide pathologically);
-* **bulk set ops** — propagation is ``new = delta - pts; pts |= new`` and
-  cast filtering is ``delta & allowed_pairs``, all in C, replacing the
-  per-tuple comprehensions of the old representation (kept verbatim in
-  :mod:`repro.analysis.reference_solver` as the benchmark baseline).
+* **word-parallel set algebra** — propagation is
+  ``new = delta & ~pts; pts |= new`` and cast filtering is
+  ``delta & allowed_mask``: one C-level big-int operation each, touching
+  64 pair ids per machine word instead of one hash probe per element;
+* **allocation-free membership** — ``pts & (1 << pid)`` needs no hashing,
+  no tuple allocation, and no hash-table resizing as sets grow; a mask of
+  n pairs costs n/8 bytes, densely packed, where a CPython set costs
+  ~32 bytes per element plus table slack;
+* **O(1) empty/subset tests** — ``if new:`` and the budget math
+  (``popcount``) are single big-int primitives.
+
+Iteration happens only at *materialization boundaries* — consumer
+dispatch (one virtual call per receiver object), field-node creation, and
+the final snapshot — via :func:`iter_bits`, the standard
+lowest-set-bit walk (``low = m & -m``).  The dense allocation order of
+pair ids keeps masks short: hub-pathology workloads reuse the same few
+thousand pairs across millions of tuples.
 
 Unpacking is two list indexes (``pair_heap[pid]``, ``pair_hctx[pid]``); only
-call resolution and the final snapshot consumers ever need it.
+call resolution and the final snapshot consumers ever need it.  The
+pre-bitset engine is kept verbatim in
+:mod:`repro.analysis.reference_solver` as the benchmark baseline.
 
 Cast filters are indexed, not scanned: ``_allowed_pairs`` materializes, per
 cast type, the set of pair ids whose heap's type is in the target's
@@ -89,10 +97,38 @@ from ..facts.encoder import FactBase, encode_program
 from ..ir.program import Program
 from ..utils import Interner, Stopwatch
 
-__all__ = ["BudgetExceeded", "PointsToSolver", "RawSolution", "solve"]
+__all__ = [
+    "BudgetExceeded",
+    "PointsToSolver",
+    "RawSolution",
+    "iter_bits",
+    "popcount",
+    "solve",
+]
 
 #: Sentinel for "no target variable" / "dispatch failed".
 _NONE = -1
+
+try:
+    # int.bit_count is a single CPython primitive (3.10+).
+    popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - exercised on the 3.9 CI lane
+    def popcount(mask: int) -> int:
+        """Number of set bits in a mask (pre-3.10 fallback)."""
+        return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Iterate the set bit positions of a mask, lowest first.
+
+    The standard lowest-set-bit walk: ``low = m & -m`` isolates the
+    lowest bit, ``bit_length() - 1`` names it, xor clears it.  Cost is
+    O(set bits), independent of mask width above the highest bit.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 #: How many tuple insertions between wall-clock checks.
 _CLOCK_CHECK_PERIOD = 4096
@@ -141,11 +177,13 @@ class _MethodBody:
 class RawSolution:
     """Interned analysis output; wrapped by ``results.AnalysisResult``.
 
-    ``pts`` maps node id -> set of *pair ids*; a pair id ``p`` packs one
-    distinct ``(heap, hctx)`` pair, recovered as
+    ``pts`` maps node id -> int *bitmask of pair ids*; a pair id ``p``
+    packs one distinct ``(heap, hctx)`` pair, recovered as
     ``(pair_heap[p], pair_hctx[p])`` (or via :meth:`pair` /
-    :meth:`iter_pts`).  ``var_nodes`` recovers the (var, ctx) key of each
-    variable node.
+    :meth:`iter_pts`).  Bit ``p`` of ``pts[node]`` is set iff the pair is
+    in the node's points-to set; materialize with :meth:`iter_pids` and
+    count with :meth:`pts_size`.  ``var_nodes`` recovers the (var, ctx)
+    key of each variable node.
     """
 
     vars: Interner
@@ -160,7 +198,7 @@ class RawSolution:
     static_nodes: Dict[int, int]
     throw_nodes: Dict[Tuple[int, int], int]
     static_flds: Interner
-    pts: List[Set[int]]
+    pts: List[int]
     pair_heap: List[int]
     pair_hctx: List[int]
     reachable: Set[Tuple[int, int]]
@@ -175,10 +213,18 @@ class RawSolution:
         """Unpack a packed pair id to its ``(heap, hctx)`` id pair."""
         return self.pair_heap[pid], self.pair_hctx[pid]
 
+    def iter_pids(self, node: int) -> Iterator[int]:
+        """Iterate a node's points-to set as pair ids."""
+        return iter_bits(self.pts[node])
+
+    def pts_size(self, node: int) -> int:
+        """Cardinality of a node's points-to set."""
+        return popcount(self.pts[node])
+
     def iter_pts(self, node: int) -> Iterator[Tuple[int, int]]:
         """Iterate a node's points-to set as ``(heap, hctx)`` id pairs."""
         ph, pc = self.pair_heap, self.pair_hctx
-        for pid in self.pts[node]:
+        for pid in iter_bits(self.pts[node]):
             yield ph[pid], pc[pid]
 
 
@@ -222,7 +268,7 @@ class PointsToSolver:
         self._pair_ids: Dict[int, int] = {}
         self._pair_heap: List[int] = []
         self._pair_hctx: List[int] = []
-        self._pairs_by_heap: Dict[int, List[int]] = {}
+        self._pairs_by_heap: Dict[int, int] = {}  # heap -> pair-id bitmask
         # Heap type per pair id (None for typeless heaps), filled at mint
         # time: all heap types are registered during fact compilation, so
         # the value is fixed for the pair's lifetime.  Lets the dispatch
@@ -235,14 +281,19 @@ class PointsToSolver:
         # are nested int-keyed dicts (ctx -> var -> node, fld -> pair ->
         # node): int keys hash as themselves, avoiding a tuple allocation
         # and hash-combine on every lookup in the hot construction path.
-        self._pts: List[Set[int]] = []
-        # Insertion log, armed only while :meth:`extend` runs: every
-        # (node, new-pids) batch the three mutation choke points admit is
+        self._pts: List[int] = []  # node -> pair-id bitmask
+        # Insertion log, armed while :meth:`extend` runs (and by the
+        # parallel solve mode to mirror admissions to workers): every
+        # (node, new-pids-mask) batch the mutation choke points admit is
         # appended, so the incremental result delta falls out exactly
-        # instead of re-scanning the O(result) points-to state.  Batches
-        # may alias pending sets that later grow with *other logged*
-        # batches, so consumers must union per node, never count.
-        self._added_log: Optional[List[Tuple[int, object]]] = None
+        # instead of re-scanning the O(result) points-to state.  Masks
+        # are immutable ints, so logged batches are exact snapshots;
+        # consumers still union per node (a node can be logged twice).
+        self._added_log: Optional[List[Tuple[int, int]]] = None
+        # Edge log, armed only by the parallel solve mode: every new
+        # subset edge (src, dst, filter_type-or-_NONE) is appended so the
+        # controller can ship graph growth to workers between rounds.
+        self._edge_log: Optional[List[Tuple[int, int, int]]] = None
         self._out_plain: Dict[int, List[int]] = {}  # src -> unfiltered dsts
         self._out_filtered: Dict[int, List[Tuple[int, int]]] = {}
         self._edge_seen: Set[int] = set()  # src << 32 | dst (plain edges)
@@ -264,7 +315,7 @@ class PointsToSolver:
         self._throw_cons: Dict[int, List[Tuple[int, int]]] = {}
 
         self._worklist: Deque[int] = deque()
-        self._pending: Dict[int, Set[int]] = {}
+        self._pending: Dict[int, int] = {}  # node -> pending delta mask
 
         self._reachable: Set[int] = set()  # meth << 32 | ctx
         self._call_graph: Set[Tuple[int, int, int, int]] = set()
@@ -289,7 +340,7 @@ class PointsToSolver:
         # so minting a pair updates exactly the filters that need it.
         self._filter_closures: Dict[int, FrozenSet[str]] = {}
         self._filter_heaps: Dict[int, Set[int]] = {}
-        self._filter_pairs: Dict[int, Set[int]] = {}
+        self._filter_pairs: Dict[int, int] = {}  # type -> allowed-pair mask
         self._heap_filters: Dict[int, List[int]] = {}
         self._heaps_by_typename: Dict[str, List[int]] = {}
 
@@ -433,16 +484,14 @@ class PointsToSolver:
             self._pair_heap.append(heap)
             self._pair_hctx.append(hctx)
             self._pair_heap_type.append(self._heap_type.get(heap))
-            of_heap = self._pairs_by_heap.get(heap)
-            if of_heap is None:
-                self._pairs_by_heap[heap] = [pid]
-            else:
-                of_heap.append(pid)
+            bit = 1 << pid
+            self._pairs_by_heap[heap] = self._pairs_by_heap.get(heap, 0) | bit
             allowing = self._heap_filters.get(heap)
             if allowing:
                 filter_pairs = self._filter_pairs
                 for type_i in allowing:
-                    filter_pairs[type_i].add(pid)
+                    # masks are immutable ints: reassign, never mutate
+                    filter_pairs[type_i] |= bit
         return pid
 
     def _admit_heap_to_filter(self, type_i: int, heap: int) -> None:
@@ -451,13 +500,13 @@ class PointsToSolver:
         self._heap_filters.setdefault(heap, []).append(type_i)
         of_heap = self._pairs_by_heap.get(heap)
         if of_heap:
-            self._filter_pairs[type_i].update(of_heap)
+            self._filter_pairs[type_i] |= of_heap
 
     def _register_heap_type(self, heap: int, type_i: int) -> None:
         """Record a heap's type and fold it into every cached cast filter."""
         self._heap_type[heap] = type_i
         pht = self._pair_heap_type
-        for pid in self._pairs_by_heap.get(heap, ()):
+        for pid in iter_bits(self._pairs_by_heap.get(heap, 0)):
             pht[pid] = type_i
         tname = self.types.value(type_i)
         self._heaps_by_typename.setdefault(tname, []).append(heap)
@@ -465,8 +514,8 @@ class PointsToSolver:
             if tname in closure:
                 self._admit_heap_to_filter(t_i, heap)
 
-    def _allowed_pairs(self, type_i: int) -> Set[int]:
-        """Pair ids whose heap's type is a subtype of cast type ``type_i``.
+    def _allowed_pairs(self, type_i: int) -> int:
+        """Mask of pair ids whose heap's type is a subtype of ``type_i``.
 
         Built once per cast type from the hierarchy's precomputed subtype
         closure, then maintained incrementally — never rescanned.
@@ -490,10 +539,12 @@ class PointsToSolver:
             )
             self._filter_closures[type_i] = frozenset(closure)
             self._filter_heaps[type_i] = set()
-            pairs = self._filter_pairs[type_i] = set()
+            self._filter_pairs[type_i] = 0
             for tname in closure:
                 for heap in self._heaps_by_typename.get(tname, ()):
                     self._admit_heap_to_filter(type_i, heap)
+            # re-read: _admit_heap_to_filter rebinds the (immutable) mask
+            pairs = self._filter_pairs[type_i]
             if span is not None:
                 span.__exit__(None, None, None)
         return pairs
@@ -503,7 +554,7 @@ class PointsToSolver:
     # ------------------------------------------------------------------
     def _new_node(self) -> int:
         node = len(self._pts)
-        self._pts.append(set())
+        self._pts.append(0)
         return node
 
     def _vmap(self, ctx: int) -> Dict[int, int]:
@@ -519,7 +570,7 @@ class PointsToSolver:
         node = vmap.get(var)
         if node is None:
             node = len(self._pts)
-            self._pts.append(set())
+            self._pts.append(0)
             vmap[var] = node
         return node
 
@@ -530,7 +581,7 @@ class PointsToSolver:
         node = fmap.get(pid)
         if node is None:
             node = len(self._pts)
-            self._pts.append(set())
+            self._pts.append(0)
             fmap[pid] = node
         return node
 
@@ -554,33 +605,34 @@ class PointsToSolver:
     # ------------------------------------------------------------------
     # Propagation primitives
     # ------------------------------------------------------------------
-    def _add_pts(self, node: int, pids: Set[int]) -> None:
-        """Bulk-insert a set of pair ids into a node's points-to set."""
+    def _add_pts(self, node: int, pids: int) -> None:
+        """Bulk-insert a mask of pair ids into a node's points-to set."""
         pts = self._pts[node]
-        new = pids - pts
+        new = pids & ~pts
         if not new:
             return
-        pts |= new
+        self._pts[node] = pts | new
         log = self._added_log
         if log is not None:
             log.append((node, new))
-        self._charge(len(new))
+        self._charge(popcount(new))
         pending = self._pending.get(node)
         if pending is None:
             self._pending[node] = new
             self._worklist.append(node)
         else:
-            pending |= new
+            self._pending[node] = pending | new
 
     def _add_pts1(self, node: int, pid: int) -> None:
         """Single-pair fast path (allocations, this-binding, catches)."""
+        bit = 1 << pid
         pts = self._pts[node]
-        if pid in pts:
+        if pts & bit:
             return
-        pts.add(pid)
+        self._pts[node] = pts | bit
         log = self._added_log
         if log is not None:
-            log.append((node, pid))
+            log.append((node, bit))
         # _charge(1), inlined: this path runs once per derived singleton.
         self._tuple_count += 1
         if self.max_tuples is not None and self._tuple_count > self.max_tuples:
@@ -605,10 +657,10 @@ class PointsToSolver:
                 self._tracer.counter_sample("solver.tuples", self._tuple_count)
         pending = self._pending.get(node)
         if pending is None:
-            self._pending[node] = {pid}
+            self._pending[node] = bit
             self._worklist.append(node)
         else:
-            pending.add(pid)
+            self._pending[node] = pending | bit
 
     def _charge(self, n: int) -> None:
         self._tuple_count += n
@@ -644,6 +696,8 @@ class PointsToSolver:
                 self._out_plain[src] = [dst]
             else:
                 out.append(dst)
+            if self._edge_log is not None:
+                self._edge_log.append((src, dst, _NONE))
             current = self._pts[src]
             if current:
                 self._add_pts(dst, current)
@@ -657,6 +711,8 @@ class PointsToSolver:
                 self._out_filtered[src] = [(dst, filter_type)]
             else:
                 out.append((dst, filter_type))
+            if self._edge_log is not None:
+                self._edge_log.append((src, dst, filter_type))
             current = self._pts[src]
             if current:
                 filtered = current & self._allowed_pairs(filter_type)
@@ -670,14 +726,16 @@ class PointsToSolver:
         self._load_cons.setdefault(node, []).append((fld, to_node))
         current = self._pts[node]
         if current:
-            for pid in list(current):
+            # masks are immutable: ``current`` is a stable snapshot even
+            # though registration below may grow self._pts[node]
+            for pid in iter_bits(current):
                 self._add_edge(self._fnode(pid, fld), to_node)
 
     def _register_store(self, node: int, fld: int, from_node: int) -> None:
         self._store_cons.setdefault(node, []).append((fld, from_node))
         current = self._pts[node]
         if current:
-            for pid in list(current):
+            for pid in iter_bits(current):
                 self._add_edge(from_node, self._fnode(pid, fld))
 
     def _register_vcall(
@@ -689,7 +747,7 @@ class PointsToSolver:
         current = self._pts[node]
         if current:
             sig, invo, ctx, in_meth, lhs, args = consumer
-            for pid in list(current):
+            for pid in iter_bits(current):
                 self._dispatch_vcall(pid, sig, invo, ctx, in_meth, lhs, args)
 
     def _register_special(
@@ -701,7 +759,7 @@ class PointsToSolver:
         current = self._pts[node]
         if current:
             callee, invo, ctx, in_meth, lhs, args = consumer
-            for pid in list(current):
+            for pid in iter_bits(current):
                 self._resolve_receiver_call(
                     pid, invo, ctx, in_meth, callee, lhs, args
                 )
@@ -710,7 +768,7 @@ class PointsToSolver:
         self._throw_cons.setdefault(node, []).append((meth, ctx))
         current = self._pts[node]
         if current:
-            for pid in list(current):
+            for pid in iter_bits(current):
                 self._raise_in(meth, ctx, pid)
 
     # ------------------------------------------------------------------
@@ -791,7 +849,7 @@ class PointsToSolver:
             node = vmap_get(var)
             if node is None:
                 node = len(pts)
-                pts.append(set())
+                pts.append(0)
                 vmap[var] = node
             return node
 
@@ -851,22 +909,22 @@ class PointsToSolver:
                 src = cmap.get(actual)
                 if src is None:
                     src = cmap[actual] = len(pts)
-                    pts.append(set())
+                    pts.append(0)
                 dst = emap.get(formal)
                 if dst is None:
                     dst = emap[formal] = len(pts)
-                    pts.append(set())
+                    pts.append(0)
                 self._add_edge(src, dst)
             if lhs != _NONE:
                 dst = cmap.get(lhs)
                 if dst is None:
                     dst = cmap[lhs] = len(pts)
-                    pts.append(set())
+                    pts.append(0)
                 for ret in mb.returns:
                     src = emap.get(ret)
                     if src is None:
                         src = emap[ret] = len(pts)
-                        pts.append(set())
+                        pts.append(0)
                     self._add_edge(src, dst)
         # Exceptions escaping the callee are (re-)raised in the caller.
         self._register_throw(
@@ -880,7 +938,7 @@ class PointsToSolver:
         caught = False
         if mb is not None:
             for catch_type, catch_var in mb.catches:
-                if pid in self._allowed_pairs(catch_type):
+                if self._allowed_pairs(catch_type) >> pid & 1:
                     self._add_pts1(self._vnode(catch_var, ctx), pid)
                     caught = True
         if not caught:
@@ -1222,7 +1280,7 @@ class PointsToSolver:
                 if not current:
                     continue
                 for sig, invo, ctx, in_meth, lhs, args in list(consumers):
-                    for pid in list(current):
+                    for pid in iter_bits(current):
                         ht = pht[pid]
                         if ht is not None and ht << 32 | sig in retry:
                             self._dispatch_vcall(
@@ -1239,7 +1297,7 @@ class PointsToSolver:
 
     def _extend_delta(
         self,
-        log: List[Tuple[int, object]],
+        log: List[Tuple[int, int]],
         reach_before: Set[int],
         cg_before: Set[Tuple[int, int, int, int]],
     ) -> Dict[str, FrozenSet[tuple]]:
@@ -1250,15 +1308,9 @@ class PointsToSolver:
         relations.  Static-field nodes are skipped: they feed variables
         internally but are not part of any exported relation.
         """
-        per_node: Dict[int, Set[int]] = {}
+        per_node: Dict[int, int] = {}
         for node, payload in log:
-            bucket = per_node.get(node)
-            if bucket is None:
-                per_node[node] = bucket = set()
-            if isinstance(payload, int):
-                bucket.add(payload)
-            else:
-                bucket |= payload  # type: ignore[operator]
+            per_node[node] = per_node.get(node, 0) | payload
         ph, pc = self._pair_heap, self._pair_hctx
         heap_v = self.heaps.value
         hctx_v = self.hctxs.value
@@ -1274,7 +1326,7 @@ class PointsToSolver:
                     if pids:
                         var_s = self.vars.value(var)
                         cv = ctx_v(ctx)
-                        for pid in pids:
+                        for pid in iter_bits(pids):
                             var_added.add(
                                 (var_s, cv, heap_v(ph[pid]), hctx_v(pc[pid]))
                             )
@@ -1285,7 +1337,7 @@ class PointsToSolver:
                         base = heap_v(ph[bpid])
                         bh = hctx_v(pc[bpid])
                         fld_s = self.flds.value(fld)
-                        for pid in pids:
+                        for pid in iter_bits(pids):
                             fld_added.add(
                                 (base, bh, fld_s, heap_v(ph[pid]), hctx_v(pc[pid]))
                             )
@@ -1294,7 +1346,7 @@ class PointsToSolver:
                 if pids:
                     meth_s = self.meths.value(key >> 32)
                     cv = ctx_v(key & 0xFFFFFFFF)
-                    for pid in pids:
+                    for pid in iter_bits(pids):
                         throw_added.add(
                             (meth_s, cv, heap_v(ph[pid]), hctx_v(pc[pid]))
                         )
@@ -1340,21 +1392,22 @@ class PointsToSolver:
         added_log = self._added_log
         while worklist:
             node = worklist.popleft()
-            delta = pending_pop(node, None)
+            delta = pending_pop(node, 0)
             if not delta:
                 continue
             out = out_plain.get(node)
             if out:
                 # _add_pts and _charge, inlined: this edge walk is the
-                # single hottest path in the solver.
+                # single hottest path in the solver.  One ``&~`` and one
+                # ``|`` admit the whole delta — no per-element hashing.
                 for dst in out:
                     pts = pts_list[dst]
-                    new = delta - pts
+                    new = delta & ~pts
                     if new:
-                        pts |= new
+                        pts_list[dst] = pts | new
                         if added_log is not None:
                             added_log.append((dst, new))
-                        n = len(new)
+                        n = popcount(new)
                         self._tuple_count += n
                         if (
                             max_tuples is not None
@@ -1386,7 +1439,7 @@ class PointsToSolver:
                             pending[dst] = new
                             push(dst)
                         else:
-                            p |= new
+                            pending[dst] = p | new
             fedges = out_filtered.get(node)
             if fedges:
                 for dst, type_i in fedges:
@@ -1399,11 +1452,15 @@ class PointsToSolver:
                     fmap = fld_nodes.get(fld)
                     if fmap is None:
                         fmap = fld_nodes[fld] = {}
-                    for pid in delta:
+                    m = delta
+                    while m:
+                        low = m & -m
+                        pid = low.bit_length() - 1
+                        m ^= low
                         fn = fmap.get(pid)
                         if fn is None:
                             fn = fmap[pid] = len(pts_list)
-                            pts_list.append(set())
+                            pts_list.append(0)
                             add_edge(fn, to_node)
                         elif fn << 32 | to_node not in edge_seen:
                             add_edge(fn, to_node)
@@ -1413,18 +1470,26 @@ class PointsToSolver:
                     fmap = fld_nodes.get(fld)
                     if fmap is None:
                         fmap = fld_nodes[fld] = {}
-                    for pid in delta:
+                    m = delta
+                    while m:
+                        low = m & -m
+                        pid = low.bit_length() - 1
+                        m ^= low
                         fn = fmap.get(pid)
                         if fn is None:
                             fn = fmap[pid] = len(pts_list)
-                            pts_list.append(set())
+                            pts_list.append(0)
                             add_edge(from_node, fn)
                         elif from_node << 32 | fn not in edge_seen:
                             add_edge(from_node, fn)
             cons = vcall_cons.get(node)
             if cons:
                 for sig, invo, ctx, in_meth, lhs, args in cons:
-                    for pid in delta:
+                    m = delta
+                    while m:
+                        low = m & -m
+                        pid = low.bit_length() - 1
+                        m ^= low
                         ht = pair_heap_type[pid]
                         if ht is None:
                             continue
@@ -1439,15 +1504,86 @@ class PointsToSolver:
             cons = special_cons.get(node)
             if cons:
                 for callee, invo, ctx, in_meth, lhs, args in cons:
-                    for pid in delta:
+                    for pid in iter_bits(delta):
                         self._resolve_receiver_call(
                             pid, invo, ctx, in_meth, callee, lhs, args
                         )
             cons = throw_cons.get(node)
             if cons:
                 for meth, ctx in cons:
-                    for pid in delta:
+                    for pid in iter_bits(delta):
                         self._raise_in(meth, ctx, pid)
+
+    def _fire_consumers(self, node: int, delta: int) -> None:
+        """Run just the consumer reactions for one node's delta mask.
+
+        The non-edge half of one :meth:`_propagate` iteration — loads,
+        stores, virtual/special call resolution and throws, but *not*
+        the plain/filtered edge walk.  The parallel solve mode calls
+        this from its sequential consumer phase; workers own the edge
+        walk.  Everything here is idempotent, matching ``_propagate``.
+        """
+        pts_list = self._pts
+        fld_nodes = self._fld_nodes
+        add_edge = self._add_edge
+        edge_seen = self._edge_seen
+        cons = self._load_cons.get(node)
+        if cons:
+            for fld, to_node in cons:
+                fmap = fld_nodes.get(fld)
+                if fmap is None:
+                    fmap = fld_nodes[fld] = {}
+                for pid in iter_bits(delta):
+                    fn = fmap.get(pid)
+                    if fn is None:
+                        fn = fmap[pid] = len(pts_list)
+                        pts_list.append(0)
+                        add_edge(fn, to_node)
+                    elif fn << 32 | to_node not in edge_seen:
+                        add_edge(fn, to_node)
+        cons = self._store_cons.get(node)
+        if cons:
+            for fld, from_node in cons:
+                fmap = fld_nodes.get(fld)
+                if fmap is None:
+                    fmap = fld_nodes[fld] = {}
+                for pid in iter_bits(delta):
+                    fn = fmap.get(pid)
+                    if fn is None:
+                        fn = fmap[pid] = len(pts_list)
+                        pts_list.append(0)
+                        add_edge(from_node, fn)
+                    elif from_node << 32 | fn not in edge_seen:
+                        add_edge(from_node, fn)
+        cons = self._vcall_cons.get(node)
+        if cons:
+            pair_heap_type = self._pair_heap_type
+            dispatch_cache_get = self._dispatch_cache.get
+            for sig, invo, ctx, in_meth, lhs, args in cons:
+                for pid in iter_bits(delta):
+                    ht = pair_heap_type[pid]
+                    if ht is None:
+                        continue
+                    callee = dispatch_cache_get(ht << 32 | sig)
+                    if callee is None:
+                        callee = self._dispatch(ht, sig)
+                    if callee == _NONE:
+                        continue
+                    self._resolve_receiver_call(
+                        pid, invo, ctx, in_meth, callee, lhs, args
+                    )
+        cons = self._special_cons.get(node)
+        if cons:
+            for callee, invo, ctx, in_meth, lhs, args in cons:
+                for pid in iter_bits(delta):
+                    self._resolve_receiver_call(
+                        pid, invo, ctx, in_meth, callee, lhs, args
+                    )
+        cons = self._throw_cons.get(node)
+        if cons:
+            for meth, ctx in cons:
+                for pid in iter_bits(delta):
+                    self._raise_in(meth, ctx, pid)
 
     def _snapshot(self) -> RawSolution:
         ph, pc = self._pair_heap, self._pair_hctx

@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple
 
 from ..facts.encoder import FactBase
 from .results import AnalysisResult
+from .solver import iter_bits
 
 __all__ = ["CostReport", "explain_costs"]
 
@@ -73,7 +74,7 @@ def explain_costs(result: AnalysisResult, facts: FactBase) -> CostReport:
     meth_of_var = {v: m for v, m in facts.varinmeth}
     tuple_counts: Dict[str, int] = {}
     for (var_i, _ctx), node in raw.var_nodes.items():
-        size = len(raw.pts[node])
+        size = raw.pts_size(node)
         if not size:
             continue
         meth = meth_of_var.get(raw.vars.value(var_i))
@@ -81,11 +82,11 @@ def explain_costs(result: AnalysisResult, facts: FactBase) -> CostReport:
             tuple_counts[meth] = tuple_counts.get(meth, 0) + size
 
     heap_ctx_counts: Dict[str, int] = {}
-    seen_pairs: set = set()
+    seen_pairs = 0
     for pts in raw.pts:
         seen_pairs |= pts
     pair_heap = raw.pair_heap
-    for pid in seen_pairs:
+    for pid in iter_bits(seen_pairs):
         heap = raw.heaps.value(pair_heap[pid])
         heap_ctx_counts[heap] = heap_ctx_counts.get(heap, 0) + 1
 

@@ -13,7 +13,9 @@ Subcommands:
   Datalog engine against the frozen interpreter and write
   ``BENCH_datalog.json``; with ``--incremental``, benchmark warm edit
   sessions against from-scratch re-analysis and write
-  ``BENCH_incremental.json`` (see ``docs/performance.md`` and
+  ``BENCH_incremental.json``; with ``--parallel``, run the worker-count
+  scaling suite of the SCC-parallel solver and write
+  ``BENCH_parallel.json`` (see ``docs/performance.md`` and
   ``docs/incremental.md``);
 * ``repro benchmarks`` — list the built-in benchmarks;
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
@@ -29,6 +31,7 @@ Examples::
     repro bench --suite medium --repeat 3 --output BENCH_solver.json
     repro bench --datalog --suite medium --repeat 3
     repro bench --incremental --suite medium --repeat 3
+    repro bench --parallel --suite medium --workers 1,2,4
     repro bench --quick
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
 """
@@ -270,12 +273,22 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     from .harness.bench import (
         run_datalog_suite,
         run_incremental_suite,
+        run_parallel_suite,
         run_suite,
         write_report,
     )
 
-    if args.datalog and args.incremental:
-        print("--datalog and --incremental are mutually exclusive")
+    modes = [
+        name
+        for name, on in (
+            ("--datalog", args.datalog),
+            ("--incremental", args.incremental),
+            ("--parallel", args.parallel),
+        )
+        if on
+    ]
+    if len(modes) > 1:
+        print(f"{' and '.join(modes)} are mutually exclusive")
         return 2
     suite = args.suite
     repeat = args.repeat
@@ -295,12 +308,30 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
             output = "BENCH_datalog.json"
         elif args.incremental:
             output = "BENCH_incremental.json"
+        elif args.parallel:
+            output = "BENCH_parallel.json"
         else:
             output = "BENCH_solver.json"
     try:
-        report = runner(
-            suite=suite, flavors=flavors, repeat=repeat, progress=print
-        )
+        if args.parallel:
+            try:
+                worker_counts = [
+                    int(w) for w in args.workers.split(",") if w.strip()
+                ]
+            except ValueError:
+                print(f"bad --workers list: {args.workers!r}")
+                return 2
+            report = run_parallel_suite(
+                suite=suite,
+                flavors=flavors,
+                repeat=repeat,
+                worker_counts=worker_counts,
+                progress=print,
+            )
+        else:
+            report = runner(
+                suite=suite, flavors=flavors, repeat=repeat, progress=print
+            )
     except ValueError as exc:
         print(str(exc))
         return 2
@@ -472,6 +503,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="benchmark warm incremental edit-sessions against "
         "from-scratch re-analysis (writes BENCH_incremental.json)",
+    )
+    p_bench.add_argument(
+        "--parallel",
+        action="store_true",
+        help="scaling benchmark: the SCC-parallel solver per --workers "
+        "count vs the sequential bitset path and the reference engine "
+        "(writes BENCH_parallel.json)",
+    )
+    p_bench.add_argument(
+        "--workers",
+        default="1,2,4",
+        metavar="N,N,...",
+        help="comma-separated worker counts for --parallel (default 1,2,4)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -14,8 +14,11 @@ One campaign iteration:
    ``datalog_rotate=True`` / ``repro fuzz --datalog-rotate`` restores
    that throughput-first schedule.);
 4. check every applicable oracle from :mod:`repro.fuzz.oracles`; the
-   heavier introspective-bracketing and tuple-budget-exactness oracles
-   run on a configurable cadence (``intro_every`` / ``budget_every``);
+   heavier oracles (introspective-bracketing, tuple-budget-exactness,
+   trace-transparency, incremental-equivalence, bitset-equivalence) run
+   on configurable cadences (``intro_every`` / ``budget_every`` / ...),
+   each at a distinct phase offset so no two ever pile onto the same
+   iteration;
 5. on the first violation: delta-debug the mutant down to a minimal
    counterexample (:func:`~repro.fuzz.shrink.shrink_sketch`), persist it
    into the regression corpus, and stop.
@@ -51,6 +54,7 @@ from .mutators import mutate
 from .oracles import (
     Relations,
     Violation,
+    check_bitset_equivalence,
     check_digest_invariance,
     check_engine_equivalence,
     check_incremental_equivalence,
@@ -163,6 +167,7 @@ class FuzzConfig:
     budget_every: int = 8
     trace_every: int = 8
     incremental_every: int = 8
+    bitset_every: int = 8
     #: Run the Datalog model on one rotating flavor per iteration instead
     #: of all of them — the pre-compiled-engine schedule, kept as an
     #: escape hatch for throughput-starved campaigns.
@@ -267,6 +272,7 @@ def _check_program(
     results: Dict[str, AnalysisResult] = {}
     tuple_counts: Dict[str, int] = {}
     packed_rels: Dict[str, Relations] = {}
+    ref_rels: Dict[str, Relations] = {}
     for flavor in flavors:
         run_datalog = (
             flavor == datalog_flavor if config.datalog_rotate else True
@@ -277,6 +283,7 @@ def _check_program(
         results[flavor] = result
         tuple_counts[flavor] = tuples
         packed_rels[flavor] = packed_rel
+        ref_rels[flavor] = ref_rel
         stats.count("engine-equivalence")
         v = check_engine_equivalence(flavor, packed_rel, ref_rel, dl_rel)
         if v is not None:
@@ -286,6 +293,24 @@ def _check_program(
     for flavor in config.flavors:
         stats.count("insensitive-containment")
         v = check_insensitive_containment(flavor, results[flavor], insens)
+        if v is not None:
+            return v
+
+    if config.bitset_every and iteration % config.bitset_every == 2:
+        flavor = flavors[iteration % len(flavors)]
+        policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
+        stats.engine_runs += 1
+        stats.count("bitset-equivalence")
+        v = check_bitset_equivalence(
+            program,
+            policy,
+            facts,
+            packed_rels[flavor],
+            ref_rels[flavor],
+            flavor=flavor,
+            max_tuples=_MUTANT_TUPLE_CAP,
+            expected_tuples=tuple_counts[flavor],
+        )
         if v is not None:
             return v
 
@@ -431,6 +456,24 @@ def run_single_check(
             if v is not None:
                 return v
         return None
+
+    if oracle == "bitset-equivalence":
+        target = flavor or "insens"
+        policy = policy_by_name(target, alloc_class_of=facts.alloc_class_of)
+        packed_rel, ref_rel, _dl, tuples, _res = _flavor_relations(
+            program, facts, target, False, stats
+        )
+        stats.engine_runs += 1
+        return check_bitset_equivalence(
+            program,
+            policy,
+            facts,
+            packed_rel,
+            ref_rel,
+            flavor=target,
+            max_tuples=_MUTANT_TUPLE_CAP,
+            expected_tuples=tuples,
+        )
 
     if oracle == "trace-transparency":
         target = flavor or "insens"

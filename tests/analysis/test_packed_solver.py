@@ -38,7 +38,7 @@ def hub_program(readers=12, elements=10, chain=4):
 
 
 class TestPackedRepresentation:
-    def test_raw_solution_pts_are_pair_ids(self):
+    def test_raw_solution_pts_are_pair_id_bitmasks(self):
         b = ProgramBuilder()
         with b.method("Main", "main", [], static=True) as m:
             m.alloc("x", "java.lang.Object")
@@ -47,10 +47,13 @@ class TestPackedRepresentation:
         node = raw.var_nodes[
             (raw.vars.intern("Main.main/0/x"), raw.ctxs.intern(()))
         ]
-        pids = raw.pts[node]
-        assert all(isinstance(pid, int) for pid in pids)
-        # pair()/iter_pts() recover the (heap, hctx) view.
-        (pid,) = pids
+        mask = raw.pts[node]
+        assert isinstance(mask, int) and mask > 0
+        # iter_pids materializes the set bits; pair()/iter_pts() recover
+        # the (heap, hctx) view.
+        (pid,) = raw.iter_pids(node)
+        assert mask == 1 << pid
+        assert raw.pts_size(node) == 1
         heap_i, hctx_i = raw.pair(pid)
         assert raw.heaps.value(heap_i) == "Main.main/0/new java.lang.Object/0"
         assert raw.pair(pid) in set(raw.iter_pts(node))

@@ -1,0 +1,171 @@
+"""Tests for the SCC-partitioned parallel solve mode.
+
+``min_round_nodes=0`` forces every round through the worker machinery —
+shared-memory bootstrap, round barriers, frontier merging — even on tiny
+programs, so these tests exercise the real parallel path, not the
+sequential fallback.  This module doubles as the tier-1 parallel smoke
+run required by CI.
+"""
+
+import pytest
+
+from repro import BudgetExceeded
+from repro.analysis.parallel import ParallelPointsToSolver, parallel_solve
+from repro.analysis.results import AnalysisResult
+from repro.analysis.solver import solve
+from repro.benchgen import BenchmarkSpec, HubSpec, generate
+from repro.contexts.policies import policy_by_name
+from repro.facts.encoder import encode_program
+
+
+def hub_program(readers=10, elements=8, chain=3):
+    spec = BenchmarkSpec(
+        name="partest",
+        util_classes=2,
+        strategy_clusters=(2,),
+        box_groups=(2,),
+        sink_groups=(),
+        hubs=(HubSpec(readers=readers, elements=elements, chain=chain),),
+    )
+    return generate(spec)
+
+
+def relations(result: AnalysisResult):
+    """All five output relations as comparable sets."""
+    return {
+        "VARPOINTSTO": set(result.iter_var_points_to()),
+        "FLDPOINTSTO": set(result.iter_fld_points_to()),
+        "CALLGRAPH": set(result.iter_call_graph()),
+        "REACHABLE": set(result.iter_reachable()),
+        "THROWPOINTSTO": set(result.iter_throw_points_to()),
+    }
+
+
+def solve_pair(program, analysis, workers, **kwargs):
+    facts = encode_program(program)
+    policy = policy_by_name(analysis, alloc_class_of=facts.alloc_class_of)
+    seq = solve(program, policy, facts=facts)
+    par = parallel_solve(
+        program,
+        policy,
+        facts=facts,
+        workers=workers,
+        min_round_nodes=0,
+        **kwargs,
+    )
+    return seq, par
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("analysis", ["insens", "2objH"])
+    def test_all_relations_match_sequential(self, workers, analysis):
+        program = hub_program()
+        seq, par = solve_pair(program, analysis, workers)
+        assert par.tuple_count == seq.tuple_count
+        assert relations(AnalysisResult(par, analysis)) == relations(
+            AnalysisResult(seq, analysis)
+        )
+
+    def test_casts_and_throws_survive_partitioning(self):
+        """Filtered edges and exception flow cross partitions: the worker
+        sync must ship cast-filter masks and the master must keep throw
+        consumers firing at barriers."""
+        program = hub_program(readers=6, elements=4, chain=2)
+        seq, par = solve_pair(program, "1objH", workers=2)
+        r_seq = AnalysisResult(seq, "1objH")
+        r_par = AnalysisResult(par, "1objH")
+        assert set(r_par.iter_fld_points_to()) == set(r_seq.iter_fld_points_to())
+        assert set(r_par.iter_throw_points_to()) == set(
+            r_seq.iter_throw_points_to()
+        )
+
+    def test_three_workers_on_small_graph(self):
+        """More workers than the graph meaningfully supports still
+        converges (some partitions just run dry)."""
+        program = hub_program(readers=4, elements=3, chain=2)
+        seq, par = solve_pair(program, "insens", workers=3)
+        assert par.tuple_count == seq.tuple_count
+
+    def test_sequential_fallback_matches(self):
+        """With a huge min_round_nodes the parallel solver never spawns a
+        worker and must still produce the identical solution."""
+        program = hub_program()
+        facts = encode_program(program)
+        policy = policy_by_name("2objH", alloc_class_of=facts.alloc_class_of)
+        seq = solve(program, policy, facts=facts)
+        par = ParallelPointsToSolver(
+            program, policy, facts=facts, workers=2, min_round_nodes=1 << 30
+        ).solve()
+        assert par.tuple_count == seq.tuple_count
+
+    def test_rounds_counter_reports_barriers(self):
+        program = hub_program()
+        facts = encode_program(program)
+        policy = policy_by_name("2objH", alloc_class_of=facts.alloc_class_of)
+        solver = ParallelPointsToSolver(
+            program, policy, facts=facts, workers=2, min_round_nodes=0
+        )
+        solver.solve()
+        assert solver.rounds >= 1
+
+
+class TestParallelBudget:
+    def test_budget_cutoff_identical_to_sequential(self):
+        """Satellite regression: BudgetExceeded aggregates worker-admitted
+        tuples with exactly the single-process cutoff.  The derived-tuple
+        total is order-independent and the master charges each admission
+        once after dedup, so a budget of total - 1 must trip at exactly
+        ``total`` no matter how rounds interleave."""
+        program = hub_program()
+        facts = encode_program(program)
+        policy = policy_by_name("2objH", alloc_class_of=facts.alloc_class_of)
+        total = solve(program, policy, facts=facts).tuple_count
+        with pytest.raises(BudgetExceeded) as info:
+            parallel_solve(
+                program,
+                policy,
+                facts=facts,
+                workers=2,
+                min_round_nodes=0,
+                max_tuples=total - 1,
+            )
+        assert info.value.tuples == total
+        # And a budget of exactly the total must not trip.
+        raw = parallel_solve(
+            program,
+            policy,
+            facts=facts,
+            workers=2,
+            min_round_nodes=0,
+            max_tuples=total,
+        )
+        assert raw.tuple_count == total
+
+    def test_workers_terminated_after_budget_trip(self):
+        program = hub_program()
+        facts = encode_program(program)
+        policy = policy_by_name("2objH", alloc_class_of=facts.alloc_class_of)
+        solver = ParallelPointsToSolver(
+            program,
+            policy,
+            facts=facts,
+            workers=2,
+            min_round_nodes=0,
+            max_tuples=100,
+        )
+        with pytest.raises(BudgetExceeded):
+            solver.solve()
+        # The pool must not leak processes past solve().
+        import multiprocessing
+
+        assert not [
+            p for p in multiprocessing.active_children() if p.is_alive()
+        ]
+
+    def test_invalid_worker_count_rejected(self):
+        program = hub_program(readers=2, elements=2, chain=1)
+        facts = encode_program(program)
+        policy = policy_by_name("insens", alloc_class_of=facts.alloc_class_of)
+        with pytest.raises(ValueError):
+            ParallelPointsToSolver(program, policy, facts=facts, workers=0)

@@ -81,6 +81,7 @@ def test_run_single_check_covers_every_oracle(tmp_path):
         ("introspective-bracketing", "2objH"),
         ("tuple-budget-exactness", "insens"),
         ("trace-transparency", "2objH"),
+        ("bitset-equivalence", "2objH"),
     ):
         assert run_single_check(sketch, oracle, flavor, seed=1) is None
 
@@ -91,6 +92,9 @@ def test_trace_transparency_runs_on_cadence():
     outcome = run_campaign(small_config(max_iterations=9))
     assert outcome.ok
     assert outcome.stats.oracle_checks.get("trace-transparency", 0) >= 1
+    # bitset-equivalence rides its own offset (iteration 2) in the same
+    # window, so a short campaign exercises the parallel solver too.
+    assert outcome.stats.oracle_checks.get("bitset-equivalence", 0) >= 1
 
 
 def test_run_single_check_rejects_unknown_oracle():
