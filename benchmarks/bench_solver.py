@@ -101,6 +101,13 @@ def main(argv=None) -> int:
         "(docs/observability.md), add the 'trace' key to the report, and "
         "write the Chrome trace JSON (default BENCH_trace.json)",
     )
+    parser.add_argument(
+        "--receipt-dir",
+        default=None,
+        metavar="DIR",
+        help="append a content-addressed repro-receipt/1 of this run to "
+        "the results warehouse under DIR (docs/warehouse.md)",
+    )
     args = parser.parse_args(argv)
     suite, repeat = args.suite, args.repeat
     if args.quick:
@@ -150,6 +157,13 @@ def main(argv=None) -> int:
         )
     write_report(report, output)
     print(f"wrote {output}")
+    if args.receipt_dir:
+        from repro.warehouse import receipt_from_bench_report, write_receipt
+
+        path = write_receipt(
+            receipt_from_bench_report(report), args.receipt_dir
+        )
+        print(f"receipt appended: {path}")
     return 0
 
 

@@ -20,6 +20,10 @@ Subcommands:
 * ``repro benchmarks`` — list the built-in benchmarks;
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
   queue, worker pool, and content-addressed result cache);
+* ``repro report`` — the results warehouse: ingest receipts and legacy
+  ``BENCH_*.json`` artifacts, bin and score the perf trajectory, render
+  a table + JSON, and (``--gate``) fail on regressions
+  (see ``docs/warehouse.md``);
 * ``repro experiments ...`` — the figure reproductions (also available as
   ``repro-experiments``).
 
@@ -32,8 +36,10 @@ Examples::
     repro bench --datalog --suite medium --repeat 3
     repro bench --incremental --suite medium --repeat 3
     repro bench --parallel --suite medium --workers 1,2,4
-    repro bench --quick
+    repro bench --quick --receipt-dir benchmarks/receipts
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
+    repro report BENCH_solver.json benchmarks/receipts --json TRAJECTORY.json
+    repro report benchmarks/receipts --gate --max-regression 10
 """
 
 from __future__ import annotations
@@ -351,6 +357,83 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
         _export_trace(tracer, trace_path)
     write_report(report, output)
     print(f"wrote {output}")
+    if args.receipt_dir:
+        from .warehouse import receipt_from_bench_report, write_receipt
+
+        path = write_receipt(
+            receipt_from_bench_report(report), args.receipt_dir
+        )
+        print(f"receipt appended: {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .warehouse import (
+        gate_failures,
+        ingest,
+        load_any,
+        receipt_digest,
+        render_table,
+        score,
+        trajectory,
+    )
+
+    try:
+        receipts, skipped = ingest(args.inputs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not receipts:
+        print("error: no ingestible receipts among the inputs", file=sys.stderr)
+        return 2
+    baseline = args.baseline
+    if baseline is not None:
+        try:
+            baseline = receipt_digest(load_any(baseline))
+        except (OSError, ValueError):
+            # Not a file: treat it as a digest (prefix) directly.
+            pass
+    cells = score(receipts, baseline_digest=baseline)
+    max_regression = args.max_regression if args.gate else None
+    for path, _receipt in receipts:
+        print(f"ingested: {path}")
+    for path in skipped:
+        print(f"skipped (unknown schema): {path}")
+    print(render_table(cells, max_regression=max_regression))
+    if args.json:
+        import json as _json
+
+        from .utils import atomic_write_text
+
+        doc = trajectory(
+            receipts,
+            cells,
+            skipped,
+            baseline_digest=baseline,
+            max_regression=max_regression,
+        )
+        atomic_write_text(
+            args.json, _json.dumps(doc, indent=2, sort_keys=False) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if args.gate:
+        failures = gate_failures(cells, args.max_regression)
+        if failures:
+            for cell in failures:
+                print(
+                    f"GATE FAILURE: {cell.name} regressed "
+                    f"{cell.regression_percent:.2f}% "
+                    f"(baseline {cell.baseline.value:.3f} "
+                    f"[{cell.baseline.digest[:12]}] -> current "
+                    f"{cell.current.value:.3f} "
+                    f"[{cell.current.digest[:12]}]; "
+                    f"threshold {args.max_regression}%)"
+                )
+            return 2
+        print(
+            f"gate passed: no cell regressed >= {args.max_regression}% "
+            f"({len(cells)} cells)"
+        )
     return 0
 
 
@@ -413,6 +496,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         f"skips, {s.engine_runs} engine runs)"
     )
     print(f"oracle checks: {checks}")
+    if args.receipt_dir:
+        from .fuzz.runner import campaign_receipt
+        from .warehouse import write_receipt
+
+        path = write_receipt(
+            campaign_receipt(config, outcome), args.receipt_dir
+        )
+        print(f"receipt appended: {path}")
     if outcome.ok:
         print("no oracle violations")
         return 0
@@ -432,6 +523,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_capacity=args.cache_size,
         cache_dir=args.cache_dir,
+        receipt_dir=args.receipt_dir,
         verbose=args.verbose,
     )
 
@@ -517,6 +609,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N,N,...",
         help="comma-separated worker counts for --parallel (default 1,2,4)",
     )
+    p_bench.add_argument(
+        "--receipt-dir",
+        default=None,
+        metavar="DIR",
+        help="append a content-addressed repro-receipt/1 of this run to "
+        "the results warehouse under DIR (docs/warehouse.md)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("benchmarks", help="list built-in benchmarks")
@@ -547,6 +646,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=128,
         metavar="N",
         help="in-memory result-cache capacity (entries); default 128",
+    )
+    p_serve.add_argument(
+        "--receipt-dir",
+        default=None,
+        metavar="DIR",
+        help="append a receipt for every completed (uncached) job to the "
+        "results warehouse under DIR",
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -602,7 +708,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="replay a corpus entry or directory instead of fuzzing",
     )
+    p_fuzz.add_argument(
+        "--receipt-dir",
+        default=None,
+        metavar="DIR",
+        help="append a campaign receipt (stats + violations) to the "
+        "results warehouse under DIR",
+    )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_report = sub.add_parser(
+        "report",
+        help="results warehouse: score the perf trajectory from receipts",
+    )
+    p_report.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="PATH",
+        help="receipt files/directories and/or legacy BENCH_*.json reports",
+    )
+    p_report.add_argument(
+        "--baseline",
+        default=None,
+        metavar="RECEIPT",
+        help="receipt file (or digest prefix) pinning the baseline sample "
+        "of every cell it covers; default: each cell's earliest sample",
+    )
+    p_report.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the scored trajectory as repro-report/1 JSON",
+    )
+    p_report.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 2 if any cell regressed by --max-regression percent "
+        "or more against its baseline",
+    )
+    p_report.add_argument(
+        "--max-regression",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="gate threshold in percent (default 10); a cell at exactly "
+        "the threshold fails",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_exp = sub.add_parser(
         "experiments", help="reproduce the paper's figures (repro-experiments)"

@@ -73,6 +73,7 @@ __all__ = [
     "FuzzConfig",
     "FuzzOutcome",
     "FuzzStats",
+    "campaign_receipt",
     "fuzz_base_specs",
     "replay_corpus",
     "replay_entry",
@@ -574,6 +575,33 @@ def run_campaign(
 
     stats.seconds = time.perf_counter() - start
     return outcome
+
+
+def campaign_receipt(config: FuzzConfig, outcome: FuzzOutcome) -> Dict[str, object]:
+    """Warehouse receipt for one completed campaign.
+
+    Campaign throughput (programs fuzzed per second across three engines)
+    is a real perf signal — an engine slowdown shows up here before it
+    shows up in a bench suite — so campaigns append to the same results
+    warehouse the bench harness does (``repro fuzz --receipt-dir``).
+    """
+    from ..warehouse import receipt_from_fuzz_campaign
+
+    stats = {
+        "programs": outcome.stats.programs,
+        "invalid_mutants": outcome.stats.invalid_mutants,
+        "budget_skips": outcome.stats.budget_skips,
+        "engine_runs": outcome.stats.engine_runs,
+        "oracle_checks": dict(outcome.stats.oracle_checks),
+        "seconds": outcome.stats.seconds,
+    }
+    return receipt_from_fuzz_campaign(
+        seed=config.seed,
+        flavors=list(config.flavors),
+        budget_seconds=config.budget_seconds,
+        stats=stats,
+        violations=[str(v) for v in outcome.violations],
+    )
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,7 @@ from ..fuzz.sketch import ProgramSketch
 from ..incremental.edits import random_edit_script
 from ..incremental.session import RESULT_RELATIONS, IncrementalSession
 from ..obs import Tracer
+from ..utils import atomic_write_text
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -1006,6 +1007,14 @@ def run_trace_cell(
 
 
 def write_report(report: Dict[str, object], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Write a ``BENCH_*.json`` report atomically.
+
+    An interrupted bench run (ctrl-C, OOM kill, power loss) must never
+    leave a truncated report behind — downstream, the results warehouse
+    ingests these files as evidence, and a half-written artifact would
+    poison the trajectory.  ``atomic_write_text`` serializes fully
+    first, then lands the bytes via temp file + ``os.replace``.
+    """
+    atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=False) + "\n"
+    )

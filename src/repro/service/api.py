@@ -72,7 +72,9 @@ class AnalysisService:
         workers: int = 2,
         cache_capacity: int = 128,
         cache_dir: Optional[str] = None,
+        receipt_dir: Optional[str] = None,
     ) -> None:
+        self.receipt_dir = receipt_dir
         self.telemetry = Registry()
         t = self.telemetry
         self._m_submitted = t.counter(
@@ -274,7 +276,6 @@ class AnalysisService:
         job.result = payload
         job.error = payload.get("error")
         job.cached = bool(payload.get("cached", False))
-        job.state = state
         job.mark_finished()
         self._m_jobs.inc(state=state)
         if "solve_seconds" in payload:
@@ -296,6 +297,29 @@ class AnalysisService:
             self._m_pass1.inc()
         if store_key is not None and state in (JobState.DONE, JobState.TIMEOUT):
             self.cache.put(store_key, payload)
+        if (
+            self.receipt_dir is not None
+            and state == JobState.DONE
+            and not job.cached
+        ):
+            # Every completed uncached job leaves a perf receipt in the
+            # results warehouse (docs/warehouse.md).  Best-effort: a full
+            # disk must not turn a finished job into a failed one.  The
+            # terminal state is stamped into the snapshot by hand because
+            # job.state flips only below: once a poller can observe DONE,
+            # the receipt must already be on disk.
+            try:
+                from ..warehouse import receipt_from_service_job, write_receipt
+
+                snapshot = job.snapshot()
+                snapshot["state"] = state
+                write_receipt(
+                    receipt_from_service_job(snapshot, payload),
+                    self.receipt_dir,
+                )
+            except Exception:  # noqa: BLE001 - receipts are advisory
+                pass
+        job.state = state
         self._slots.release()
 
     # ------------------------------------------------------------------
@@ -531,6 +555,7 @@ def local_service(
     workers: int = 0,
     cache_capacity: int = 128,
     cache_dir: Optional[str] = None,
+    receipt_dir: Optional[str] = None,
 ) -> Iterator[str]:
     """Context manager: an ephemeral service; yields its base URL.
 
@@ -540,7 +565,10 @@ def local_service(
     cache path.
     """
     service = AnalysisService(
-        workers=workers, cache_capacity=cache_capacity, cache_dir=cache_dir
+        workers=workers,
+        cache_capacity=cache_capacity,
+        cache_dir=cache_dir,
+        receipt_dir=receipt_dir,
     )
     server, _thread = start_server(service)
     host, port = server.server_address[:2]
@@ -558,11 +586,15 @@ def serve(
     workers: int = 2,
     cache_capacity: int = 128,
     cache_dir: Optional[str] = None,
+    receipt_dir: Optional[str] = None,
     verbose: bool = False,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
     service = AnalysisService(
-        workers=workers, cache_capacity=cache_capacity, cache_dir=cache_dir
+        workers=workers,
+        cache_capacity=cache_capacity,
+        cache_dir=cache_dir,
+        receipt_dir=receipt_dir,
     )
     service.start()
     server = create_server(service, host, port, verbose=verbose)

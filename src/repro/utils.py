@@ -1,11 +1,33 @@
-"""Small shared utilities: string interning and a monotonic stopwatch."""
+"""Small shared utilities: interning, a stopwatch, atomic file writes."""
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Generic, Hashable, List, TypeVar
 
-__all__ = ["Interner", "Stopwatch"]
+__all__ = ["Interner", "Stopwatch", "atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers never observe a truncated file: the content lands in a
+    sibling temp file first and is renamed over the target in one step,
+    so a crash mid-write leaves either the old file or the new one,
+    never a prefix.  The temp file is removed if the write itself fails.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 T = TypeVar("T", bound=Hashable)
 

@@ -260,3 +260,51 @@ class TestEngineEquivalence:
             }
 
         assert reachable(packed) == reachable(reference)
+
+
+class TestWriteReportAtomicity:
+    """A killed bench run must never leave a truncated ``BENCH_*.json``.
+
+    ``write_report`` lands reports via temp file + ``os.replace``; these
+    tests simulate the kill arriving mid-write (during the fsync, after
+    bytes have been written to the temp file) and assert the previous
+    report survives byte-for-byte with no temp debris left behind.
+    """
+
+    OLD = {"schema": BENCH_SCHEMA, "suite": "tiny", "speedups": {"a/f": 1.0}}
+
+    def test_kill_mid_write_preserves_previous_report(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "BENCH_solver.json"
+        write_report(self.OLD, str(path))
+        before = path.read_bytes()
+
+        def killed(_fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.utils.os.fsync", killed)
+        new = {"schema": BENCH_SCHEMA, "suite": "tiny", "pad": "x" * 65536}
+        with pytest.raises(KeyboardInterrupt):
+            write_report(new, str(path))
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_solver.json"]
+
+    def test_kill_on_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_solver.json"
+
+        def killed(_fd):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.utils.os.fsync", killed)
+        with pytest.raises(KeyboardInterrupt):
+            write_report(self.OLD, str(path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_uninterrupted_write_replaces_the_report(self, tmp_path):
+        path = tmp_path / "BENCH_solver.json"
+        write_report(self.OLD, str(path))
+        new = dict(self.OLD, suite="small")
+        write_report(new, str(path))
+        assert json.loads(path.read_text()) == new
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_solver.json"]

@@ -234,3 +234,41 @@ class TestIncrementalDoc:
         text = (DOCS / "incremental.md").read_text()
         for op in _EDIT_OPS:
             assert f"`{op}`" in text, op
+
+
+class TestWarehouseDoc:
+    def test_receipt_example_is_a_valid_receipt(self):
+        """The receipt example in warehouse.md must pass the real schema
+        validation and carry exactly the keys real receipts carry."""
+        import json
+
+        from repro.warehouse import (
+            cells_of,
+            receipt_from_bench_report,
+            validate_receipt,
+        )
+
+        example = json.loads(extract_block(DOCS / "warehouse.md", "json"))
+        validate_receipt(example)
+
+        # Same shape as a receipt the producers actually write.
+        report = json.loads(
+            (DOCS.parent / "BENCH_solver.json").read_text()
+        )
+        real = receipt_from_bench_report(report)
+        assert set(example) == set(real)
+        assert set(example["provenance"]) == set(real["provenance"])
+
+        # And it bins like one: a speedup cell per speedups entry.
+        (cell,) = cells_of(example)
+        assert cell["unit"] == "speedup"
+        assert cell["value"] == 3.4
+
+    def test_doc_names_every_kind_and_both_cli_surfaces(self):
+        from repro.warehouse import KINDS
+
+        text = (DOCS / "warehouse.md").read_text()
+        for kind in KINDS:
+            assert f"`{kind}`" in text, kind
+        assert "--gate" in text and "--max-regression" in text
+        assert "repro report" in text

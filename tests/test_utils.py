@@ -1,11 +1,11 @@
-"""Tests for shared utilities: interning and the stopwatch."""
+"""Tests for shared utilities: interning, the stopwatch, atomic writes."""
 
 import time
 
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.utils import Interner, Stopwatch
+from repro.utils import Interner, Stopwatch, atomic_write_text
 
 
 class TestInterner:
@@ -66,3 +66,30 @@ class TestStopwatch:
         time.sleep(0.01)
         watch.restart()
         assert watch.elapsed() < 0.01
+
+
+class TestAtomicWriteText:
+    def test_writes_and_overwrites(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "one\n")
+        assert path.read_text() == "one\n"
+        atomic_write_text(str(path), "two\n")
+        assert path.read_text() == "two\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "old")
+
+        def boom(_fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.utils.os.fsync", boom)
+        try:
+            atomic_write_text(str(path), "new")
+        except OSError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected OSError")
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

@@ -1,0 +1,210 @@
+"""Receipt invariants: the content address is a function of the *data*.
+
+Three properties pin the warehouse's addressing contract
+(docs/warehouse.md):
+
+1. the address is invariant under JSON key reordering / dict
+   insertion-order shuffles (like ``FactBase.digest``),
+2. a receipt round-trips byte-identically through dump/load, and
+3. mutating any field — at any depth — changes the address.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.warehouse import (
+    KINDS,
+    RECEIPT_SCHEMA,
+    canonical_bytes,
+    dump_receipt,
+    git_revision,
+    host_provenance,
+    iter_receipts,
+    load_receipt,
+    make_receipt,
+    receipt_digest,
+    receipt_filename,
+    validate_receipt,
+    write_receipt,
+)
+
+# JSON values as the warehouse sees them.  Floats are bounded and
+# integral-free of NaN/inf (canonical_bytes rejects those by contract).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+_payloads = st.dictionaries(st.text(min_size=1, max_size=8), _json_values, max_size=4)
+
+
+def _shuffle_orders(value, rng):
+    """Deep-copy ``value`` rebuilding every dict in a shuffled key order."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: _shuffle_orders(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [_shuffle_orders(v, rng) for v in value]
+    return value
+
+
+def _make(payload, identity=None):
+    return make_receipt(
+        "bench-solver",
+        identity=identity or {"suite": "small", "flavors": ["2objH"]},
+        payload=payload,
+        created_at=1700000000.0,
+        provenance={
+            "python": "3.11.0",
+            "platform": "linux",
+            "cpu_count": 4,
+            "gc_enabled": True,
+            "git_rev": None,
+        },
+    )
+
+
+class TestContentAddress:
+    @given(payload=_payloads, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_digest_invariant_under_key_reordering(self, payload, seed):
+        receipt = _make(payload)
+        shuffled = _shuffle_orders(receipt, random.Random(seed))
+        assert shuffled == receipt  # same data...
+        assert canonical_bytes(shuffled) == canonical_bytes(receipt)
+        assert receipt_digest(shuffled) == receipt_digest(receipt)
+        assert receipt_filename(shuffled) == receipt_filename(receipt)
+
+    @given(payload=_payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_dump_load_round_trip_is_byte_identical(self, payload, tmp_path_factory):
+        receipt = _make(payload)
+        store = str(tmp_path_factory.mktemp("wh"))
+        path = write_receipt(receipt, store)
+        loaded = load_receipt(path)
+        assert loaded == receipt
+        assert dump_receipt(loaded) == dump_receipt(receipt)
+        with open(path, "r", encoding="utf-8") as fh:
+            assert fh.read() == dump_receipt(receipt)
+        # Re-writing the same receipt is idempotent: same address, one file.
+        assert write_receipt(loaded, store) == path
+        assert iter_receipts(store) == [path]
+
+    @given(payload=_payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_any_field_mutation_changes_the_address(self, payload):
+        receipt = _make(payload)
+        before = receipt_digest(receipt)
+        for mutated in _mutations(receipt):
+            assert receipt_digest(mutated) != before, mutated
+
+
+def _mutations(receipt):
+    """Every receipt obtainable by mutating exactly one leaf (any depth)."""
+
+    def mutate_leaf(value):
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, (int, float)):
+            bumped = value + 1
+            # Huge floats absorb +1; halving always changes a nonzero float.
+            return bumped if bumped != value else value / 2
+        if isinstance(value, str):
+            return value + "x"
+        if value is None:
+            return "was-null"
+        raise AssertionError(f"not a leaf: {value!r}")
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key in node:
+                yield from walk(node[key], path + [key])
+            yield path, dict  # structural mutation: add a key
+        elif isinstance(node, list):
+            for i, item in enumerate(node):
+                yield from walk(item, path + [i])
+            yield path, list  # structural mutation: append
+        else:
+            yield path, None
+
+    for path, structural in walk(receipt, []):
+        clone = json.loads(json.dumps(receipt))
+        parent = clone
+        for step in path[:-1] if structural is None else path:
+            parent = parent[step]
+        if structural is dict:
+            parent["__mutation__"] = 1
+        elif structural is list:
+            parent.append("__mutation__")
+        elif path:
+            parent[path[-1]] = mutate_leaf(parent[path[-1]])
+        else:  # pragma: no cover - receipt root is always a dict
+            continue
+        yield clone
+
+
+class TestGitRevision:
+    def test_resolves_this_checkout(self):
+        rev = git_revision()
+        assert rev is not None
+        assert len(rev) == 40
+        int(rev, 16)  # hex commit id
+
+    def test_outside_a_checkout_returns_none(self, tmp_path):
+        assert git_revision(str(tmp_path)) is None
+
+    def test_stamped_into_fresh_provenance(self):
+        assert host_provenance()["git_rev"] == git_revision()
+
+
+class TestValidation:
+    def test_make_receipt_accepts_every_kind(self):
+        for kind in KINDS:
+            receipt = _make({"n": 1})
+            receipt["kind"] = kind
+            validate_receipt(receipt)
+            assert receipt_filename(receipt).startswith(kind + "-")
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda r: r.update(schema="repro-receipt/0"),
+            lambda r: r.update(kind="bench-quantum"),
+            lambda r: r.update(created_at="yesterday"),
+            lambda r: r.update(provenance="linux"),
+            lambda r: r["provenance"].pop("git_rev"),
+            lambda r: r.update(identity={}),
+            lambda r: r.update(payload=[1, 2]),
+            lambda r: r.update(surprise=True),
+        ],
+    )
+    def test_rejects_malformed_receipts(self, corrupt):
+        receipt = _make({"n": 1})
+        corrupt(receipt)
+        with pytest.raises(ValueError):
+            validate_receipt(receipt)
+
+    def test_rejects_non_json_payloads(self):
+        with pytest.raises((TypeError, ValueError)):
+            _make({"when": object()})
+
+    def test_receipt_schema_constant(self):
+        assert RECEIPT_SCHEMA == "repro-receipt/1"
+        assert _make({"n": 1})["schema"] == RECEIPT_SCHEMA
