@@ -42,16 +42,26 @@ _Filter = Optional[Callable[[str], bool]]
 
 @dataclass(frozen=True)
 class DemandAnswer:
-    """One demand query's result and footprint."""
+    """One demand query's result and footprint.
+
+    ``exception_slop`` counts the heaps that entered ``points_to`` *only*
+    through the every-throw catch edge — the baseline's one deliberate
+    over-approximation (it ignores interception along the call chain).
+    A catch-free slice always reports 0, so query-vs-exhaustive deltas
+    are attributable: exactly ``exception_slop`` of the difference is
+    the exception model, the rest would be a bug.
+    """
 
     var: str
     points_to: FrozenSet[str]
     visited_variables: int
+    exception_slop: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<DemandAnswer {self.var}: {len(self.points_to)} heaps, "
-            f"{self.visited_variables} vars visited>"
+            f"{self.visited_variables} vars visited, "
+            f"{self.exception_slop} exception slop>"
         )
 
 
@@ -144,7 +154,10 @@ class DemandPointsTo:
         heap_type = self.facts.heap_type
 
         pts: Dict[str, Set[str]] = {}
-        edges_into: Dict[str, List[Tuple[str, _Filter]]] = {}
+        # (source var, filter, via-catch-edge?) — the flag lets a second
+        # fixpoint without the over-approximate every-throw catch edges
+        # attribute exactly which heaps they added (``exception_slop``).
+        edges_into: Dict[str, List[Tuple[str, _Filter, bool]]] = {}
         pending_loads: Dict[str, List[Tuple[str, str]]] = {}
         # load entries indexed by their base: (target var, field)
         loads_by_base: Dict[str, List[Tuple[str, str]]] = {}
@@ -171,10 +184,12 @@ class DemandPointsTo:
             for heap in self.allocs_into.get(v, ()):
                 pts[v].add(heap)
             for frm in self.moves_into.get(v, ()):
-                edges_into.setdefault(v, []).append((frm, None))
+                edges_into.setdefault(v, []).append((frm, None, False))
                 need(frm)
             for frm, typ in self.casts_into.get(v, ()):
-                edges_into.setdefault(v, []).append((frm, subtype_filter(typ)))
+                edges_into.setdefault(v, []).append(
+                    (frm, subtype_filter(typ), False)
+                )
                 need(frm)
             # interprocedural: v as a formal parameter
             if v in self.formal_of:
@@ -182,7 +197,9 @@ class DemandPointsTo:
                 for invo in self.invos_calling.get(meth, ()):
                     actuals = self.args_of.get(invo, [])
                     if i < len(actuals):
-                        edges_into.setdefault(v, []).append((actuals[i], None))
+                        edges_into.setdefault(v, []).append(
+                            (actuals[i], None, False)
+                        )
                         need(actuals[i])
             # v as `this`
             if v in self.meth_of_this:
@@ -193,13 +210,13 @@ class DemandPointsTo:
                         continue
                     sig = self.sig_of_invo.get(invo)
                     filt = dispatch_filter(sig, meth) if sig else None
-                    edges_into.setdefault(v, []).append((base, filt))
+                    edges_into.setdefault(v, []).append((base, filt, False))
                     need(base)
             # v as a call's result
             for invo in self.ret_target_of.get(v, ()):
                 for meth in self.call_graph.get(invo, ()):
                     for ret in self.rets_of.get(meth, ()):
-                        edges_into.setdefault(v, []).append((ret, None))
+                        edges_into.setdefault(v, []).append((ret, None, False))
                         need(ret)
             # v as a load target: need the base; stores resolve at fixpoint
             for base, fld in self.loads_into.get(v, ()):
@@ -213,47 +230,67 @@ class DemandPointsTo:
                     need(frm)
             for cls, fld in self.staticloads_into.get(v, ()):
                 for frm in self.staticstores.get((cls, fld), ()):
-                    edges_into.setdefault(v, []).append((frm, None))
+                    edges_into.setdefault(v, []).append((frm, None, False))
                     need(frm)
             # v as a catch variable (over-approximate: see module docstring)
             if v in self.catch_type_of:
                 filt = subtype_filter(self.catch_type_of[v])
                 for tv in self.throw_vars:
-                    edges_into.setdefault(v, []).append((tv, filt))
+                    edges_into.setdefault(v, []).append((tv, filt, True))
                     need(tv)
 
         need(var)
 
-        # Mini-Andersen fixpoint over the slice.
-        changed = True
-        while changed:
-            changed = False
-            for v in list(visited):
-                acc = pts[v]
-                before = len(acc)
-                for src, filt in edges_into.get(v, ()):
-                    src_pts = pts.get(src, ())
-                    if filt is None:
-                        acc.update(src_pts)
-                    else:
-                        acc.update(h for h in src_pts if filt(h))
-                # loads through this variable's aliases
-                for to, fld in loads_by_base.get(v, ()):
-                    base_heaps = pts[v]
-                    for store_base, frm in self.stores_by_field.get(fld, ()):
-                        if store_base in pts and (
-                            pts[store_base] & base_heaps
+        has_catch_edges = any(
+            catch for edges in edges_into.values() for _, _, catch in edges
+        )
+
+        def fixpoint(seeds: Dict[str, Set[str]], with_catch: bool) -> None:
+            # Mini-Andersen fixpoint over the slice.
+            changed = True
+            while changed:
+                changed = False
+                for v in list(visited):
+                    acc = seeds[v]
+                    before = len(acc)
+                    for src, filt, catch in edges_into.get(v, ()):
+                        if catch and not with_catch:
+                            continue
+                        src_pts = seeds.get(src, ())
+                        if filt is None:
+                            acc.update(src_pts)
+                        else:
+                            acc.update(h for h in src_pts if filt(h))
+                    # loads through this variable's aliases
+                    for to, fld in loads_by_base.get(v, ()):
+                        base_heaps = seeds[v]
+                        for store_base, frm in self.stores_by_field.get(
+                            fld, ()
                         ):
-                            if not pts[to] >= pts.get(frm, set()):
-                                pts[to].update(pts.get(frm, set()))
-                                changed = True
-                if len(acc) != before:
-                    changed = True
+                            if store_base in seeds and (
+                                seeds[store_base] & base_heaps
+                            ):
+                                if not seeds[to] >= seeds.get(frm, set()):
+                                    seeds[to].update(seeds.get(frm, set()))
+                                    changed = True
+                    if len(acc) != before:
+                        changed = True
+
+        exception_slop = 0
+        if has_catch_edges:
+            # What would the answer be without the every-throw edges?
+            # Anything the full run adds on top of that is exception slop.
+            no_throw = {v: set(heaps) for v, heaps in pts.items()}
+            fixpoint(no_throw, with_catch=False)
+        fixpoint(pts, with_catch=True)
+        if has_catch_edges:
+            exception_slop = len(pts.get(var, set()) - no_throw.get(var, set()))
 
         return DemandAnswer(
             var=var,
             points_to=frozenset(pts.get(var, ())),
             visited_variables=len(visited),
+            exception_slop=exception_slop,
         )
 
     @classmethod

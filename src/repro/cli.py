@@ -16,8 +16,13 @@ Subcommands:
   ``BENCH_incremental.json``; with ``--parallel``, run the worker-count
   scaling suite of the SCC-parallel solver and write
   ``BENCH_parallel.json`` (see ``docs/performance.md`` and
-  ``docs/incremental.md``);
+  ``docs/incremental.md``); with ``--demand``, benchmark per-query
+  demand slices against full solves and write ``BENCH_demand.json``
+  (see ``docs/queries.md``);
 * ``repro benchmarks`` — list the built-in benchmarks;
+* ``repro query VAR ...`` — answer demand ``pts(v)`` queries over a
+  benchmark or source file under any context flavor, solving only each
+  query's slice (``docs/queries.md``);
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
   queue, worker pool, and content-addressed result cache);
 * ``repro report`` — the results warehouse: ingest receipts and legacy
@@ -36,7 +41,9 @@ Examples::
     repro bench --datalog --suite medium --repeat 3
     repro bench --incremental --suite medium --repeat 3
     repro bench --parallel --suite medium --workers 1,2,4
+    repro bench --demand --suite medium --repeat 3
     repro bench --quick --receipt-dir benchmarks/receipts
+    repro query 'Main.main/0/result' --benchmark hsqldb --flavor 2objH
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
     repro report BENCH_solver.json benchmarks/receipts --json TRAJECTORY.json
     repro report benchmarks/receipts --gate --max-regression 10
@@ -62,6 +69,10 @@ from .ir.program import Program
 from .obs import Tracer
 
 __all__ = ["main"]
+
+#: The bench parser's --flavors default (shared so --demand can detect
+#: "user did not override" and substitute its own sweep).
+_DEFAULT_BENCH_FLAVORS = "2objH,2typeH,2callH"
 
 
 def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
@@ -277,7 +288,9 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     comparison with ``--datalog``, warm edit-sessions vs from-scratch
     re-analysis with ``--incremental``.  Writes the JSON report."""
     from .harness.bench import (
+        DEFAULT_DEMAND_FLAVORS,
         run_datalog_suite,
+        run_demand_suite,
         run_incremental_suite,
         run_parallel_suite,
         run_suite,
@@ -290,6 +303,7 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
             ("--datalog", args.datalog),
             ("--incremental", args.incremental),
             ("--parallel", args.parallel),
+            ("--demand", args.demand),
         )
         if on
     ]
@@ -302,6 +316,10 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
         suite = "small"
         repeat = 1
     flavors = [f.strip() for f in args.flavors.split(",") if f.strip()]
+    if args.demand and args.flavors == _DEFAULT_BENCH_FLAVORS:
+        # The demand bench's natural sweep includes an introspective
+        # flavor; an explicit --flavors list still wins.
+        flavors = list(DEFAULT_DEMAND_FLAVORS)
     if args.datalog:
         runner = run_datalog_suite
     elif args.incremental:
@@ -316,6 +334,8 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
             output = "BENCH_incremental.json"
         elif args.parallel:
             output = "BENCH_parallel.json"
+        elif args.demand:
+            output = "BENCH_demand.json"
         else:
             output = "BENCH_solver.json"
     try:
@@ -332,6 +352,14 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
                 flavors=flavors,
                 repeat=repeat,
                 worker_counts=worker_counts,
+                progress=print,
+            )
+        elif args.demand:
+            report = run_demand_suite(
+                suite=suite,
+                flavors=flavors,
+                repeat=repeat,
+                queries=args.queries,
                 progress=print,
             )
         else:
@@ -525,7 +553,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         receipt_dir=args.receipt_dir,
         verbose=args.verbose,
+        max_sessions=args.max_sessions,
     )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    if (args.benchmark is None) == (args.source is None):
+        print(
+            "error: exactly one of --benchmark or --source is required",
+            file=sys.stderr,
+        )
+        return 2
+    variables = list(args.vars)
+    if args.batch:
+        try:
+            text = Path(args.batch).read_text()
+        except OSError as exc:
+            reason = exc.strerror or exc.__class__.__name__
+            print(
+                f"error: cannot read {args.batch}: {reason}", file=sys.stderr
+            )
+            return 2
+        for line in text.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                variables.append(line)
+    if not variables:
+        print(
+            "error: no variables to query (positional VAR or --batch FILE)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.benchmark is not None:
+        if args.benchmark not in DACAPO_SPECS:
+            print(
+                f"unknown benchmark {args.benchmark!r}; "
+                f"try: {', '.join(benchmark_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        program = build_benchmark(args.benchmark)
+    else:
+        try:
+            source = Path(args.source).read_text()
+        except OSError as exc:
+            reason = exc.strerror or exc.__class__.__name__
+            print(
+                f"error: cannot read {args.source}: {reason}", file=sys.stderr
+            )
+            return 2
+        program = parse_source(source)
+    engine = QueryEngine(program)
+    try:
+        engine.policy(args.flavor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcomes = engine.query_batch(
+        variables,
+        args.flavor,
+        max_tuples=args.max_tuples,
+        max_seconds=args.max_seconds,
+    )
+    if args.json:
+        import json as _json
+
+        doc = {
+            "facts_digest": engine.digest,
+            "flavor": args.flavor,
+            "answers": [o.to_json() for o in outcomes],
+        }
+        print(_json.dumps(doc, indent=2))
+    else:
+        for outcome in outcomes:
+            if outcome.error is not None:
+                print(f"pts({outcome.var}) = TIMEOUT ({outcome.error})")
+                continue
+            answer = outcome.answer
+            heaps = sorted(answer.points_to)
+            print(f"pts({outcome.var}) = {heaps if heaps else '{}'}")
+            print(
+                f"  [{args.flavor}] slice: {answer.slice_variables} vars, "
+                f"{answer.slice_methods} methods, "
+                f"{answer.slice_tuples} tuples "
+                f"({answer.footprint:.2%} of program) "
+                f"in {answer.seconds * 1000:.1f}ms"
+                f"{' (memoized)' if answer.memoized else ''}"
+            )
+    return 3 if any(o.error is not None for o in outcomes) else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -569,7 +686,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--flavors",
-        default="2objH,2typeH,2callH",
+        default=_DEFAULT_BENCH_FLAVORS,
         help="comma-separated context flavors to benchmark",
     )
     p_bench.add_argument(
@@ -608,6 +725,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="1,2,4",
         metavar="N,N,...",
         help="comma-separated worker counts for --parallel (default 1,2,4)",
+    )
+    p_bench.add_argument(
+        "--demand",
+        action="store_true",
+        help="benchmark demand queries (slice solves via the query "
+        "engine) against full packed solves (writes BENCH_demand.json)",
+    )
+    p_bench.add_argument(
+        "--queries",
+        type=int,
+        default=6,
+        metavar="N",
+        help="seeded query variables per benchmark for --demand "
+        "(default 6)",
     )
     p_bench.add_argument(
         "--receipt-dir",
@@ -655,9 +786,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "results warehouse under DIR",
     )
     p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cap on concurrently open warm edit-sessions; creating one "
+        "past the cap is a 409 (default 16)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="answer demand pts(v) queries over a slice (docs/queries.md)",
+    )
+    p_query.add_argument(
+        "vars",
+        nargs="*",
+        metavar="VAR",
+        help="qualified variable name(s), e.g. Main.main/0/result",
+    )
+    p_query.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="read extra variables from FILE (one per line, # comments)",
+    )
+    p_query.add_argument(
+        "--benchmark",
+        default=None,
+        metavar="NAME",
+        help="query a built-in benchmark (see `repro benchmarks`)",
+    )
+    p_query.add_argument(
+        "--source",
+        default=None,
+        metavar="FILE",
+        help="query a surface-language source file",
+    )
+    p_query.add_argument(
+        "--flavor",
+        default="insens",
+        help="context flavor: any analysis name (2objH, 2typeH, ...) or "
+        "introspective-A/-B (default insens)",
+    )
+    p_query.add_argument(
+        "--max-tuples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-query tuple budget (same semantics as --budget)",
+    )
+    p_query.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-query wall-clock budget in seconds",
+    )
+    p_query.add_argument(
+        "--json", action="store_true", help="print answers as JSON"
+    )
+    p_query.set_defaults(func=_cmd_query)
 
     p_fuzz = sub.add_parser(
         "fuzz",

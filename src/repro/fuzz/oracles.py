@@ -32,6 +32,10 @@ shrink and persist the counterexample.
                           forced through the worker machinery) derives
                           exactly the sequential-bitset and reference
                           relations
+``demand-equivalence``    a demand query answered over the variable's
+                          slice equals the whole-program projection for
+                          the same flavor, and the slice footprint never
+                          exceeds the program
 ========================  ==============================================
 """
 
@@ -57,6 +61,7 @@ __all__ = [
     "ORACLES",
     "Violation",
     "check_bitset_equivalence",
+    "check_demand_equivalence",
     "check_digest_invariance",
     "check_engine_equivalence",
     "check_incremental_equivalence",
@@ -98,6 +103,10 @@ ORACLES: Dict[str, str] = {
     "bitset-equivalence": (
         "the SCC-parallel bitset solve equals the sequential and "
         "reference relations"
+    ),
+    "demand-equivalence": (
+        "a sliced demand query equals the whole-program projection "
+        "for the same flavor"
     ),
 }
 
@@ -549,5 +558,70 @@ def check_bitset_equivalence(
                     flavor=flavor,
                     engines=("parallel", other_name),
                     detail=_diff_detail(rel_name, "parallel", a, other_name, b),
+                )
+    return None
+
+
+def check_demand_equivalence(
+    program: Program,
+    facts: FactBase,
+    results: Dict[str, AnalysisResult],
+    rng: random.Random,
+    sample: int = 4,
+    max_tuples: Optional[int] = None,
+) -> Optional[Violation]:
+    """A demand query equals the whole-program projection, per flavor.
+
+    ``results`` maps flavor names (any the query engine supports; must
+    include ``insens``, which seeds the engine's ahead-of-time call
+    graph) to whole-program results.  A seeded sample of variables is
+    queried under every flavor through one
+    :class:`~repro.query.QueryEngine`; each answer must equal the
+    whole-program set exactly — the slice closure is designed to be
+    per-flavor exact, so any delta is a planner or solver bug — and the
+    slice footprint can never exceed the program (a "slice" bigger than
+    the whole program would be one too).
+
+    Budget overruns propagate (the campaign counts them as skips).
+    """
+    from ..query import QueryEngine  # local: keep fuzz importable alone
+
+    engine = QueryEngine(
+        program,
+        facts=facts,
+        insens=results["insens"],
+        max_tuples=max_tuples,
+    )
+    variables = sorted({var for var, _m in facts.varinmeth})
+    if not variables:
+        return None
+    picked = rng.sample(variables, min(sample, len(variables)))
+    for flavor, whole in sorted(results.items()):
+        for var in picked:
+            answer = engine.query(var, flavor)
+            expected = frozenset(whole.points_to(var))
+            if answer.points_to != expected:
+                return Violation(
+                    oracle="demand-equivalence",
+                    flavor=flavor,
+                    engines=("demand", "whole-program"),
+                    detail=_diff_detail(
+                        f"pts({var})",
+                        "demand",
+                        answer.points_to,
+                        "whole",
+                        expected,
+                    ),
+                )
+            if answer.slice_variables > len(variables):
+                return Violation(
+                    oracle="demand-equivalence",
+                    flavor=flavor,
+                    engines=("demand",),
+                    detail=(
+                        f"slice footprint exceeds program: "
+                        f"{answer.slice_variables} slice vars > "
+                        f"{len(variables)} program vars for {var}"
+                    ),
                 )
     return None

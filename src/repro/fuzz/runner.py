@@ -55,6 +55,7 @@ from .oracles import (
     Relations,
     Violation,
     check_bitset_equivalence,
+    check_demand_equivalence,
     check_digest_invariance,
     check_engine_equivalence,
     check_incremental_equivalence,
@@ -169,6 +170,7 @@ class FuzzConfig:
     trace_every: int = 8
     incremental_every: int = 8
     bitset_every: int = 8
+    demand_every: int = 8
     #: Run the Datalog model on one rotating flavor per iteration instead
     #: of all of them — the pre-compiled-engine schedule, kept as an
     #: escape hatch for throughput-starved campaigns.
@@ -330,6 +332,21 @@ def _check_program(
         if v is not None:
             return v
 
+    if config.demand_every and iteration % config.demand_every == 4:
+        # One engine + one sliced solve per (flavor, sampled var); the
+        # insens pass is reused from the results already computed above.
+        stats.engine_runs += 1
+        stats.count("demand-equivalence")
+        v = check_demand_equivalence(
+            program,
+            facts,
+            results,
+            rng,
+            max_tuples=_MUTANT_TUPLE_CAP,
+        )
+        if v is not None:
+            return v
+
     if config.budget_every and iteration % config.budget_every == 5:
         flavor = flavors[iteration % len(flavors)]
         policy = policy_by_name(flavor, alloc_class_of=facts.alloc_class_of)
@@ -457,6 +474,22 @@ def run_single_check(
             if v is not None:
                 return v
         return None
+
+    if oracle == "demand-equivalence":
+        target = flavor or flavors[0]
+        results = {}
+        for name in dict.fromkeys(("insens", target)):
+            _p, _r, _d, _t, results[name] = _flavor_relations(
+                program, facts, name, False, stats
+            )
+        stats.engine_runs += 1
+        return check_demand_equivalence(
+            program,
+            facts,
+            results,
+            random.Random(seed),
+            max_tuples=_MUTANT_TUPLE_CAP,
+        )
 
     if oracle == "bitset-equivalence":
         target = flavor or "insens"

@@ -81,8 +81,10 @@ __all__ = [
     "BENCH_SCHEMA",
     "DATALOG_BENCH_SCHEMA",
     "DATALOG_ENGINES",
+    "DEFAULT_DEMAND_FLAVORS",
     "DEFAULT_FLAVORS",
     "DEFAULT_WORKER_COUNTS",
+    "DEMAND_BENCH_SCHEMA",
     "ENGINES",
     "INCREMENTAL_BENCH_SCHEMA",
     "INCREMENTAL_EDIT_KINDS",
@@ -90,6 +92,7 @@ __all__ = [
     "datalog_suite_names",
     "datalog_suite_specs",
     "run_datalog_suite",
+    "run_demand_suite",
     "run_incremental_suite",
     "run_parallel_suite",
     "run_trace_cell",
@@ -103,6 +106,12 @@ BENCH_SCHEMA = "repro-bench-solver/1"
 DATALOG_BENCH_SCHEMA = "repro-bench-datalog/1"
 INCREMENTAL_BENCH_SCHEMA = "repro-bench-incremental/1"
 PARALLEL_BENCH_SCHEMA = "repro-bench-parallel/1"
+DEMAND_BENCH_SCHEMA = "repro-bench-demand/1"
+
+#: Flavors the demand bench sweeps — the context-sensitive ones a query
+#: would otherwise pay a full solve for, including an introspective
+#: variant (the engine's two-pass refinement decision).
+DEFAULT_DEMAND_FLAVORS: Tuple[str, ...] = ("2objH", "2typeH", "introspective-A")
 
 #: Worker counts the parallel scaling suite sweeps by default.
 DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
@@ -921,6 +930,185 @@ def run_incremental_suite(
         "engines": ["warm", "scratch"],
         "entries": entries,
         "speedups": speedups,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def run_demand_suite(
+    suite: str = "medium",
+    flavors: Sequence[str] = DEFAULT_DEMAND_FLAVORS,
+    repeat: int = 3,
+    queries: int = 6,
+    seed: int = 2014,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark demand queries against full solves; return the report.
+
+    Per (benchmark, flavor) cell: one full packed solve (best of
+    ``repeat``, the same GC hygiene as :func:`run_suite`) is the
+    baseline; ``queries`` variables drawn by a seeded RNG are then
+    answered two ways through one warm :class:`~repro.query.QueryEngine`:
+
+    * ``query`` — each variable alone, memos cleared before every timing
+      so the latency is a cold plan + sliced solve (the planner and the
+      insensitive pass stay warm — the steady state of a long-lived
+      engine, whose one-time warm-up is reported separately);
+    * ``batch`` — all variables in one ``query_batch`` sharing a single
+      union-solve; its per-query cost is the batch wall clock divided by
+      the number of variables.
+
+    Speedup cells (``bench/flavor/query`` and ``bench/flavor/batch``)
+    divide the full-solve wall clock by the per-query wall clock, so
+    they read "a query costs 1/Nth of solving the program".  Every
+    answer is asserted equal to the full solve's projection for that
+    variable — a disagreement means the slice closure is broken and the
+    timings would be meaningless.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if queries < 1:
+        raise ValueError("queries must be >= 1")
+    from ..analysis import analyze
+    from ..query import QueryEngine
+
+    specs = suite_specs(suite)
+    rng = random.Random(seed)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    entries: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    footprints: List[float] = []
+    warmup_seconds: Dict[str, float] = {}
+    for spec in specs:
+        program = generate(spec)
+        facts = encode_program(program)
+        say(f"{spec.name}: {program.summary()}")
+        all_vars = sorted({var for var, _m in facts.varinmeth})
+        picked = rng.sample(all_vars, min(queries, len(all_vars)))
+        w0 = time.perf_counter()
+        engine = QueryEngine(program, facts=facts)
+        warmup_seconds[spec.name] = round(time.perf_counter() - w0, 6)
+        for flavor in flavors:
+            policy = engine.policy(flavor)
+            full_wall = math.inf
+            full = None
+            for _ in range(repeat):
+                gc.collect()
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    raw = analyze(program, policy, facts=facts)
+                    wall = time.perf_counter() - t0
+                finally:
+                    gc.enable()
+                if wall < full_wall:
+                    full_wall = wall
+                    full = raw
+                raw = None
+            cell_speedups: List[float] = []
+            for var in picked:
+                best = math.inf
+                answer = None
+                for _ in range(repeat):
+                    engine.clear_memos()
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        answer = engine.query(var, flavor)
+                    finally:
+                        gc.enable()
+                    best = min(best, answer.seconds)
+                expected = frozenset(full.var_points_to.get(var, ()))
+                if answer.points_to != expected:
+                    raise RuntimeError(
+                        f"demand/full disagreement on "
+                        f"{spec.name}/{flavor}/{var}: "
+                        f"query={len(answer.points_to)} "
+                        f"full={len(expected)} heaps"
+                    )
+                speedup = full_wall / best if best > 0 else math.inf
+                cell_speedups.append(speedup)
+                footprints.append(answer.footprint)
+                entries.append(
+                    {
+                        "benchmark": spec.name,
+                        "flavor": flavor,
+                        "var": var,
+                        "query_seconds": round(best, 6),
+                        "full_seconds": round(full_wall, 6),
+                        "speedup": round(speedup, 3),
+                        "points_to": len(answer.points_to),
+                        "slice_variables": answer.slice_variables,
+                        "slice_methods": answer.slice_methods,
+                        "slice_tuples": answer.slice_tuples,
+                        "footprint": round(answer.footprint, 6),
+                        "peak_rss_kb": _peak_rss_kb(),
+                    }
+                )
+            batch_wall = math.inf
+            for _ in range(repeat):
+                engine.clear_memos()
+                gc.collect()
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    outcomes = engine.query_batch(picked, flavor)
+                    wall = time.perf_counter() - t0
+                finally:
+                    gc.enable()
+                batch_wall = min(batch_wall, wall)
+            for outcome in outcomes:
+                expected = frozenset(
+                    full.var_points_to.get(outcome.var, ())
+                )
+                if (
+                    outcome.answer is None
+                    or outcome.answer.points_to != expected
+                ):
+                    raise RuntimeError(
+                        f"batch/full disagreement on "
+                        f"{spec.name}/{flavor}/{outcome.var}"
+                    )
+            per_query = batch_wall / len(picked)
+            cell = f"{spec.name}/{flavor}"
+            query_speedup = math.exp(
+                sum(math.log(s) for s in cell_speedups)
+                / len(cell_speedups)
+            )
+            batch_speedup = full_wall / per_query if per_query > 0 else math.inf
+            speedups[f"{cell}/query"] = round(query_speedup, 3)
+            speedups[f"{cell}/batch"] = round(batch_speedup, 3)
+            say(
+                f"  {flavor:15s} full={full_wall:.3f}s "
+                f"query={query_speedup:.1f}x batch={batch_speedup:.1f}x"
+            )
+            full = None
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    ordered = sorted(footprints)
+    median_footprint = ordered[len(ordered) // 2]
+    say(
+        f"geomean speedup: {geomean:.2f}x  "
+        f"median footprint: {median_footprint:.4f}"
+    )
+    return {
+        "schema": DEMAND_BENCH_SCHEMA,
+        "suite": suite,
+        "flavors": list(flavors),
+        "repeat": repeat,
+        "queries": queries,
+        "seed": seed,
+        "workers": 1,
+        **_provenance(),
+        "engines": ["packed-full", "packed-slice"],
+        "warmup_seconds": warmup_seconds,
+        "entries": entries,
+        "speedups": speedups,
+        "median_footprint": round(median_footprint, 6),
         "geomean_speedup": round(geomean, 3),
     }
 

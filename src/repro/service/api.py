@@ -28,6 +28,9 @@ speaking JSON, mirroring the submit/poll shape of builder-style services:
                                      result delta + tier + timing (400
                                      rejects, session unchanged)
 ``DELETE /sessions/{id}``    200     close a session
+``POST /queries``            200     answer a batch of demand ``pts(v)``
+                                     queries over slices (cached via the
+                                     result-cache tiers; 400 rejects)
 ``GET /healthz``             200     liveness + quick stats
 ``GET /metrics``             200     Prometheus text format
 ===========================  ======  ======================================
@@ -41,10 +44,12 @@ Sessions are the incremental subsystem over HTTP — see
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import re
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import CancelledError, Future
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterator, Optional, Tuple
@@ -73,6 +78,7 @@ class AnalysisService:
         cache_capacity: int = 128,
         cache_dir: Optional[str] = None,
         receipt_dir: Optional[str] = None,
+        max_sessions: int = 16,
     ) -> None:
         self.receipt_dir = receipt_dir
         self.telemetry = Registry()
@@ -121,6 +127,18 @@ class AnalysisService:
             "repro_service_stage_seconds",
             "Per-stage job wall time (seconds), labeled by stage.",
         )
+        self._m_queries = t.counter(
+            "repro_service_queries_total",
+            "Demand queries answered, by outcome.",
+        )
+        self._m_query_seconds = t.summary(
+            "repro_service_query_seconds",
+            "Wall time per answered demand query (seconds).",
+        )
+        self._m_query_slice_vars = t.summary(
+            "repro_service_query_slice_vars",
+            "Planned slice size per answered demand query (variables).",
+        )
 
         self.queue = JobQueue()
         self.pool = WorkerPool(workers)
@@ -131,7 +149,7 @@ class AnalysisService:
             misses=self._m_cache_misses,
         )
         self._m_workers.set(workers)
-        self.sessions = SessionStore()
+        self.sessions = SessionStore(max_sessions=max_sessions)
         self._m_sessions = t.gauge(
             "repro_service_sessions", "Live warm edit sessions."
         )
@@ -141,6 +159,11 @@ class AnalysisService:
         )
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
+        # Warm demand-query engines, LRU by facts digest (each one holds
+        # an insensitive pass + memo tables; see repro.query).
+        self._engines: "OrderedDict[str, Any]" = OrderedDict()
+        self._engines_lock = threading.Lock()
+        self._query_lock = threading.Lock()
         self._slots = threading.BoundedSemaphore(self.pool.slots)
         self._stop = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
@@ -323,6 +346,117 @@ class AnalysisService:
         self._slots.release()
 
     # ------------------------------------------------------------------
+    # Demand queries (POST /queries — synchronous, like sessions)
+    # ------------------------------------------------------------------
+    #: Warm query engines kept per service (each holds one insensitive
+    #: pass; mirrors the worker pool's pass-1 cache limit).
+    _ENGINE_CACHE_LIMIT = 4
+
+    def _query_engine(self, program: Any, facts: Any, digest: str) -> Any:
+        with self._engines_lock:
+            engine = self._engines.get(digest)
+            if engine is not None:
+                self._engines.move_to_end(digest)
+                return engine
+        from ..query import QueryEngine
+
+        engine = QueryEngine(program, facts=facts)  # pays the insens pass
+        with self._engines_lock:
+            self._engines.setdefault(digest, engine)
+            self._engines.move_to_end(digest)
+            while len(self._engines) > self._ENGINE_CACHE_LIMIT:
+                self._engines.popitem(last=False)
+            return self._engines[digest]
+
+    def run_queries(self, payload: Any) -> Dict[str, Any]:
+        """Answer one ``POST /queries`` batch; raises ``ValueError`` on 400s.
+
+        The batch shares a slice union-solve inside the engine, the
+        response caches in the ordinary :class:`ResultCache` tiers under
+        a content key of ``(facts digest, flavor, vars, budgets)``, and a
+        per-query blown budget lands in its answer slot — it fails alone.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("payload must be a JSON object")
+        allowed = {
+            "vars",
+            "flavor",
+            "benchmark",
+            "source",
+            "max_tuples",
+            "max_seconds",
+        }
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ValueError(f"unknown query fields: {', '.join(unknown)}")
+        variables = payload.get("vars")
+        if (
+            not isinstance(variables, list)
+            or not variables
+            or not all(isinstance(v, str) for v in variables)
+        ):
+            raise ValueError("vars must be a non-empty list of variable names")
+        flavor = payload.get("flavor", "insens")
+        if not isinstance(flavor, str):
+            raise ValueError("flavor must be a string")
+        max_tuples = payload.get("max_tuples")
+        max_seconds = payload.get("max_seconds")
+        benchmark = payload.get("benchmark")
+        source = payload.get("source")
+        if (benchmark is None) == (source is None):
+            raise ValueError("exactly one of benchmark or source is required")
+
+        from ..facts.encoder import encode_program
+        from .jobs import JobSpec
+        from .workers import _build_program
+
+        spec = JobSpec(benchmark=benchmark, source=source)
+        program = _build_program(spec, None)
+        facts = encode_program(program)
+        digest = facts.digest()
+        key = hashlib.sha256(
+            json.dumps(
+                {
+                    "kind": "queries",
+                    "facts": digest,
+                    "flavor": flavor,
+                    "vars": variables,
+                    "max_tuples": max_tuples,
+                    "max_seconds": max_seconds,
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()
+        cached = self.cache.get(key)
+        if cached is not None:
+            cached = dict(cached)
+            cached["cached"] = True
+            return cached
+
+        engine = self._query_engine(program, facts, digest)
+        engine.policy(flavor)  # unknown flavor -> ValueError -> 400
+        with self._query_lock:
+            outcomes = engine.query_batch(
+                variables, flavor, max_tuples=max_tuples, max_seconds=max_seconds
+            )
+        for outcome in outcomes:
+            if outcome.answer is not None:
+                self._m_queries.inc(state="done")
+                self._m_query_seconds.observe(outcome.answer.seconds)
+                self._m_query_slice_vars.observe(outcome.answer.slice_variables)
+            else:
+                self._m_queries.inc(state="timeout")
+        response: Dict[str, Any] = {
+            "facts_digest": digest,
+            "flavor": flavor,
+            "cached": False,
+            "slice_memo_entries": engine.memo_entries,
+            "answers": [o.to_json() for o in outcomes],
+        }
+        self.cache.put(key, response)
+        return response
+
+    # ------------------------------------------------------------------
     # Introspection for /healthz
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -414,6 +548,14 @@ class _Handler(BaseHTTPRequestHandler):
             snapshot = record.snapshot()
             snapshot["edits_url"] = f"/sessions/{record.id}/edits"
             self._send_json(201, snapshot)
+            return
+        if self.path == "/queries":
+            try:
+                payload = self.service.run_queries(self._read_json())
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(200, payload)
             return
         m = _SESSION_EDITS_PATH.match(self.path)
         if m:
@@ -556,6 +698,7 @@ def local_service(
     cache_capacity: int = 128,
     cache_dir: Optional[str] = None,
     receipt_dir: Optional[str] = None,
+    max_sessions: int = 16,
 ) -> Iterator[str]:
     """Context manager: an ephemeral service; yields its base URL.
 
@@ -569,6 +712,7 @@ def local_service(
         cache_capacity=cache_capacity,
         cache_dir=cache_dir,
         receipt_dir=receipt_dir,
+        max_sessions=max_sessions,
     )
     server, _thread = start_server(service)
     host, port = server.server_address[:2]
@@ -588,6 +732,7 @@ def serve(
     cache_dir: Optional[str] = None,
     receipt_dir: Optional[str] = None,
     verbose: bool = False,
+    max_sessions: int = 16,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
     service = AnalysisService(
@@ -595,6 +740,7 @@ def serve(
         cache_capacity=cache_capacity,
         cache_dir=cache_dir,
         receipt_dir=receipt_dir,
+        max_sessions=max_sessions,
     )
     service.start()
     server = create_server(service, host, port, verbose=verbose)

@@ -8,7 +8,8 @@ The warehouse ingests two generations of evidence:
   (``repro-bench-solver/1``), ``BENCH_datalog.json``
   (``repro-bench-datalog/1``), ``BENCH_incremental.json``
   (``repro-bench-incremental/1``), and ``BENCH_parallel.json``
-  (``repro-bench-parallel/1``) — which predate it.
+  (``repro-bench-parallel/1``) — which predate it.  ``BENCH_demand.json``
+  (``repro-bench-demand/1``) adapts through the same path.
 
 :func:`adapt` dispatches on the ``schema`` field and wraps a legacy
 report into a receipt without touching the report itself: the payload is
@@ -54,6 +55,7 @@ BENCH_SCHEMA_KINDS: Dict[str, str] = {
     "repro-bench-datalog/1": "bench-datalog",
     "repro-bench-incremental/1": "bench-incremental",
     "repro-bench-parallel/1": "bench-parallel",
+    "repro-bench-demand/1": "bench-demand",
 }
 
 #: Host keys a legacy report carries (harness.bench._provenance).
@@ -133,7 +135,12 @@ def ingest(
     for raw in inputs:
         path = Path(raw)
         if path.is_dir():
-            for child in sorted(path.glob("*.json")):
+            # Sort by bare filename: Path ordering compares whole paths,
+            # whose prefix can differ across filesystems/mounts for the
+            # "same" store — filename order keeps table and trajectory
+            # output byte-deterministic (ingestion order is the scorer's
+            # tie-break for equal timestamps).
+            for child in sorted(path.glob("*.json"), key=lambda p: p.name):
                 try:
                     receipts.append((str(child), load_any(str(child))))
                 except (ValueError, json.JSONDecodeError):

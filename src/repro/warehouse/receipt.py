@@ -62,6 +62,7 @@ KINDS = (
     "bench-datalog",
     "bench-incremental",
     "bench-parallel",
+    "bench-demand",
     "fuzz-campaign",
     "service-job",
 )

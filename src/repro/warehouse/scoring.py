@@ -13,6 +13,9 @@ variant)``:
   (``sequential``, ``workers=N``), which is how the warehouse bins by
   (suite, flavor, engine, workers);
 * ``bench-incremental`` cells use the edit kind as the variant;
+* ``bench-demand`` cells carry per-query-vs-full-solve speedups with the
+  query mode as the variant (``query`` answers one variable at a time,
+  ``batch`` shares one union-solve);
 * ``fuzz-campaign`` receipts contribute a throughput cell
   (programs/second, per seed);
 * ``service-job`` receipts contribute a solver-throughput cell for
@@ -167,13 +170,15 @@ def cells_of(receipt: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "traced",
                 ratio,
             )
-    elif kind == "bench-incremental":
+    elif kind in ("bench-incremental", "bench-demand"):
+        # incremental: variant is the edit kind; demand: variant is the
+        # query mode ("query" per-variable, "batch" shared union-solve).
         suite = str(identity.get("suite"))
         for name, value in (payload.get("speedups") or {}).items():
             parts = name.split("/")
             if len(parts) == 3:
-                bench, flavor, edit = parts
-                cell(suite, bench, flavor, edit, value)
+                bench, flavor, variant = parts
+                cell(suite, bench, flavor, variant, value)
     elif kind == "fuzz-campaign":
         stats = payload.get("stats") or {}
         seconds = stats.get("seconds") or 0.0

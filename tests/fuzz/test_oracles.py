@@ -183,6 +183,7 @@ def test_catalogue_is_complete_and_described():
         "trace-transparency",
         "incremental-equivalence",
         "bitset-equivalence",
+        "demand-equivalence",
     }
     assert all(ORACLES[name] for name in ORACLES)
 
@@ -283,3 +284,36 @@ def test_relations_cover_throws():
     )
     assert len(packed) == 5 and len(ref) == 5
     assert packed == ref
+
+
+@pytest.mark.parametrize("flavor", FLAVORS)
+def test_demand_equivalence_holds(box, flavor):
+    from repro import analyze
+    from repro.fuzz.oracles import check_demand_equivalence
+
+    program, facts = box
+    results = {
+        name: analyze(program, name, facts=facts)
+        for name in dict.fromkeys(("insens", flavor))
+    }
+    v = check_demand_equivalence(
+        program, facts, results, random.Random(0), sample=8
+    )
+    assert v is None
+
+
+def test_demand_equivalence_detects_projection_drift(box):
+    from repro import analyze
+    from repro.fuzz.oracles import check_demand_equivalence
+
+    program, facts = box
+    insens = analyze(program, "insens", facts=facts)
+    # Lie to the oracle: claim the insensitive result is the 2objH
+    # whole-program answer.  On the box program 2objH is strictly more
+    # precise, so some demand answer must differ and the oracle fires.
+    results = {"insens": insens, "2objH": insens}
+    v = check_demand_equivalence(
+        program, facts, results, random.Random(0), sample=64
+    )
+    assert v is not None and v.oracle == "demand-equivalence"
+    assert v.engines == ("demand", "whole-program")

@@ -82,6 +82,7 @@ def test_run_single_check_covers_every_oracle(tmp_path):
         ("tuple-budget-exactness", "insens"),
         ("trace-transparency", "2objH"),
         ("bitset-equivalence", "2objH"),
+        ("demand-equivalence", "2objH"),
     ):
         assert run_single_check(sketch, oracle, flavor, seed=1) is None
 
@@ -95,6 +96,9 @@ def test_trace_transparency_runs_on_cadence():
     # bitset-equivalence rides its own offset (iteration 2) in the same
     # window, so a short campaign exercises the parallel solver too.
     assert outcome.stats.oracle_checks.get("bitset-equivalence", 0) >= 1
+    # ...and demand-equivalence rides offset 4: sliced queries are
+    # cross-checked against whole-program projections in the same window.
+    assert outcome.stats.oracle_checks.get("demand-equivalence", 0) >= 1
 
 
 def test_run_single_check_rejects_unknown_oracle():

@@ -308,3 +308,69 @@ class TestWriteReportAtomicity:
         write_report(new, str(path))
         assert json.loads(path.read_text()) == new
         assert [p.name for p in tmp_path.iterdir()] == ["BENCH_solver.json"]
+
+
+class TestDemandSuite:
+    def test_repeat_and_queries_validated(self):
+        from repro.harness.bench import run_demand_suite
+
+        with pytest.raises(ValueError, match="repeat"):
+            run_demand_suite("tiny", repeat=0)
+        with pytest.raises(ValueError, match="queries"):
+            run_demand_suite("tiny", queries=0)
+
+    def test_tiny_suite_report_shape(self):
+        from repro.harness.bench import DEMAND_BENCH_SCHEMA, run_demand_suite
+
+        messages = []
+        flavors = ("2objH", "2typeH")
+        queries = 2
+        report = run_demand_suite(
+            "tiny",
+            flavors=flavors,
+            repeat=1,
+            queries=queries,
+            progress=messages.append,
+        )
+        assert report["schema"] == DEMAND_BENCH_SCHEMA
+        assert report["engines"] == ["packed-full", "packed-slice"]
+        assert PROVENANCE_KEYS <= set(report)
+        assert report["workers"] == 1
+        specs = suite_specs("tiny")
+        assert set(report["warmup_seconds"]) == {s.name for s in specs}
+        # One entry per (benchmark, flavor, sampled variable) ...
+        assert len(report["entries"]) == len(specs) * len(flavors) * queries
+        for entry in report["entries"]:
+            assert entry["speedup"] > 0
+            assert entry["query_seconds"] > 0
+            assert entry["full_seconds"] > 0
+            assert 0.0 < entry["footprint"] <= 1.0
+        # ... and two speedup cells (query / batch) per (benchmark, flavor).
+        assert len(report["speedups"]) == len(specs) * len(flavors) * 2
+        assert report["geomean_speedup"] > 0
+        assert 0.0 < report["median_footprint"] <= 1.0
+        assert any("geomean" in m for m in messages)
+
+    def test_report_adapts_into_warehouse_cells(self):
+        from repro.harness.bench import run_demand_suite
+        from repro.warehouse import cells_of, receipt_from_bench_report
+
+        report = run_demand_suite(
+            "tiny", flavors=("2objH",), repeat=1, queries=1
+        )
+        receipt = receipt_from_bench_report(report)
+        assert receipt["kind"] == "bench-demand"
+        cells = cells_of(receipt)
+        assert len(cells) == len(report["speedups"])
+        assert {c["variant"] for c in cells} == {"query", "batch"}
+        assert all(c["unit"] == "speedup" for c in cells)
+
+    def test_write_report_round_trips(self, tmp_path):
+        from repro.harness.bench import run_demand_suite
+
+        report = run_demand_suite(
+            "tiny", flavors=("2objH",), repeat=1, queries=1
+        )
+        path = tmp_path / "BENCH_demand.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == report

@@ -341,3 +341,114 @@ class TestTrace:
         )
         assert rc == 0
         assert "trace" not in json.loads(out_path.read_text())
+
+
+class TestQuery:
+    """``repro query``: the demand engine's command-line surface."""
+
+    def test_single_variable_text_output(self, source_file, capsys):
+        rc = main(
+            ["query", "Main.main/0/g", "--source", source_file,
+             "--flavor", "2objH"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pts(Main.main/0/g) = ['Main.main/0/new Exc/1']" in out
+        assert "slice:" in out and "of program" in out
+
+    def test_json_output_carries_answer_schema(self, source_file, capsys):
+        import json
+
+        rc = main(
+            ["query", "Main.main/0/g", "--source", source_file, "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"facts_digest", "flavor", "answers"}
+        (answer,) = doc["answers"]
+        assert answer["var"] == "Main.main/0/g"
+        assert answer["points_to"] == ["Main.main/0/new Exc/1"]
+
+    def test_batch_file_with_comments(self, source_file, tmp_path, capsys):
+        batch = tmp_path / "vars.txt"
+        batch.write_text("# queried variables\nMain.main/0/g\n\nMain.main/0/c\n")
+        rc = main(["query", "--batch", str(batch), "--source", source_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pts(Main.main/0/g)" in out and "pts(Main.main/0/c)" in out
+
+    def test_requires_exactly_one_program_selector(self, source_file, capsys):
+        assert main(["query", "Main.main/0/g"]) == 2
+        assert (
+            main(
+                ["query", "Main.main/0/g", "--source", source_file,
+                 "--benchmark", "antlr"]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "exactly one of --benchmark or --source" in err
+
+    def test_requires_some_variable(self, source_file, capsys):
+        assert main(["query", "--source", source_file]) == 2
+        assert "no variables" in capsys.readouterr().err
+
+    def test_unknown_flavor_is_an_error(self, source_file, capsys):
+        rc = main(
+            ["query", "Main.main/0/g", "--source", source_file,
+             "--flavor", "introspective-Z"]
+        )
+        assert rc == 2
+        assert "introspective" in capsys.readouterr().err
+
+    def test_blown_budget_exits_3(self, source_file, capsys):
+        rc = main(
+            ["query", "Main.main/0/g", "--source", source_file,
+             "--flavor", "2objH", "--max-tuples", "1"]
+        )
+        assert rc == 3
+        assert "TIMEOUT" in capsys.readouterr().out
+
+    def test_benchmark_selector(self, capsys):
+        rc = main(
+            ["query", "U0.m0/1/g", "--benchmark", "antlr",
+             "--flavor", "insens"]
+        )
+        assert rc == 0
+        assert "pts(U0.m0/1/g)" in capsys.readouterr().out
+
+
+class TestBenchDemand:
+    def test_tiny_demand_suite_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_demand.json"
+        rc = main(
+            ["bench", "--demand", "--suite", "tiny", "--repeat", "1",
+             "--queries", "2", "--flavors", "2objH",
+             "--output", str(out_path)]
+        )
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro-bench-demand/1"
+        assert report["suite"] == "tiny"
+        assert report["queries"] == 2
+        assert report["entries"]
+        assert report["geomean_speedup"] > 0
+        assert 0.0 < report["median_footprint"] <= 1.0
+        for key in report["speedups"]:
+            assert key.rsplit("/", 1)[1] in ("query", "batch")
+
+    def test_demand_default_flavors_include_introspective(self, tmp_path):
+        """With no --flavors, the demand suite covers an introspective
+        variant (the paper's pairing: demand queries x introspection)."""
+        import json
+
+        out_path = tmp_path / "d.json"
+        rc = main(
+            ["bench", "--demand", "--suite", "tiny", "--repeat", "1",
+             "--queries", "1", "--output", str(out_path)]
+        )
+        assert rc == 0
+        flavors = json.loads(out_path.read_text())["flavors"]
+        assert "introspective-A" in flavors

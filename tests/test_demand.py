@@ -106,6 +106,39 @@ def test_catch_query_over_approximates():
     assert demand >= frozenset(insens.var_points_to["Main.main/0/h"])
 
 
+def test_exception_slop_attributes_the_catch_over_approximation():
+    """`exception_slop` counts exactly the heaps the every-throw catch
+    edge added — here a heap the real analysis intercepts mid-chain —
+    so query-vs-exhaustive deltas stay attributable."""
+    b = ProgramBuilder()
+    b.klass("Exc")
+    with b.method("Lib", "boom", [], static=True) as m:
+        m.alloc("e", "Exc")
+        m.throw("e")
+    with b.method("Lib", "mid", [], static=True) as m:
+        m.scall("Lib", "boom", [])
+        m.catch("g", "Exc")  # intercepts: nothing escapes to Main
+    with b.method("Main", "main", [], static=True) as m:
+        m.scall("Lib", "mid", [])
+        m.catch("h", "Exc")
+    program = b.build(entry="Main.main/0")
+    _facts, insens, engine = make_engine(program)
+    answer = engine.query("Main.main/0/h")
+    whole = frozenset(insens.var_points_to.get("Main.main/0/h", ()))
+    # The baseline ignores interception, so the boom heap leaks into h —
+    # and the slop counter owns up to exactly that excess.
+    assert answer.points_to > whole
+    assert answer.exception_slop == len(answer.points_to - whole)
+
+
+def test_exception_slop_is_zero_without_catch_edges():
+    for builder in (build_tiny_program, build_box_program):
+        program = builder()
+        _facts, insens, engine = make_engine(program)
+        for var in insens.var_points_to:
+            assert engine.query(var).exception_slop == 0, var
+
+
 # Property-based: reuse the random-program strategy.  The catch-handler
 # over-approximation (see the demand module docstring) propagates to every
 # variable downstream of a handler, so exactness is asserted only on

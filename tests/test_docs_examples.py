@@ -272,3 +272,72 @@ class TestWarehouseDoc:
             assert f"`{kind}`" in text, kind
         assert "--gate" in text and "--max-regression" in text
         assert "repro report" in text
+
+
+class TestQueriesDoc:
+    def test_usage_block_executes_as_written(self):
+        """The python block in queries.md is the engine's contract: it
+        must run verbatim against a real program."""
+        from tests.conftest import build_box_program
+
+        namespace = {"program": build_box_program()}
+        code = extract_block(DOCS / "queries.md", "python")
+        exec(compile(code, "queries.md", "exec"), namespace)
+        assert namespace["answer"].points_to  # non-empty under 2objH
+
+    def test_bench_schema_example_matches_real_report(self):
+        """The BENCH_demand.json example (third json block) must have
+        exactly the keys a real demand-suite report has."""
+        import json
+
+        from repro.harness.bench import DEMAND_BENCH_SCHEMA, run_demand_suite
+
+        example = json.loads(
+            extract_block(DOCS / "queries.md", "json", index=2)
+        )
+        assert example["schema"] == DEMAND_BENCH_SCHEMA
+        report = run_demand_suite(
+            "tiny", flavors=("2objH",), repeat=1, queries=2
+        )
+        assert set(example) == set(report)
+        assert set(example["entries"][0]) == set(report["entries"][0])
+        # Every cell appears twice: once per query mode.
+        for key in report["speedups"]:
+            assert key.rsplit("/", 1)[1] in ("query", "batch")
+
+    def test_http_payload_examples_match_service(self):
+        """The request/response examples (first two json blocks) must
+        round-trip through the real service handler with exactly the
+        documented key sets, error slot included."""
+        import json
+
+        from repro.service import AnalysisService
+
+        request = json.loads(extract_block(DOCS / "queries.md", "json", 0))
+        response = json.loads(extract_block(DOCS / "queries.md", "json", 1))
+
+        service = AnalysisService(workers=0)
+        try:
+            real = service.run_queries(dict(request))
+            assert set(real) == set(response)
+            assert real["flavor"] == request["flavor"]
+            ok_example = next(
+                a for a in response["answers"] if "error" not in a
+            )
+            ok_real = next(a for a in real["answers"] if "error" not in a)
+            assert set(ok_real) == set(ok_example)
+
+            # A starved budget must produce the documented error slot.
+            # (A fresh flavor, so the engine's answer memo cannot serve
+            # the repeat without re-solving.)
+            starved = service.run_queries(
+                {**request, "flavor": "2typeH", "max_tuples": 1}
+            )
+            err_example = next(
+                a for a in response["answers"] if "error" in a
+            )
+            err_real = next(a for a in starved["answers"] if "error" in a)
+            assert set(err_real) == set(err_example)
+            assert set(err_real["error"]) == set(err_example["error"])
+        finally:
+            service.stop()

@@ -1,0 +1,326 @@
+"""Tests for the demand-driven query engine (`repro.query`).
+
+The headline property is *per-flavor exactness*: a sliced demand query
+returns exactly the whole-program projection of the queried variable —
+for every supported flavor, exceptions included — while touching only a
+slice of the fact base.  On top of that sit the memoization contracts
+(repeat queries and repeat batches solve nothing) and the budget
+contracts (same ``BudgetExceeded`` as the whole-program path; a blown
+batch member cannot starve its siblings or poison the memo).
+"""
+
+import pytest
+
+from repro import ProgramBuilder, analyze, encode_program
+from repro.analysis import BudgetExceeded
+from repro.introspection import HeuristicA, HeuristicB, run_introspective
+from repro.query import (
+    QUERY_FLAVORS,
+    QueryEngine,
+    QueryPlanner,
+    SLICED_RELATIONS,
+)
+from tests.conftest import (
+    build_box_program,
+    build_kitchen_sink_program,
+    build_tiny_program,
+)
+
+
+def build_throwing_program():
+    """Cross-method exception flow: the heap reaching ``h`` travels a
+    throw -> (transitive call) -> catch path the slice must keep."""
+    b = ProgramBuilder()
+    b.klass("Exc")
+    b.klass("Other")
+    with b.method("Lib", "boom", [], static=True) as m:
+        m.alloc("e", "Exc")
+        m.throw("e")
+    with b.method("Lib", "mid", [], static=True) as m:
+        m.scall("Lib", "boom", [])
+    with b.method("Main", "main", [], static=True) as m:
+        m.scall("Lib", "mid", [])
+        m.catch("h", "Exc")
+        m.alloc("o", "Other")
+        m.move("copy", "h")
+    return b.build(entry="Main.main/0")
+
+
+def whole_program_result(program, facts, flavor):
+    """The comparator the engine must reproduce, per flavor."""
+    if flavor.startswith("introspective-"):
+        heuristic = {"A": HeuristicA, "B": HeuristicB}[flavor[-1]]()
+        return run_introspective(program, "2objH", heuristic, facts=facts).result
+    return analyze(program, flavor, facts=facts)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        build_tiny_program,
+        build_box_program,
+        build_kitchen_sink_program,
+        build_throwing_program,
+    ],
+    ids=["tiny", "boxes", "kitchen-sink", "throwing"],
+)
+@pytest.mark.parametrize("flavor", QUERY_FLAVORS)
+def test_query_equals_whole_program_per_flavor(builder, flavor):
+    """Every variable's query answer equals the whole-program projection
+    — the acceptance contract, asserted for every supported flavor."""
+    program = builder()
+    facts = encode_program(program)
+    engine = QueryEngine(program, facts=facts)
+    whole = whole_program_result(program, facts, flavor)
+    variables = sorted({var for var, _meth in facts.varinmeth})
+    outcomes = engine.query_batch(variables, flavor)
+    assert [o.var for o in outcomes] == variables
+    for outcome in outcomes:
+        assert outcome.error is None, outcome.var
+        assert outcome.answer.points_to == frozenset(
+            whole.points_to(outcome.var)
+        ), (outcome.var, flavor)
+
+
+def test_slice_is_a_real_slice():
+    """Querying one box group's result must not drag in the hub code."""
+    from repro.benchgen import BenchmarkSpec, HubSpec, generate
+
+    spec = BenchmarkSpec(
+        name="slice",
+        util_classes=10,
+        util_methods_per_class=6,
+        strategy_clusters=(4,),
+        box_groups=(4,),
+        sink_groups=(),
+        hubs=(HubSpec(readers=10, elements=10, chain=4),),
+    )
+    program = generate(spec)
+    facts = encode_program(program)
+    engine = QueryEngine(program, facts=facts)
+    whole = analyze(program, "2objH", facts=facts)
+    answer = engine.query("BoxDriver0.drive/0/g0", "2objH")
+    assert answer.points_to == frozenset(
+        whole.points_to("BoxDriver0.drive/0/g0")
+    )
+    assert 0.0 < answer.footprint < 0.25
+    assert answer.slice_variables < len(facts.varinmeth) / 4
+
+
+class TestMemoization:
+    def test_repeat_query_is_memoized_and_solves_nothing(self):
+        program = build_box_program()
+        engine = QueryEngine(program)
+        first = engine.query("Main.main/0/g1", "2objH")
+        assert first.memoized is False
+        solves = engine.solves
+        again = engine.query("Main.main/0/g1", "2objH")
+        assert again is first  # answer-memo hit, verbatim
+        assert engine.solves == solves
+
+    def test_identical_slice_signature_shares_one_solve(self):
+        """Two variables whose closures coincide must share a fixpoint."""
+        program = build_box_program()
+        engine = QueryEngine(program)
+        a = engine.plan("Main.main/0/g1")
+        b = engine.plan("Box.get/0/r")  # g1's producer: same closure
+        if a.signature == b.signature:
+            engine.query("Main.main/0/g1", "2objH")
+            solves = engine.solves
+            answer = engine.query("Box.get/0/r", "2objH")
+            assert engine.solves == solves
+            assert answer.memoized is True
+
+    def test_repeat_batch_runs_zero_new_solves(self):
+        program = build_box_program()
+        engine = QueryEngine(program)
+        variables = ["Main.main/0/g0", "Main.main/0/g1", "Main.main/0/g2"]
+        engine.query_batch(variables, "2typeH")
+        solves = engine.solves
+        outcomes = engine.query_batch(variables, "2typeH")
+        assert engine.solves == solves
+        assert all(o.answer is not None for o in outcomes)
+
+    def test_batch_union_seeds_individual_plans(self):
+        """After a batch, each member's solo query hits the slice memo."""
+        program = build_box_program()
+        engine = QueryEngine(program)
+        variables = ["Main.main/0/g0", "Main.main/0/g2"]
+        engine.query_batch(variables, "2objH")
+        solves = engine.solves
+        for var in variables:
+            engine._answer_memo.clear()  # force the slice-memo path
+            answer = engine.query(var, "2objH")
+            assert answer.memoized is True
+        assert engine.solves == solves
+
+    def test_flavors_do_not_share_memo_entries(self):
+        program = build_tiny_program()
+        engine = QueryEngine(program)
+        engine.query("Main.main/0/r1", "insens")
+        solves = engine.solves
+        engine.query("Main.main/0/r1", "2objH")
+        assert engine.solves == solves + 1
+
+    def test_clear_memos_keeps_plans_warm(self):
+        program = build_tiny_program()
+        engine = QueryEngine(program)
+        engine.query("Main.main/0/r1", "2objH")
+        assert engine.memo_entries > 0 and engine.answered > 0
+        plans = dict(engine._plans)
+        engine.clear_memos()
+        assert engine.memo_entries == 0 and engine.answered == 0
+        assert engine._plans == plans
+
+
+class TestBudgets:
+    def test_budget_trip_matches_whole_program_exception(self):
+        """A starved query raises the very same exception type with the
+        same fields (`reason`/`tuples`/`seconds`) as a whole-program
+        budget trip — clients need not special-case the demand path."""
+        program = build_box_program()
+        facts = encode_program(program)
+        with pytest.raises(BudgetExceeded) as whole_exc:
+            analyze(program, "2objH", facts=facts, max_tuples=1)
+        engine = QueryEngine(program, facts=facts)
+        with pytest.raises(BudgetExceeded) as query_exc:
+            engine.query("Main.main/0/g1", "2objH", max_tuples=1)
+        assert query_exc.value.reason == whole_exc.value.reason
+        assert query_exc.value.tuples > 1
+        assert query_exc.value.seconds >= 0.0
+
+    def test_failed_solve_never_populates_memo(self):
+        program = build_box_program()
+        engine = QueryEngine(program)
+        with pytest.raises(BudgetExceeded):
+            engine.query("Main.main/0/g1", "2objH", max_tuples=1)
+        assert engine.memo_entries == 0
+        assert engine.answered == 0
+        # A retry with room succeeds: no partial result was cached.
+        whole = analyze(program, "2objH", facts=engine.facts)
+        answer = engine.query("Main.main/0/g1", "2objH")
+        assert answer.points_to == frozenset(
+            whole.points_to("Main.main/0/g1")
+        )
+
+    def test_blown_batch_member_cannot_starve_siblings(self):
+        """A budget the union-solve blows but each solo slice fits must
+        still answer every variable (fallback to per-variable solves).
+
+        Needs two near-disjoint slices so the union genuinely costs more
+        than the dearest member — a box group and a hub qualify."""
+        from repro.benchgen import BenchmarkSpec, HubSpec, generate
+
+        spec = BenchmarkSpec(
+            name="slice",
+            util_classes=10,
+            util_methods_per_class=6,
+            strategy_clusters=(4,),
+            box_groups=(4,),
+            sink_groups=(),
+            hubs=(HubSpec(readers=10, elements=10, chain=4),),
+        )
+        program = generate(spec)
+        facts = encode_program(program)
+        variables = ["BoxDriver0.drive/0/g0", "Hub0.fetch/0/r"]
+        # Find a budget between the largest solo slice and the union.
+        probe = QueryEngine(program, facts=facts)
+        solo_costs = []
+        for var in variables:
+            probe.clear_memos()
+            sliced = probe.plan(var).sliced_facts(program, facts)
+            result = analyze(program, probe.policy("insens"), facts=sliced)
+            solo_costs.append(result.stats().tuple_count)
+        union_plan = probe.planner.plan(variables)
+        union_cost = analyze(
+            program,
+            probe.policy("insens"),
+            facts=union_plan.sliced_facts(program, facts),
+        ).stats().tuple_count
+        budget = (max(solo_costs) + union_cost) // 2
+        if not max(solo_costs) < budget < union_cost:
+            pytest.skip("fixture slices too uniform to wedge a budget")
+        engine = QueryEngine(program, facts=facts)
+        outcomes = engine.query_batch(variables, "insens", max_tuples=budget)
+        whole = analyze(program, "insens", facts=facts)
+        for outcome in outcomes:
+            assert outcome.error is None, outcome.var
+            assert outcome.answer.points_to == frozenset(
+                whole.points_to(outcome.var)
+            )
+
+    def test_batch_reports_error_slots_in_order(self):
+        program = build_box_program()
+        engine = QueryEngine(program)
+        variables = ["Main.main/0/g0", "Main.main/0/g1"]
+        outcomes = engine.query_batch(variables, "2objH", max_tuples=1)
+        assert [o.var for o in outcomes] == variables
+        for outcome in outcomes:
+            assert outcome.answer is None
+            assert outcome.error is not None
+            payload = outcome.to_json()
+            assert set(payload["error"]) == {"reason", "tuples", "seconds"}
+        # The failures poisoned nothing: a roomy repeat answers clean.
+        outcomes = engine.query_batch(variables, "2objH")
+        assert all(o.error is None for o in outcomes)
+
+
+class TestPlanner:
+    def test_plan_signature_is_deterministic(self):
+        program = build_kitchen_sink_program()
+        facts = encode_program(program)
+        insens = analyze(program, "insens", facts=facts)
+        a = QueryPlanner(program, facts, insens.call_graph).plan(
+            ["Main.main/0/g"]
+        )
+        b = QueryPlanner(program, facts, insens.call_graph).plan(
+            ["Main.main/0/g"]
+        )
+        assert a.signature == b.signature
+        assert a.kept_tuples == b.kept_tuples
+
+    def test_sliced_facts_only_shrink_sliced_relations(self):
+        program = build_kitchen_sink_program()
+        facts = encode_program(program)
+        engine = QueryEngine(program, facts=facts)
+        plan = engine.plan("Main.main/0/g")
+        sliced = plan.sliced_facts(program, facts)
+        for relation in SLICED_RELATIONS:
+            assert len(getattr(sliced, relation)) <= len(
+                getattr(facts, relation)
+            ), relation
+        # Auxiliary relations are shared by reference, not copied.
+        assert sliced.subtype is facts.subtype
+
+    def test_unknown_variable_answers_empty(self):
+        """The planner's documented contract: an unknown variable plans
+        an empty slice and answers the empty set, it does not raise."""
+        program = build_tiny_program()
+        engine = QueryEngine(program)
+        answer = engine.query("Main.main/0/nope")
+        assert answer.points_to == frozenset()
+        assert answer.slice_tuples == 0
+
+    def test_unknown_flavor_is_rejected(self):
+        program = build_tiny_program()
+        engine = QueryEngine(program)
+        with pytest.raises(ValueError):
+            engine.policy("introspective-C")
+
+
+def test_answer_json_round_trip_fields():
+    program = build_tiny_program()
+    engine = QueryEngine(program)
+    payload = engine.query("Main.main/0/r1", "2objH").to_json()
+    assert set(payload) == {
+        "var",
+        "flavor",
+        "points_to",
+        "slice_variables",
+        "slice_methods",
+        "slice_tuples",
+        "footprint",
+        "seconds",
+        "memoized",
+    }
+    assert payload["points_to"] == sorted(payload["points_to"])

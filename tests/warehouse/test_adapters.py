@@ -148,6 +148,54 @@ class TestIngestAll:
             for group, value in pinned.items():
                 assert computed[group] == value
 
+    def test_directory_ingest_is_byte_deterministic_under_shuffles(
+        self, tmp_path, monkeypatch
+    ):
+        """Two stores holding the same receipts, written in different
+        orders, must render the identical table and trajectory bytes —
+        directory ingestion orders by filename, not by mtime or
+        readdir() order (the scorer tie-breaks equal timestamps by
+        ingestion order, so ingestion order must be reproducible)."""
+        import random
+
+        from repro.warehouse import receipt_from_bench_report, write_receipt
+        from repro.warehouse.reporting import render_table, trajectory
+        from repro.warehouse.scoring import score as score_cells
+
+        base = json.loads((REPO / "BENCH_solver.json").read_text())
+        receipts = []
+        for i in range(6):
+            report = dict(base)
+            report["speedups"] = {
+                k: round(v * (1 + i / 10), 3)
+                for k, v in base["speedups"].items()
+            }
+            # Equal timestamps on purpose: force the ingestion-order
+            # tie-break, the path a readdir()-ordered ingest would break.
+            receipts.append(receipt_from_bench_report(report, created_at=5.0))
+
+        outputs = []
+        for run, order in (("fifo", receipts), ("shuffled", None)):
+            batch = list(receipts)
+            if order is None:
+                random.Random(7).shuffle(batch)
+            store = tmp_path / run / "store"
+            store.mkdir(parents=True)
+            for receipt in batch:
+                write_receipt(receipt, str(store))
+            # Relative ingest: identical path strings across both runs.
+            monkeypatch.chdir(tmp_path / run)
+            loaded, skipped = ingest(["store"])
+            assert skipped == []
+            cells = score_cells(loaded)
+            table = render_table(cells, max_regression=60.0)
+            doc = json.dumps(
+                trajectory(loaded, cells, skipped, max_regression=60.0),
+                sort_keys=True,
+            )
+            outputs.append((table, doc))
+        assert outputs[0] == outputs[1]
+
     def test_directory_ingest_skips_unknown_schemas(self, tmp_path):
         known = tmp_path / "a.json"
         known.write_text((REPO / "BENCH_solver.json").read_text())
