@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""End-to-end cluster smoke check with real processes.
+
+Phase 1 — worker loss mid-batch:
+  * start a coordinator (``repro serve --journal ... --workers 0``) and
+    two ``repro worker`` processes;
+  * submit a 20-job batch through ``ServiceClient``;
+  * SIGKILL one worker once a few jobs have finished;
+  * every job must still reach ``done`` with results identical to an
+    in-process ``execute_job`` run (state, facts digest, tuple count),
+    and the warehouse must hold exactly one receipt per job.
+
+Phase 2 — coordinator loss with pending work:
+  * SIGKILL the surviving worker, submit 5 more jobs, and SIGKILL the
+    coordinator before they can run;
+  * restart the coordinator on the same journal: the 5 jobs must be
+    replayed with their original ids and complete locally;
+  * the journal must replay with zero torn records, and the receipt
+    count must grow to exactly 25.
+
+Exit code 0 on success; any assertion failure or timeout is fatal.
+Artifacts (journal + receipts) are left in the directory named by
+``--artifact-dir`` (default: a temp dir printed on exit).
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.service.workers import execute_job  # noqa: E402
+
+LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+# 20 distinct (benchmark, flavor) cells for phase 1, then 5 more for the
+# replay phase.  Distinct cells mean distinct cache keys, so every job is
+# executed uncached and writes exactly one receipt.
+BENCHMARKS = [
+    "antlr", "bloat", "chart", "eclipse", "hsqldb",
+    "jython", "lusearch", "pmd", "xalan",
+]
+FLAVORS = ["insens", "1call", "2objH"]
+
+
+def make_specs():
+    grid = [
+        {"benchmark": b, "analysis": f}
+        for f in FLAVORS
+        for b in BENCHMARKS
+    ]
+    # Two introspective cells so the cluster path exercises the two-pass
+    # pipeline (and pass-1 reuse) too.
+    grid.insert(0, {
+        "benchmark": "antlr", "analysis": "2objH",
+        "introspective": "B", "heuristic_constants": "150,250",
+    })
+    grid.insert(1, {
+        "benchmark": "hsqldb", "analysis": "2objH",
+        "introspective": "A",
+    })
+    return grid[:20], grid[20:25]
+
+
+def expected_for(spec):
+    payload = execute_job(dict(spec))
+    return {
+        "state": payload["state"],
+        "facts_digest": payload.get("facts_digest"),
+        "tuple_count": (payload.get("stats") or {}).get("tuple_count"),
+    }
+
+
+def spawn(cmd, log_path):
+    log = open(log_path, "w", buffering=1)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        cmd, stdout=log, stderr=subprocess.STDOUT, env=env, cwd=str(ROOT)
+    )
+    proc._smoke_log = log  # type: ignore[attr-defined]
+    return proc
+
+
+def start_coordinator(artifacts, journal, receipts, tag):
+    log_path = artifacts / f"coordinator-{tag}.log"
+    proc = spawn(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0", "--workers", "0",
+            "--journal", str(journal),
+            "--receipt-dir", str(receipts),
+            "--heartbeat-timeout", "2",
+        ],
+        log_path,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"coordinator exited early; see {log_path}")
+        match = LISTEN_RE.search(log_path.read_text())
+        if match:
+            return proc, f"http://{match.group(1)}:{match.group(2)}"
+        time.sleep(0.05)
+    sys.exit(f"coordinator never announced its port; see {log_path}")
+
+
+def start_worker(artifacts, url, name):
+    return spawn(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--coordinator", url, "--poll-interval", "0.05", "--name", name,
+        ],
+        artifacts / f"{name}.log",
+    )
+
+
+def wait_until(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    sys.exit(f"timed out waiting for {what}")
+
+
+def live_workers(client):
+    try:
+        topo = client._request("GET", "/cluster")
+    except ServiceError:
+        return []
+    return [w for w in topo["workers"] if w["alive"]]
+
+
+def receipt_count(receipts):
+    return len(list(receipts.glob("service-job-*.json")))
+
+
+def sigkill(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact-dir", type=Path, default=None)
+    args = parser.parse_args()
+    artifacts = args.artifact_dir or Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    artifacts.mkdir(parents=True, exist_ok=True)
+    journal = artifacts / "journal.jsonl"
+    receipts = artifacts / "receipts"
+
+    batch, extra = make_specs()
+    print(f"[smoke] computing {len(batch)} expected results in-process", flush=True)
+    expected = [expected_for(spec) for spec in batch]
+
+    procs = []
+    try:
+        coordinator, url = start_coordinator(artifacts, journal, receipts, "a")
+        procs.append(coordinator)
+        client = ServiceClient(url)
+        workers = [start_worker(artifacts, url, f"w{i}") for i in (1, 2)]
+        procs.extend(workers)
+        wait_until(lambda: len(live_workers(client)) == 2, 30, "2 live workers")
+        print(f"[smoke] coordinator at {url}, 2 workers live", flush=True)
+
+        job_ids = [client.submit(**spec) for spec in batch]
+
+        def done_count():
+            return sum(
+                1 for j in job_ids
+                if client.status(j)["state"] not in ("queued", "running")
+            )
+
+        wait_until(lambda: done_count() >= 2, 120, "first 2 jobs to finish")
+        print("[smoke] SIGKILLing worker w1 mid-batch", flush=True)
+        sigkill(workers[0])
+
+        wait_until(lambda: done_count() == len(job_ids), 300, "all 20 jobs")
+        for job_id, spec, want in zip(job_ids, batch, expected):
+            result = client.result(job_id)
+            got = result["result"]
+            assert result["state"] == want["state"], (spec, result["state"], want)
+            assert got.get("facts_digest") == want["facts_digest"], (spec, "digest")
+            assert (got.get("stats") or {}).get("tuple_count") == want["tuple_count"], (
+                spec, "tuple_count")
+            assert got.get("worker"), (spec, "missing worker provenance")
+        assert receipt_count(receipts) == len(job_ids), (
+            f"expected {len(job_ids)} receipts, found {receipt_count(receipts)}")
+        print(f"[smoke] phase 1 ok: 20/20 jobs match in-process results, "
+              f"{receipt_count(receipts)} receipts", flush=True)
+
+        # Phase 2: kill the surviving worker, park 5 jobs behind the ghost
+        # workers' heartbeat window, kill the coordinator, and replay.
+        sigkill(workers[1])
+        extra_ids = [client.submit(**spec) for spec in extra]
+        sigkill(coordinator)
+        print("[smoke] coordinator SIGKILLed with 5 accepted jobs pending", flush=True)
+
+        coordinator, url = start_coordinator(artifacts, journal, receipts, "b")
+        procs.append(coordinator)
+        client = ServiceClient(url)
+        topo = client._request("GET", "/cluster")
+        assert topo["journal"]["torn_records_recovered"] == 0, topo["journal"]
+        wait_until(
+            lambda: all(
+                client.status(j)["state"] not in ("queued", "running")
+                for j in extra_ids
+            ),
+            300, "5 replayed jobs",
+        )
+        for job_id, spec in zip(extra_ids, extra):
+            result = client.result(job_id)
+            want = expected_for(spec)
+            got = result["result"]
+            assert result["state"] == want["state"], (spec, result["state"])
+            assert got.get("facts_digest") == want["facts_digest"], (spec, "digest")
+            assert (got.get("stats") or {}).get("tuple_count") == want["tuple_count"], (
+                spec, "tuple_count")
+            assert got.get("worker", {}).get("name") == "local", (
+                spec, "replayed job should run locally")
+        assert receipt_count(receipts) == len(job_ids) + len(extra_ids), (
+            f"expected {len(job_ids) + len(extra_ids)} receipts, "
+            f"found {receipt_count(receipts)}")
+        print(f"[smoke] phase 2 ok: 5 journal-replayed jobs completed with "
+              f"original ids, {receipt_count(receipts)} receipts total", flush=True)
+    finally:
+        for proc in procs:
+            try:
+                sigkill(proc)
+            except Exception:
+                pass
+        print(f"[smoke] artifacts in {artifacts}", flush=True)
+
+    print("[smoke] PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,10 @@ Subcommands:
   benchmark or source file under any context flavor, solving only each
   query's slice (``docs/queries.md``);
 * ``repro serve`` — run the analysis service (HTTP JSON API with a job
-  queue, worker pool, and content-addressed result cache);
+  queue, worker pool, and content-addressed result cache); with
+  ``--journal`` it becomes a cluster coordinator (``docs/cluster.md``);
+* ``repro worker`` — run a cluster worker node that registers with a
+  coordinator, heartbeats, and pulls jobs (``docs/cluster.md``);
 * ``repro report`` — the results warehouse: ingest receipts and legacy
   ``BENCH_*.json`` artifacts, bin and score the perf trajectory, render
   a table + JSON, and (``--gate``) fail on regressions
@@ -45,6 +48,8 @@ Examples::
     repro bench --quick --receipt-dir benchmarks/receipts
     repro query 'Main.main/0/result' --benchmark hsqldb --flavor 2objH
     repro serve --port 8080 --workers 4 --cache-dir /tmp/repro-cache
+    repro serve --port 8080 --journal /tmp/repro-journal.jsonl
+    repro worker --coordinator http://127.0.0.1:8080
     repro report BENCH_solver.json benchmarks/receipts --json TRAJECTORY.json
     repro report benchmarks/receipts --gate --max-regression 10
 """
@@ -545,6 +550,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.api import serve
 
+    cluster = None
+    if args.journal is not None:
+        from .cluster import ClusterConfig
+
+        cluster = ClusterConfig(
+            journal=args.journal,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+            max_queue_depth=args.max_queue_depth,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+        )
     return serve(
         host=args.host,
         port=args.port,
@@ -554,6 +571,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         receipt_dir=args.receipt_dir,
         verbose=args.verbose,
         max_sessions=args.max_sessions,
+        cluster=cluster,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .cluster import run_worker
+
+    return run_worker(
+        args.coordinator,
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+        cache_capacity=args.cache_size,
+        cache_dir=args.cache_dir,
+        name=args.name,
     )
 
 
@@ -796,7 +828,98 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
+    p_serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="run as a cluster coordinator: journal every accepted job "
+        "to FILE (fsynced, replayed on restart; docs/cluster.md)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="declare a worker dead after this long without a heartbeat "
+        "and requeue its leased jobs (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="requeues per job before dead-lettering (default 3)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject POST /jobs with 429 once N jobs are queued "
+        "(cluster mode only; default unbounded)",
+    )
+    p_serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="per-client token-bucket submission rate "
+        "(cluster mode only; default unlimited)",
+    )
+    p_serve.add_argument(
+        "--rate-burst",
+        type=int,
+        default=10,
+        metavar="N",
+        help="token-bucket burst capacity (default 10)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a cluster worker node pulling jobs from a coordinator "
+        "(docs/cluster.md)",
+    )
+    p_worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8080",
+    )
+    p_worker.add_argument(
+        "--host", default="127.0.0.1", help="bind address for the cache shard"
+    )
+    p_worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="cache-shard bind port (default 0 = ephemeral)",
+    )
+    p_worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between lease polls when the queue is empty "
+        "(default 0.2)",
+    )
+    p_worker.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="in-memory shard-cache capacity (entries); default 128",
+    )
+    p_worker.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk shard-cache tier under DIR",
+    )
+    p_worker.add_argument(
+        "--name", default=None, help="human-readable worker name"
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_query = sub.add_parser(
         "query",

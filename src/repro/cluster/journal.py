@@ -1,0 +1,218 @@
+"""Crash-safe append-only job journal (``repro-journal/1``).
+
+The coordinator journals every accepted job *before* acknowledging it,
+so a coordinator crash loses no accepted work: on restart the journal is
+replayed and every accepted-but-unfinished job re-enters the queue with
+its original id and spec.
+
+Record framing is one JSON object per line.  Each record carries:
+
+* ``schema`` — always ``"repro-journal/1"``;
+* ``seq`` — a strictly increasing sequence number;
+* ``type`` — ``accepted`` | ``done`` | ``requeue``;
+* type-specific fields (``id``, ``spec``, ``state``, ``attempts``, …);
+* ``check`` — the first 12 hex chars of the SHA-256 of the record's
+  canonical JSON encoding *without* the ``check`` field.
+
+The checksum plus line framing is what makes recovery after a torn
+append well-defined: a crash mid-write leaves at most one partial (or
+checksum-failing) record at the *tail* of the file.  :func:`read_journal`
+stops at the first bad record and reports the byte offset of the last
+good one; :meth:`JobJournal.recover` truncates the file there so new
+appends never interleave with torn bytes.  Every fully-fsynced ("acked")
+record survives; the torn tail is discarded.
+
+Appends are ``flush`` + ``os.fsync`` — an accepted job is only
+acknowledged to the client once its bytes are durable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JobJournal",
+    "JournalRecord",
+    "pending_jobs",
+    "read_journal",
+]
+
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: Record types understood by :func:`pending_jobs`.
+_RECORD_TYPES = frozenset({"accepted", "done", "requeue"})
+
+JournalRecord = Dict[str, Any]
+
+
+def _checksum(record: JournalRecord) -> str:
+    """Checksum over the canonical encoding without the ``check`` field."""
+    body = {k: v for k, v in record.items() if k != "check"}
+    material = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()[:12]
+
+
+def seal_record(record: JournalRecord) -> JournalRecord:
+    """Return ``record`` with its ``check`` field filled in."""
+    sealed = dict(record)
+    sealed["check"] = _checksum(sealed)
+    return sealed
+
+
+def record_is_valid(record: Any) -> bool:
+    """Schema + checksum validation of one decoded record."""
+    if not isinstance(record, dict):
+        return False
+    if record.get("schema") != JOURNAL_SCHEMA:
+        return False
+    if record.get("type") not in _RECORD_TYPES:
+        return False
+    if not isinstance(record.get("seq"), int):
+        return False
+    check = record.get("check")
+    return isinstance(check, str) and check == _checksum(record)
+
+
+def read_journal(path: str) -> Tuple[List[JournalRecord], int, int]:
+    """Read every intact record; returns ``(records, good_bytes, torn)``.
+
+    ``good_bytes`` is the byte offset just past the last intact record —
+    the truncation point for recovery.  ``torn`` counts discarded tail
+    records (0 or 1 after any single crash; reading stops at the first
+    bad record, so nothing after a torn record is trusted).
+    """
+    records: List[JournalRecord] = []
+    good_bytes = 0
+    torn = 0
+    journal = Path(path)
+    if not journal.exists():
+        return records, 0, 0
+    with open(journal, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            torn += 1  # partial final line: torn append
+            break
+        line = data[offset : newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            torn += 1
+            break
+        if not record_is_valid(record):
+            torn += 1
+            break
+        records.append(record)
+        offset = newline + 1
+        good_bytes = offset
+    return records, good_bytes, torn
+
+
+def pending_jobs(
+    records: List[JournalRecord],
+) -> Tuple[Dict[str, JournalRecord], Dict[str, int]]:
+    """Fold records into the set of accepted-but-unfinished jobs.
+
+    Returns ``(pending, attempts)``: ``pending`` maps job id to its
+    ``accepted`` record (insertion-ordered by acceptance) for every job
+    without a ``done`` record, and ``attempts`` carries the highest
+    journaled requeue attempt count per pending job.
+    """
+    pending: Dict[str, JournalRecord] = {}
+    attempts: Dict[str, int] = {}
+    for record in records:
+        kind = record["type"]
+        job_id = record.get("id")
+        if not isinstance(job_id, str):
+            continue
+        if kind == "accepted":
+            pending.setdefault(job_id, record)
+        elif kind == "done":
+            pending.pop(job_id, None)
+            attempts.pop(job_id, None)
+        elif kind == "requeue":
+            count = record.get("attempts")
+            if isinstance(count, int):
+                attempts[job_id] = max(attempts.get(job_id, 0), count)
+    return pending, {k: v for k, v in attempts.items() if k in pending}
+
+
+class JobJournal:
+    """Append-only journal file with fsynced writes and torn-tail recovery.
+
+    Opening the journal runs recovery: intact records are loaded, a torn
+    tail (from a crash mid-append) is truncated away, and appends resume
+    with the next sequence number.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self.records, good_bytes, self.torn_records = read_journal(self.path)
+        if Path(self.path).exists():
+            size = os.path.getsize(self.path)
+            if size > good_bytes:
+                # Truncate the torn tail so future appends are clean.
+                with open(self.path, "rb+") as fh:
+                    fh.truncate(good_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        self._seq = max((r["seq"] for r in self.records), default=-1) + 1
+        self._fh = open(self.path, "ab")  # noqa: SIM115 - long-lived handle
+
+    # ------------------------------------------------------------------
+    def append(self, type: str, **fields: Any) -> JournalRecord:
+        """Durably append one record; returns it (sealed, with seq)."""
+        if type not in _RECORD_TYPES:
+            raise ValueError(f"unknown journal record type {type!r}")
+        with self._lock:
+            record = seal_record(
+                {"schema": JOURNAL_SCHEMA, "seq": self._seq, "type": type,
+                 **fields}
+            )
+            line = json.dumps(record, sort_keys=True) + "\n"
+            self._fh.write(line.encode("utf-8"))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._seq += 1
+            self.records.append(record)
+            return record
+
+    def accepted(self, job_id: str, spec_payload: Dict[str, Any]) -> JournalRecord:
+        return self.append("accepted", id=job_id, spec=spec_payload)
+
+    def done(self, job_id: str, state: str) -> JournalRecord:
+        return self.append("done", id=job_id, state=state)
+
+    def requeue(
+        self, job_id: str, attempts: int, worker: Optional[str] = None
+    ) -> JournalRecord:
+        return self.append("requeue", id=job_id, attempts=attempts, worker=worker)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> Tuple[Dict[str, JournalRecord], Dict[str, int]]:
+        """Accepted-but-unfinished jobs as of the loaded records."""
+        with self._lock:
+            return pending_jobs(self.records)
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass

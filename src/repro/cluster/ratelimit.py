@@ -1,0 +1,74 @@
+"""Per-client token-bucket rate limiting for ``POST /jobs``.
+
+Each client (keyed by the ``X-Repro-Client`` header, falling back to the
+peer address) owns one bucket of ``burst`` tokens refilled at ``rate``
+tokens per second.  A submit costs one token; an empty bucket means the
+request is rejected with 429 and a ``Retry-After`` telling the client
+when one token will have accrued.
+
+The clock is injectable so tests are deterministic; idle buckets are
+pruned so a rotating client population cannot grow the table forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["TokenBucketLimiter"]
+
+#: Buckets idle (i.e. full again) for this long are dropped.
+_PRUNE_AFTER_SECONDS = 300.0
+
+
+class TokenBucketLimiter:
+    """Token bucket per client key.  ``rate`` tokens/sec, ``burst`` cap."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client -> (tokens, last_refill)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._last_prune = clock()
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """Spend one token for ``client``.
+
+        Returns ``(allowed, retry_after_seconds)``; ``retry_after`` is
+        0.0 when allowed, otherwise the time until one token accrues.
+        """
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                allowed, retry_after = True, 0.0
+            else:
+                self._buckets[client] = (tokens, now)
+                allowed, retry_after = False, (1.0 - tokens) / self.rate
+            if now - self._last_prune > _PRUNE_AFTER_SECONDS:
+                self._prune(now)
+                self._last_prune = now
+        return allowed, retry_after
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that refilled to full long ago (caller locks)."""
+        full_after = self.burst / self.rate
+        self._buckets = {
+            client: (tokens, last)
+            for client, (tokens, last) in self._buckets.items()
+            if now - last < full_after + _PRUNE_AFTER_SECONDS
+        }

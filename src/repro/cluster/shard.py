@@ -1,0 +1,159 @@
+"""Result-cache sharding by consistent hashing on the facts digest.
+
+:class:`ShardedResultCache` wraps the node's local
+:class:`~repro.service.cache.ResultCache` with a :class:`HashRing` over
+the cluster membership.  Every cache operation carries both the *cache
+key* (the full content key: facts digest + analysis config) and the
+*facts digest* the ring shards on — so all configurations of one program
+land on the same node, next to its warm pass-1 state.
+
+Routing: the digest's ring owner serves the operation.  When the owner
+is this node (or the ring is empty) the local tiers answer directly;
+otherwise the operation is a small JSON HTTP call to the owner's
+``/cluster/cache/{key}`` route.  A peer failure — connection refused,
+timeout, bad payload — falls back to the local cache, so a dying worker
+degrades cache hit-rate, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Optional
+
+from ..service.cache import ResultCache
+from ..service.telemetry import Counter
+from .ring import HashRing
+
+__all__ = ["ShardedResultCache"]
+
+#: Peer cache calls are latency-bound: a shard op must cost far less
+#: than the solve it saves, so give up quickly and fall back local.
+PEER_TIMEOUT_SECONDS = 3.0
+
+
+class ShardedResultCache:
+    """Consistent-hash routing over one local cache plus peer caches."""
+
+    def __init__(
+        self,
+        local: ResultCache,
+        node_id: str,
+        ring: Optional[HashRing] = None,
+        ops: Optional[Counter] = None,
+        timeout: float = PEER_TIMEOUT_SECONDS,
+    ) -> None:
+        self.local = local
+        self.node_id = node_id
+        self.ring = ring if ring is not None else HashRing()
+        self.ring.add(node_id)
+        self._peers: Dict[str, str] = {}  # node id -> base URL
+        self._peers_lock = threading.Lock()
+        self._ops = ops
+        self.timeout = timeout
+
+    # -- membership ----------------------------------------------------
+    def add_peer(self, node_id: str, base_url: str) -> None:
+        with self._peers_lock:
+            self._peers[node_id] = base_url.rstrip("/")
+        self.ring.add(node_id)
+
+    def remove_peer(self, node_id: str) -> None:
+        self.ring.remove(node_id)
+        with self._peers_lock:
+            self._peers.pop(node_id, None)
+
+    def peer_url(self, node_id: str) -> Optional[str]:
+        with self._peers_lock:
+            return self._peers.get(node_id)
+
+    def owner(self, digest: str) -> str:
+        """Ring owner for a facts digest (self when the ring is empty)."""
+        return self.ring.node_for(digest) or self.node_id
+
+    # -- operations ----------------------------------------------------
+    def _record(self, op: str, outcome: str) -> None:
+        if self._ops is not None:
+            self._ops.inc(op=op, outcome=outcome)
+
+    def get(self, key: str, digest: str) -> Optional[Dict[str, Any]]:
+        owner = self.owner(digest)
+        if owner == self.node_id:
+            self._record("get", "local")
+            return self.local.get(key)
+        url = self.peer_url(owner)
+        if url is None:
+            self._record("get", "fallback")
+            return self.local.get(key)
+        try:
+            req = urllib.request.Request(f"{url}/cluster/cache/{key}")
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = json.loads(resp.read())
+            if not isinstance(payload, dict):
+                raise ValueError("peer cache returned a non-object")
+            self._record("get", "peer")
+            return payload
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                self._record("get", "peer")
+                return None  # an authoritative miss from the owner
+            self._record("get", "fallback")
+            return self.local.get(key)
+        except (urllib.error.URLError, OSError, ValueError):
+            self._record("get", "fallback")
+            return self.local.get(key)
+
+    def put(self, key: str, digest: str, payload: Dict[str, Any]) -> None:
+        owner = self.owner(digest)
+        if owner == self.node_id:
+            self._record("put", "local")
+            self.local.put(key, payload)
+            return
+        url = self.peer_url(owner)
+        if url is None:
+            self._record("put", "fallback")
+            self.local.put(key, payload)
+            return
+        try:
+            body = json.dumps(payload).encode()
+            req = urllib.request.Request(
+                f"{url}/cluster/cache/{key}",
+                data=body,
+                method="PUT",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=self.timeout):
+                pass
+            self._record("put", "peer")
+        except (urllib.error.URLError, OSError, ValueError):
+            # The fill still lands somewhere durable-ish: locally.
+            self._record("put", "fallback")
+            self.local.put(key, payload)
+
+
+def serve_cache_route(
+    cache: ResultCache,
+    method: str,
+    key: str,
+    read_body: Callable[[], Any],
+) -> "tuple[int, Dict[str, Any]]":
+    """Shared handler body for ``/cluster/cache/{key}`` on any node.
+
+    Both the coordinator's API server and each worker's shard server
+    expose the same route; this keeps their semantics identical.
+    Returns ``(status, json_payload)``.
+    """
+    if method == "GET":
+        payload = cache.get(key)
+        if payload is None:
+            return 404, {"error": f"no cache entry {key}"}
+        return 200, payload
+    if method == "PUT":
+        payload = read_body()
+        if not isinstance(payload, dict):
+            return 400, {"error": "cache payload must be a JSON object"}
+        cache.put(key, payload)
+        return 200, {"stored": key}
+    return 405, {"error": f"unsupported method {method}"}

@@ -52,13 +52,16 @@ import time
 from collections import OrderedDict
 from concurrent.futures import CancelledError, Future
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, TYPE_CHECKING, Tuple
 
 from .cache import ResultCache, cache_key
 from .jobs import Job, JobQueue, JobSpec, JobState
 from .sessions import SessionError, SessionStore
 from .telemetry import Registry
 from .workers import WorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.coordinator import ClusterConfig
 
 __all__ = [
     "AnalysisService",
@@ -79,6 +82,7 @@ class AnalysisService:
         cache_dir: Optional[str] = None,
         receipt_dir: Optional[str] = None,
         max_sessions: int = 16,
+        cluster: Optional["ClusterConfig"] = None,
     ) -> None:
         self.receipt_dir = receipt_dir
         self.telemetry = Registry()
@@ -168,12 +172,29 @@ class AnalysisService:
         self._stop = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
         self.started_at = time.time()
+        # The cluster extension (docs/cluster.md) — None keeps the exact
+        # single-process behavior.  Constructed last: it registers its
+        # own telemetry and may replay journaled jobs into the queue.
+        self.cluster = None
+        if cluster is not None:
+            from ..cluster.coordinator import ClusterCoordinator
+
+            self.cluster = ClusterCoordinator(self, cluster)
 
     # ------------------------------------------------------------------
     # Public API (used by the HTTP layer and directly by tests/harness)
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec) -> Job:
-        job = Job(spec=spec)
+    def submit(self, spec: JobSpec, client: Optional[str] = None) -> Job:
+        """Accept a job.  In cluster mode this runs admission control
+        (may raise :class:`~repro.cluster.coordinator.Backpressure`) and
+        journals the acceptance durably before the job becomes visible.
+        """
+        if self.cluster is not None:
+            return self.cluster.submit(spec, client=client)
+        return self.enqueue(Job(spec=spec))
+
+    def enqueue(self, job: Job) -> Job:
+        """Register and queue an already-constructed job (no admission)."""
         with self._jobs_lock:
             self._jobs[job.id] = job
         self.queue.put(job)
@@ -196,6 +217,10 @@ class AnalysisService:
         if self.queue.cancel(job):
             self._m_jobs.inc(state=JobState.CANCELLED)
             self._m_depth.set(self.queue.depth())
+            if self.cluster is not None:
+                # Keep the journal truthful: a cancelled job must not be
+                # resurrected by a replay after a coordinator restart.
+                self.cluster.record_terminal(job.id, JobState.CANCELLED)
             return True
         return False
 
@@ -207,12 +232,16 @@ class AnalysisService:
             target=self._dispatch_loop, name="repro-dispatcher", daemon=True
         )
         self._dispatcher.start()
+        if self.cluster is not None:
+            self.cluster.start()
 
     def stop(self, wait: bool = True) -> None:
         self._stop.set()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5.0)
             self._dispatcher = None
+        if self.cluster is not None:
+            self.cluster.stop()
         self.pool.shutdown(wait=wait)
 
     # ------------------------------------------------------------------
@@ -220,11 +249,24 @@ class AnalysisService:
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
+            if self.cluster is not None and self.cluster.defer_local():
+                # Live workers exist: they pull jobs over /cluster/lease
+                # and the single-process fallback path stands down.
+                time.sleep(0.05)
+                continue
             if not self._slots.acquire(timeout=0.1):
                 continue
             job = self.queue.pop(timeout=0.1)
             self._m_depth.set(self.queue.depth())
             if job is None:
+                self._slots.release()
+                continue
+            if self.cluster is not None and self.cluster.defer_local():
+                # A worker registered while we were blocked in pop():
+                # hand the job back for the pull path instead of racing
+                # the fleet for it.
+                self.queue.put(job)
+                self._m_depth.set(self.queue.depth())
                 self._slots.release()
                 continue
             try:
@@ -264,8 +306,12 @@ class AnalysisService:
             )
             return
         key = cache_key(digest, job.spec)
-        cached = self.cache.get(key)
+        if self.cluster is not None:
+            cached = self.cluster.shard.get(key, digest)
+        else:
+            cached = self.cache.get(key)
         if cached is not None:
+            cached = dict(cached)
             cached["cached"] = True
             self._finalize(job, cached, store_key=None)
             return
@@ -294,7 +340,11 @@ class AnalysisService:
         job: Job,
         payload: Dict[str, Any],
         store_key: Optional[str],
+        release_slot: bool = True,
     ) -> None:
+        """Drive a job to its terminal state (idempotence guarded by the
+        cluster lease layer; ``release_slot=False`` for jobs that never
+        occupied a local worker slot — leases, cluster requeues)."""
         state = payload.get("state", JobState.ERROR)
         job.result = payload
         job.error = payload.get("error")
@@ -319,7 +369,21 @@ class AnalysisService:
         if payload.get("pass1_reused"):
             self._m_pass1.inc()
         if store_key is not None and state in (JobState.DONE, JobState.TIMEOUT):
-            self.cache.put(store_key, payload)
+            digest = payload.get("facts_digest")
+            if self.cluster is not None and digest:
+                self.cluster.shard.put(store_key, digest, payload)
+            else:
+                self.cache.put(store_key, payload)
+        if (
+            self.cluster is not None
+            and not job.cached
+            and "worker" not in payload
+            and state in (JobState.DONE, JobState.TIMEOUT, JobState.ERROR)
+        ):
+            # Locally executed under cluster mode: stamp the coordinator
+            # itself as the executing worker, so every receipt carries
+            # the provenance of the node that did the work.
+            payload["worker"] = self.cluster.local_worker_provenance()
         if (
             self.receipt_dir is not None
             and state == JobState.DONE
@@ -342,8 +406,14 @@ class AnalysisService:
                 )
             except Exception:  # noqa: BLE001 - receipts are advisory
                 pass
+        if self.cluster is not None:
+            # Journal the terminal transition before the state flip: a
+            # replay after a crash must never resurrect a job whose
+            # terminal state a poller could already have observed.
+            self.cluster.record_terminal(job.id, state)
         job.state = state
-        self._slots.release()
+        if release_slot:
+            self._slots.release()
 
     # ------------------------------------------------------------------
     # Demand queries (POST /queries — synchronous, like sessions)
@@ -460,7 +530,7 @@ class AnalysisService:
     # Introspection for /healthz
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        return {
+        health: Dict[str, Any] = {
             "status": "ok",
             "workers": self.pool.workers,
             "queue_depth": self.queue.depth(),
@@ -469,6 +539,13 @@ class AnalysisService:
             "cache_entries": len(self.cache),
             "uptime_seconds": round(time.time() - self.started_at, 3),
         }
+        if self.cluster is not None:
+            health["cluster"] = {
+                "node_id": self.cluster.node_id,
+                "live_workers": len(self.cluster.live_workers()),
+                "leases": self.cluster.lease_count(),
+            }
+        return health
 
 
 # ----------------------------------------------------------------------
@@ -478,6 +555,11 @@ _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
 _RESULT_PATH = re.compile(r"^/jobs/([0-9a-f]+)/result$")
 _SESSION_PATH = re.compile(r"^/sessions/([0-9a-f]+)$")
 _SESSION_EDITS_PATH = re.compile(r"^/sessions/([0-9a-f]+)/edits$")
+_CLUSTER_HEARTBEAT_PATH = re.compile(
+    r"^/cluster/workers/([0-9a-f]+)/heartbeat$"
+)
+_CLUSTER_WORKER_PATH = re.compile(r"^/cluster/workers/([0-9a-f]+)$")
+_CLUSTER_CACHE_PATH = re.compile(r"^/cluster/cache/([0-9a-f]+)$")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -493,13 +575,31 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # -- helpers -------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _client_key(self) -> str:
+        """Rate-limit identity: an explicit header, else the peer IP."""
+        return (
+            self.headers.get("X-Repro-Client") or self.client_address[0]
+        )
 
     def _send_text(self, status: int, text: str) -> None:
         body = text.encode()
@@ -524,7 +624,24 @@ class _Handler(BaseHTTPRequestHandler):
             except ValueError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
-            job = self.service.submit(spec)
+            try:
+                job = self.service.submit(spec, client=self._client_key())
+            except Exception as exc:  # Backpressure (cluster mode only)
+                from ..cluster.coordinator import Backpressure
+
+                if not isinstance(exc, Backpressure):
+                    raise
+                self._send_json(
+                    429,
+                    {"error": str(exc), "reason": exc.reason,
+                     "retry_after": round(exc.retry_after, 3)},
+                    headers={
+                        "Retry-After": str(
+                            max(1, int(exc.retry_after + 0.999))
+                        )
+                    },
+                )
+                return
             self._send_json(
                 202,
                 {
@@ -572,7 +689,71 @@ class _Handler(BaseHTTPRequestHandler):
             self.service._m_session_edits.inc(tier=payload["tier"])
             self._send_json(200, payload)
             return
+        if self.path.startswith("/cluster") and self._cluster_post():
+            return
         self._send_json(404, {"error": f"no such route: POST {self.path}"})
+
+    # -- cluster routes (docs/cluster.md) ------------------------------
+    def _cluster_post(self) -> bool:
+        """Handle POST /cluster/*; False if the path matched nothing."""
+        cluster = self.service.cluster
+        if cluster is None:
+            self._send_json(
+                404, {"error": "not a cluster coordinator (no --journal)"}
+            )
+            return True
+        if self.path == "/cluster/workers":
+            try:
+                payload = self._read_json()
+                url = payload["url"]
+                if not isinstance(url, str) or not url.startswith("http"):
+                    raise ValueError("'url' must be an http(s) URL")
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send_json(400, {"error": f"bad registration: {exc}"})
+                return True
+            granted = cluster.register_worker(url, name=payload.get("name"))
+            self._send_json(201, granted)
+            return True
+        m = _CLUSTER_HEARTBEAT_PATH.match(self.path)
+        if m:
+            if cluster.heartbeat(m.group(1)):
+                self._send_json(200, {"ok": True})
+            else:
+                self._send_json(
+                    404, {"error": f"unknown worker {m.group(1)}; re-register"}
+                )
+            return True
+        if self.path == "/cluster/lease":
+            try:
+                worker_id = self._read_json()["worker"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send_json(400, {"error": f"bad lease request: {exc}"})
+                return True
+            try:
+                leased = cluster.lease(worker_id)
+            except KeyError:
+                self._send_json(
+                    404, {"error": f"unknown worker {worker_id}; re-register"}
+                )
+                return True
+            if leased is None:
+                self._send_empty(204)
+            else:
+                self._send_json(200, leased)
+            return True
+        if self.path == "/cluster/complete":
+            try:
+                body = self._read_json()
+                worker_id = body["worker"]
+                job_id = body["job_id"]
+                payload = body["payload"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send_json(400, {"error": f"bad completion: {exc}"})
+                return True
+            accepted = cluster.complete(worker_id, job_id, payload)
+            self._send_json(200, {"accepted": accepted})
+            return True
+        return False
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
@@ -632,9 +813,54 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(200, record.snapshot())
             return
+        if self.path == "/cluster":
+            if self.service.cluster is None:
+                self._send_json(
+                    404, {"error": "not a cluster coordinator (no --journal)"}
+                )
+            else:
+                self._send_json(200, self.service.cluster.topology())
+            return
+        m = _CLUSTER_CACHE_PATH.match(self.path)
+        if m:
+            self._cluster_cache("GET", m.group(1))
+            return
         self._send_json(404, {"error": f"no such route: GET {self.path}"})
 
+    def _cluster_cache(self, method: str, key: str) -> None:
+        """Serve this node's shard of the cluster cache."""
+        from ..cluster.shard import serve_cache_route
+
+        try:
+            status, payload = serve_cache_route(
+                self.service.cache, method, key, self._read_json
+            )
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        self._send_json(status, payload)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        m = _CLUSTER_CACHE_PATH.match(self.path)
+        if m:
+            self._cluster_cache("PUT", m.group(1))
+            return
+        self._send_json(404, {"error": f"no such route: PUT {self.path}"})
+
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        m = _CLUSTER_WORKER_PATH.match(self.path)
+        if m:
+            cluster = self.service.cluster
+            if cluster is None:
+                self._send_json(
+                    404, {"error": "not a cluster coordinator (no --journal)"}
+                )
+            elif cluster.detach_worker(m.group(1)):
+                self._send_json(200, {"id": m.group(1), "detached": True})
+            else:
+                self._send_json(
+                    404, {"error": f"unknown worker {m.group(1)}"}
+                )
+            return
         m = _SESSION_PATH.match(self.path)
         if m:
             if self.service.sessions.delete(m.group(1)):
@@ -699,13 +925,15 @@ def local_service(
     cache_dir: Optional[str] = None,
     receipt_dir: Optional[str] = None,
     max_sessions: int = 16,
+    cluster: Optional["ClusterConfig"] = None,
 ) -> Iterator[str]:
     """Context manager: an ephemeral service; yields its base URL.
 
     Used by the harness (`run through the service`), the test suite, and
     CI smoke checks.  ``workers=0`` runs solves inline in the dispatcher
     thread — no process pool — which is the cheapest way to exercise the
-    cache path.
+    cache path.  Passing ``cluster`` makes the service a coordinator
+    (see ``docs/cluster.md``).
     """
     service = AnalysisService(
         workers=workers,
@@ -713,6 +941,7 @@ def local_service(
         cache_dir=cache_dir,
         receipt_dir=receipt_dir,
         max_sessions=max_sessions,
+        cluster=cluster,
     )
     server, _thread = start_server(service)
     host, port = server.server_address[:2]
@@ -733,6 +962,7 @@ def serve(
     receipt_dir: Optional[str] = None,
     verbose: bool = False,
     max_sessions: int = 16,
+    cluster: Optional["ClusterConfig"] = None,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
     service = AnalysisService(
@@ -741,6 +971,7 @@ def serve(
         cache_dir=cache_dir,
         receipt_dir=receipt_dir,
         max_sessions=max_sessions,
+        cluster=cluster,
     )
     service.start()
     server = create_server(service, host, port, verbose=verbose)
@@ -749,7 +980,9 @@ def serve(
         f"repro service listening on http://{bound_host}:{bound_port} "
         f"(workers={workers}, cache={cache_capacity}"
         + (f", cache-dir={cache_dir}" if cache_dir else "")
-        + ")"
+        + (f", journal={cluster.journal}" if cluster is not None else "")
+        + ")",
+        flush=True,
     )
     try:
         server.serve_forever()

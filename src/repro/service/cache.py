@@ -83,6 +83,9 @@ class ResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
+        # Bumped by clear(); a disk-read promotion started under an older
+        # generation is dropped instead of resurrecting a cleared entry.
+        self._generation = 0
         self._hits = hits
         self._misses = misses
 
@@ -103,25 +106,36 @@ class ResultCache:
                 if self._hits is not None:
                     self._hits.inc(tier="memory")
                 return dict(payload)
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, ValueError):
-                payload = None
-            if payload is not None:
-                self._store_memory(key, payload)
-                if self._hits is not None:
-                    self._hits.inc(tier="disk")
-                return dict(payload)
+            generation = self._generation
+        payload = self._load_disk(key)
+        if payload is not None:
+            # Promote into memory only if no clear() ran while we read
+            # the file: a stale promotion would resurrect an entry the
+            # caller just invalidated.
+            self._store_memory(key, payload, generation=generation)
+            if self._hits is not None:
+                self._hits.inc(tier="disk")
+            return dict(payload)
         if self._misses is not None:
             self._misses.inc()
         return None
+
+    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read one disk-tier entry (None on miss or unreadable file)."""
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         self._store_memory(key, payload)
         path = self._disk_path(key)
         if path is not None:
+            tmp: Optional[str] = None
             try:
                 fd, tmp = tempfile.mkstemp(
                     dir=str(self.cache_dir), suffix=".tmp"
@@ -129,11 +143,28 @@ class ResultCache:
                 with os.fdopen(fd, "w") as fh:
                     json.dump(payload, fh)
                 os.replace(tmp, path)
-            except OSError:
+                tmp = None
+            except (OSError, TypeError, ValueError):
                 pass  # disk tier is best-effort; memory tier already holds it
+            finally:
+                # Never leave *.tmp debris behind: a failed dump (full
+                # disk, unserializable payload) must not leak files into
+                # the cache directory forever.
+                if tmp is not None:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
 
-    def _store_memory(self, key: str, payload: Dict[str, Any]) -> None:
+    def _store_memory(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        generation: Optional[int] = None,
+    ) -> None:
         with self._lock:
+            if generation is not None and generation != self._generation:
+                return  # clear() raced us: drop the stale promotion
             self._memory[key] = dict(payload)
             self._memory.move_to_end(key)
             while len(self._memory) > self.capacity:
@@ -150,6 +181,7 @@ class ResultCache:
         """
         with self._lock:
             self._memory.clear()
+            self._generation += 1
         if self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 try:

@@ -15,6 +15,7 @@ harness, tests, CI smoke checks, user scripts) never hand-roll HTTP::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -24,12 +25,30 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An HTTP error response from the service (status + decoded body)."""
+    """Any failed request to the service.
 
-    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
-        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+    HTTP error responses carry their status code and decoded JSON body.
+    Transport failures (connection refused, DNS, timeout) use the
+    convention ``status == 0`` — no response was received — with the
+    underlying reason under ``payload["error"]``.  Either way, callers
+    catch one exception type instead of mixing ``urllib`` internals into
+    their error handling.
+
+    ``retry_after`` is filled from a 429's ``Retry-After`` header (or
+    its JSON body) when the service applies backpressure; None otherwise.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        label = f"HTTP {status}" if status else "transport error"
+        super().__init__(f"{label}: {payload.get('error', payload)}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -61,7 +80,25 @@ class ServiceClient:
                 payload = json.loads(exc.read())
             except ValueError:
                 payload = {"error": str(exc)}
-            raise ServiceError(exc.code, payload) from None
+            retry_after: Optional[float] = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            for candidate in (header, payload.get("retry_after")
+                              if isinstance(payload, dict) else None):
+                if candidate is None:
+                    continue
+                try:
+                    retry_after = float(candidate)
+                    break
+                except (TypeError, ValueError):
+                    continue
+            raise ServiceError(exc.code, payload, retry_after) from None
+        except urllib.error.URLError as exc:
+            # Connection refused, DNS failure, timeout: no HTTP response
+            # at all.  Surface it as a ServiceError (status 0) so callers
+            # never have to catch raw urllib exceptions.
+            raise ServiceError(0, {"error": str(exc.reason)}) from None
+        except OSError as exc:  # e.g. a socket read timeout mid-response
+            raise ServiceError(0, {"error": str(exc)}) from None
         if ctype.startswith("application/json"):
             return json.loads(raw)
         return raw.decode()
@@ -79,18 +116,29 @@ class ServiceClient:
         job_id: str,
         timeout: float = 60.0,
         interval: float = 0.05,
+        max_interval: float = 2.0,
     ) -> Dict[str, Any]:
-        """Poll until the job is terminal; returns the final snapshot."""
+        """Poll until the job is terminal; returns the final snapshot.
+
+        The poll interval starts at ``interval`` and doubles per poll up
+        to ``max_interval``, with full jitter on each sleep — a batch of
+        waiting clients spreads its polls instead of hammering the
+        service in lockstep at a fixed 50ms cadence.  Sleeps never
+        overshoot the deadline.
+        """
         deadline = time.monotonic() + timeout
+        delay = interval
         while True:
             snapshot = self.status(job_id)
             if snapshot["state"] not in ("queued", "running"):
                 return snapshot
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['state']} after {timeout}s"
                 )
-            time.sleep(interval)
+            time.sleep(min(random.uniform(interval, delay), deadline - now))
+            delay = min(delay * 2.0, max_interval)
 
     def result(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}/result")

@@ -1,0 +1,70 @@
+"""Token-bucket rate limiting with an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ratelimit import TokenBucketLimiter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_with_retry_after(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            allowed, retry_after = limiter.allow("c1")
+            assert allowed and retry_after == 0.0
+        allowed, retry_after = limiter.allow("c1")
+        assert not allowed
+        # Empty bucket at 2 tokens/sec: one token accrues in 0.5s.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refill_after_waiting(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=2.0, burst=1, clock=clock)
+        assert limiter.allow("c1")[0]
+        assert not limiter.allow("c1")[0]
+        clock.advance(0.5)  # exactly one token accrues
+        assert limiter.allow("c1")[0]
+        assert not limiter.allow("c1")[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=10.0, burst=2, clock=clock)
+        clock.advance(3600.0)  # an hour idle does not bank 36000 tokens
+        assert limiter.allow("c1")[0]
+        assert limiter.allow("c1")[0]
+        assert not limiter.allow("c1")[0]
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.allow("c1")[0]
+        assert not limiter.allow("c1")[0]
+        assert limiter.allow("c2")[0]
+
+    def test_idle_buckets_are_pruned(self):
+        clock = FakeClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.allow("old-client")
+        clock.advance(1000.0)  # past full-refill + prune window
+        limiter.allow("new-client")
+        assert "old-client" not in limiter._buckets
+        assert "new-client" in limiter._buckets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=1.0, burst=0)

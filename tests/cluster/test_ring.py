@@ -1,0 +1,79 @@
+"""Consistent-hash ring: determinism, coverage, and minimal remapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+KEYS = [f"{i:04x}" * 16 for i in range(200)]
+
+
+class TestRing:
+    def test_empty_ring_maps_nothing(self):
+        assert HashRing().node_for("abc") is None
+        assert len(HashRing()) == 0
+
+    def test_every_key_maps_to_a_member(self):
+        ring = HashRing()
+        for node in ("alpha", "beta", "gamma"):
+            ring.add(node)
+        owners = {ring.node_for(k) for k in KEYS}
+        assert owners <= {"alpha", "beta", "gamma"}
+        # With 200 keys and 64 vnodes each, every node owns something.
+        assert owners == {"alpha", "beta", "gamma"}
+
+    def test_mapping_is_insertion_order_independent(self):
+        forward, backward = HashRing(), HashRing()
+        for node in ("alpha", "beta", "gamma"):
+            forward.add(node)
+        for node in ("gamma", "beta", "alpha"):
+            backward.add(node)
+        assert [forward.node_for(k) for k in KEYS] == [
+            backward.node_for(k) for k in KEYS
+        ]
+
+    def test_removal_only_remaps_the_departed_nodes_keys(self):
+        ring = HashRing()
+        for node in ("alpha", "beta", "gamma"):
+            ring.add(node)
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("beta")
+        for key, owner in before.items():
+            if owner == "beta":
+                assert ring.node_for(key) in ("alpha", "gamma")
+            else:
+                # Keys not on the departed node keep their owner: this is
+                # the property that makes worker churn cheap for a cache.
+                assert ring.node_for(key) == owner
+
+    def test_add_remove_are_idempotent(self):
+        ring = HashRing()
+        ring.add("alpha")
+        ring.add("alpha")
+        assert len(ring) == 1
+        ring.remove("alpha")
+        ring.remove("alpha")
+        assert len(ring) == 0
+        ring.remove("never-added")
+
+    def test_nodes_listing(self):
+        ring = HashRing()
+        ring.add("beta")
+        ring.add("alpha")
+        assert ring.nodes() == ("alpha", "beta")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_load_spreads_roughly_evenly(self):
+        ring = HashRing()
+        for node in ("alpha", "beta", "gamma", "delta"):
+            ring.add(node)
+        counts = {}
+        for key in KEYS:
+            owner = ring.node_for(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        # Loose bound: no node owns more than half of 200 keys at 4 nodes.
+        assert max(counts.values()) < 100

@@ -1,0 +1,86 @@
+"""Sharded result cache: routing, peer calls, and local fallback."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster.shard import ShardedResultCache
+from repro.cluster.worker import WorkerNode
+from repro.service.cache import ResultCache
+from repro.service.telemetry import Registry
+
+PAYLOAD = {"state": "done", "answer": 42}
+
+
+def _digest_owned_by(shard: ShardedResultCache, node_id: str) -> str:
+    for i in range(10_000):
+        digest = f"{i:064x}"
+        if shard.owner(digest) == node_id:
+            return digest
+    raise AssertionError(f"no digest hashed to {node_id}")
+
+
+@pytest.fixture()
+def peer_node():
+    """A worker's shard server without any coordinator interaction."""
+    node = WorkerNode("http://127.0.0.1:9")  # coordinator never contacted
+    thread = threading.Thread(
+        target=node._server.serve_forever, daemon=True
+    )
+    thread.start()
+    yield node
+    node._server.shutdown()
+    node._server.server_close()
+
+
+class TestRouting:
+    def test_single_node_serves_locally(self):
+        shard = ShardedResultCache(ResultCache(capacity=4), node_id="me")
+        digest = "ab" * 32
+        assert shard.owner(digest) == "me"
+        shard.put("k" * 8, digest, PAYLOAD)
+        assert shard.get("k" * 8, digest) == PAYLOAD
+        assert shard.local.get("k" * 8) == PAYLOAD
+
+    def test_peer_round_trip(self, peer_node):
+        shard = ShardedResultCache(ResultCache(capacity=4), node_id="me")
+        shard.add_peer("peer", peer_node.url)
+        digest = _digest_owned_by(shard, "peer")
+        key = "ab12" * 16
+        shard.put(key, digest, PAYLOAD)
+        # The fill landed on the peer, not locally.
+        assert peer_node.cache.get(key) == PAYLOAD
+        assert shard.local.get(key) is None
+        assert shard.get(key, digest) == PAYLOAD
+
+    def test_peer_miss_is_authoritative(self, peer_node):
+        local = ResultCache(capacity=4)
+        shard = ShardedResultCache(local, node_id="me")
+        shard.add_peer("peer", peer_node.url)
+        digest = _digest_owned_by(shard, "peer")
+        # Even a locally-cached value is not consulted: the owner said no.
+        local.put("feed" * 16, PAYLOAD)
+        assert shard.get("feed" * 16, digest) is None
+
+    def test_dead_peer_falls_back_local(self):
+        ops = Registry().counter("ops", "ops")
+        shard = ShardedResultCache(
+            ResultCache(capacity=4), node_id="me", ops=ops, timeout=0.2
+        )
+        shard.add_peer("peer", "http://127.0.0.1:9")  # nothing listens
+        digest = _digest_owned_by(shard, "peer")
+        key = "dead" * 16
+        shard.put(key, digest, PAYLOAD)  # falls back to the local tier
+        assert shard.get(key, digest) == PAYLOAD
+        assert ops.value(op="put", outcome="fallback") == 1
+        assert ops.value(op="get", outcome="fallback") == 1
+
+    def test_removed_peer_stops_owning_keys(self, peer_node):
+        shard = ShardedResultCache(ResultCache(capacity=4), node_id="me")
+        shard.add_peer("peer", peer_node.url)
+        digest = _digest_owned_by(shard, "peer")
+        shard.remove_peer("peer")
+        assert shard.owner(digest) == "me"
+        assert shard.peer_url("peer") is None

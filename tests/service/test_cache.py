@@ -142,3 +142,50 @@ class TestDiskTier:
         cache.put("k", {"v": 1})
         cache.clear()
         assert cache.get("k") is None
+
+    def test_failed_disk_write_leaves_no_tmp_debris(self, tmp_path, monkeypatch):
+        # Regression: put() used to mkstemp and then leak the temp file
+        # whenever the dump or the rename failed, littering the cache
+        # directory with orphaned *.tmp files forever.
+        cache = ResultCache(capacity=4, cache_dir=str(tmp_path))
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.service.cache.os.replace", exploding_replace)
+        cache.put("k1", {"v": 1})
+        monkeypatch.undo()
+        # An unserializable payload fails inside json.dump instead.
+        cache.put("k2", {"v": object()})
+        assert not list(tmp_path.glob("*.tmp"))
+        # The memory tier still holds both entries (disk is best-effort).
+        assert cache.get("k1") == {"v": 1}
+
+    def test_concurrent_clear_does_not_resurrect_from_disk(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: get() promoted a disk read into the memory tier
+        # without noticing that clear() had run in between, resurrecting
+        # an entry the caller had just invalidated.  The interleaving:
+        # get() misses memory, reads the JSON file, then — before the
+        # promotion — clear() wipes both tiers.
+        cache = ResultCache(capacity=4, cache_dir=str(tmp_path))
+        cache.put("k", {"v": 1})
+        # Force the next get to take the disk path.
+        with cache._lock:
+            cache._memory.clear()
+
+        original = cache._load_disk
+
+        def load_then_lose_the_race(key):
+            payload = original(key)
+            cache.clear()  # the concurrent clear lands mid-get
+            return payload
+
+        monkeypatch.setattr(cache, "_load_disk", load_then_lose_the_race)
+        # The in-flight get may still return the value it already read …
+        assert cache.get("k") == {"v": 1}
+        monkeypatch.undo()
+        # … but it must NOT have re-populated the cleared memory tier.
+        assert len(cache) == 0
+        assert cache.get("k") is None

@@ -1,0 +1,79 @@
+"""ServiceClient behavior: error wrapping and poll backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+class TestTransportErrors:
+    def test_connection_refused_raises_service_error(self):
+        # Regression: urllib.error.URLError used to escape _request raw,
+        # forcing every caller to catch urllib internals alongside
+        # ServiceError.  Port 9 (discard) refuses connections.
+        client = ServiceClient("http://127.0.0.1:9", request_timeout=2.0)
+        with pytest.raises(ServiceError) as exc:
+            client.healthz()
+        assert exc.value.status == 0
+        assert "transport error" in str(exc.value)
+        assert exc.value.payload["error"]
+        assert exc.value.retry_after is None
+
+    def test_http_error_still_carries_status_and_payload(self):
+        from repro.service.api import local_service
+
+        with local_service(workers=0) as url:
+            with pytest.raises(ServiceError) as exc:
+                ServiceClient(url).status("deadbeef")
+            assert exc.value.status == 404
+            assert "no such job" in exc.value.payload["error"]
+
+
+class TestWaitBackoff:
+    def _instrument(self, monkeypatch, states):
+        """A client whose polls and sleeps are scripted/recorded."""
+        client = ServiceClient("http://unused.invalid")
+        snapshots = iter(states)
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"state": next(snapshots)}
+        )
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        # Pin jitter to the top of its range for determinism.
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform", lambda a, b: b
+        )
+        return client, sleeps
+
+    def test_interval_doubles_up_to_the_cap(self, monkeypatch):
+        client, sleeps = self._instrument(
+            monkeypatch, ["queued"] * 8 + ["done"]
+        )
+        snapshot = client.wait("job", timeout=600.0, interval=0.05)
+        assert snapshot["state"] == "done"
+        # 0.05 doubling per poll, capped at max_interval=2.0 — not the
+        # old fixed 50ms hammering.
+        assert sleeps == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+
+    def test_jitter_stays_within_the_window(self, monkeypatch):
+        client, sleeps = self._instrument(
+            monkeypatch, ["queued"] * 5 + ["done"]
+        )
+        recorded = []
+        monkeypatch.setattr(
+            "repro.service.client.random.uniform",
+            lambda a, b: recorded.append((a, b)) or b,
+        )
+        client.wait("job", timeout=600.0, interval=0.05)
+        lows = {low for low, _high in recorded}
+        highs = [high for _low, high in recorded]
+        assert lows == {0.05}  # jitter never drops below the base interval
+        assert highs == sorted(highs)  # the window only widens
+
+    def test_timeout_still_raises(self, monkeypatch):
+        client, _sleeps = self._instrument(monkeypatch, ["queued"] * 50)
+        with pytest.raises(TimeoutError):
+            client.wait("job", timeout=0.0)

@@ -274,6 +274,54 @@ class TestWarehouseDoc:
         assert "repro report" in text
 
 
+class TestClusterDoc:
+    def test_journal_record_example_is_valid_and_replayable(self):
+        """The journal-record example in cluster.md must pass the real
+        checksum validation, carry a spec that builds a real JobSpec, and
+        fold into the pending set like any journaled acceptance."""
+        import json
+
+        from repro.cluster.journal import (
+            JOURNAL_SCHEMA,
+            pending_jobs,
+            record_is_valid,
+        )
+        from repro.service import JobSpec
+
+        record = json.loads(extract_block(DOCS / "cluster.md", "json"))
+        assert record["schema"] == JOURNAL_SCHEMA
+        assert record_is_valid(record)
+
+        spec = JobSpec.from_payload(record["spec"])
+        assert spec.benchmark == "antlr"
+        pending, attempts = pending_jobs([record])
+        assert set(pending) == {record["id"]}
+        assert attempts == {}
+
+    def test_doc_names_every_record_type_route_and_flag(self):
+        from repro.cluster.journal import _RECORD_TYPES
+
+        text = (DOCS / "cluster.md").read_text()
+        for record_type in _RECORD_TYPES:
+            assert f"`{record_type}`" in text, record_type
+        for route in (
+            "/cluster/workers",
+            "/cluster/lease",
+            "/cluster/complete",
+            "/cluster/cache/{key}",
+            "GET /cluster",
+        ):
+            assert route in text, route
+        for flag in (
+            "--journal",
+            "--heartbeat-timeout",
+            "--max-retries",
+            "--max-queue-depth",
+            "--rate-limit",
+        ):
+            assert flag in text, flag
+
+
 class TestQueriesDoc:
     def test_usage_block_executes_as_written(self):
         """The python block in queries.md is the engine's contract: it
